@@ -1,0 +1,125 @@
+// Dpsim runs the device simulator standalone: it loads a P4 program,
+// replays a trace file (or a built-in probe) through an external port, and
+// writes the transmitted frames to an output trace.
+//
+//	dpsim -program router.p4 -target sdnet -in traffic.ndtr -out out.ndtr
+//	dpsim -program router.p4 -probes 100            # built-in probe stream
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"netdebug"
+	"netdebug/internal/packet"
+	"netdebug/internal/trace"
+)
+
+var (
+	programPath = flag.String("program", "", "P4 program to load")
+	targetKind  = flag.String("target", "reference", "target backend")
+	inPath      = flag.String("in", "", "input trace to replay (NDTR format)")
+	outPath     = flag.String("out", "", "output trace of transmitted frames")
+	probes      = flag.Int("probes", 0, "generate N built-in UDP probes instead of replaying a trace")
+	ingress     = flag.Int("ingress", 0, "ingress port for replay")
+)
+
+func main() {
+	log.SetFlags(0)
+	flag.Parse()
+	if *programPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: dpsim -program FILE [-in trace] [-probes N]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*programPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := netdebug.Open(string(src), netdebug.Options{Target: netdebug.TargetKind(*targetKind)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	dev := sys.Device()
+
+	var out *trace.Writer
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out, err = trace.NewWriter(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer out.Flush()
+	}
+
+	sent := 0
+	switch {
+	case *inPath != "":
+		f, err := os.Open(*inPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for {
+			rec, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := dev.SendExternal(int(rec.Port), rec.Data, rec.At); err != nil {
+				log.Fatal(err)
+			}
+			sent++
+		}
+	case *probes > 0:
+		src := packet.MAC{2, 0, 0, 0, 0, 0xaa}
+		dst := packet.MAC{2, 0, 0, 0, 0xff, 1}
+		for i := 0; i < *probes; i++ {
+			frame := packet.BuildUDPv4(src, dst, packet.IPv4Addr{10, 0, 0, 1},
+				packet.IPv4Addr{10, 0, byte(i % 250), 9}, uint16(i), 53, nil)
+			if err := dev.SendExternal(*ingress, frame, time.Duration(i)*time.Microsecond); err != nil {
+				log.Fatal(err)
+			}
+			sent++
+		}
+	default:
+		log.Fatal("provide -in or -probes")
+	}
+
+	total := 0
+	for port := 0; port < dev.Config().NumPorts; port++ {
+		caps := dev.Captures(port)
+		total += len(caps)
+		for _, c := range caps {
+			if out != nil {
+				if err := out.Write(trace.Record{At: c.At, Port: uint16(port), Dir: trace.DirTx, Data: c.Data}); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		if len(caps) > 0 {
+			fmt.Printf("port %d: %d frames transmitted\n", port, len(caps))
+		}
+	}
+	fmt.Printf("replayed %d frames, %d transmitted, %d dropped\n", sent, total, sent-total)
+	fmt.Println("device status:")
+	st, _ := sys.Status()
+	for _, k := range []string{"target.parser.accept", "target.parser.reject", "dataplane.dropped"} {
+		fmt.Printf("  %s=%d\n", k, st[k])
+	}
+}

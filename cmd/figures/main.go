@@ -1,0 +1,275 @@
+// Figures regenerates every table and figure from the paper's evaluation:
+//
+//	figures -figure 2      the use-case capability matrix (Figure 2)
+//	figures -exp E1        the §4 reject-erratum case study
+//	figures -exp T1        performance sweep (throughput / rate / latency)
+//	figures -exp T2        resource quantification across programs
+//	figures -exp T3        fault localization accuracy
+//	figures -exp T4        comparison of alternative specifications
+//	figures -all           everything, in order
+//
+// Output is plain text suitable for EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"netdebug"
+	"netdebug/internal/p4/compile"
+	"netdebug/internal/p4/p4test"
+	"netdebug/internal/packet"
+	"netdebug/internal/scenario"
+	"netdebug/internal/target"
+)
+
+var (
+	figure  = flag.Int("figure", 0, "regenerate a figure (2)")
+	exp     = flag.String("exp", "", "regenerate an experiment (E1, T1, T2, T3, T4)")
+	all     = flag.Bool("all", false, "regenerate everything")
+	details = flag.Bool("details", false, "print per-scenario detail lines for Figure 2")
+)
+
+func main() {
+	log.SetFlags(0)
+	flag.Parse()
+	ran := false
+	if *all || *figure == 2 {
+		figure2()
+		ran = true
+	}
+	runs := map[string]func(){"E1": e1, "T1": t1, "T2": t2, "T3": t3, "T4": t4}
+	if *all {
+		for _, id := range []string{"E1", "T1", "T2", "T3", "T4"} {
+			runs[id]()
+		}
+		ran = true
+	} else if *exp != "" {
+		fn, ok := runs[*exp]
+		if !ok {
+			log.Fatalf("unknown experiment %q", *exp)
+		}
+		fn()
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func header(s string) {
+	fmt.Println()
+	fmt.Println("## " + s)
+	fmt.Println()
+}
+
+func figure2() {
+	header("Figure 2 — use-case capability matrix")
+	m := scenario.BuildMatrix(scenario.All())
+	fmt.Println(m.Render())
+	if *details {
+		for _, d := range m.SortedDetails() {
+			fmt.Println("  " + d)
+		}
+	}
+}
+
+var (
+	srcMAC = packet.MAC{2, 0, 0, 0, 0, 0xaa}
+	gwMAC  = packet.MAC{2, 0, 0, 0, 0xff, 1}
+)
+
+func routeEntry() netdebug.Entry {
+	return netdebug.Entry{
+		Table:  "ipv4_lpm",
+		Keys:   []netdebug.KeyValue{{Value: netdebug.NewValue(0x0a000000, 32), PrefixLen: 8}},
+		Action: "ipv4_forward",
+		Args:   []netdebug.Value{netdebug.ValueFromBytes(gwMAC[:]), netdebug.NewValue(1, 9)},
+	}
+}
+
+func openRouter(kind netdebug.TargetKind) *netdebug.System {
+	sys, err := netdebug.Open(p4test.Router, netdebug.Options{Target: kind})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.InstallEntry(routeEntry()); err != nil {
+		log.Fatal(err)
+	}
+	return sys
+}
+
+func e1() {
+	header("E1 — §4 case study: SDNet reject parser state")
+	results, err := netdebug.VerifyProgram(p4test.Router)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("software formal verification of the router program:")
+	for _, r := range results {
+		fmt.Printf("  %s\n", r.Detail)
+	}
+	bad := packet.BuildUDPv4(srcMAC, gwMAC, packet.IPv4Addr{10, 0, 0, 1}, packet.IPv4Addr{10, 0, 1, 2}, 4000, 53, nil)
+	bad[14] = 0x65
+	spec := &netdebug.TestSpec{
+		Name: "reject-validation",
+		Gen: netdebug.GenSpec{Streams: []netdebug.StreamSpec{{
+			Name: "malformed", Template: bad, Count: 100, RatePPS: 1e6,
+		}}},
+		Check: netdebug.CheckSpec{Rules: []netdebug.Rule{{
+			Name: "malformed-dropped", Stream: "malformed", ExpectDrop: true,
+		}}},
+	}
+	fmt.Printf("\n%-18s %-40s\n", "target", "NetDebug verdict on malformed-dropped")
+	for _, kind := range []netdebug.TargetKind{netdebug.TargetReference, netdebug.TargetSDNet, netdebug.TargetSDNetFixed} {
+		sys := openRouter(kind)
+		rep, err := sys.Validate(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %s\n", kind, rep)
+		sys.Close()
+	}
+}
+
+func t1() {
+	header("T1 — performance testing: packet-size sweep on sdnet target")
+	sys := openRouter(netdebug.TargetSDNet)
+	defer sys.Close()
+	fmt.Printf("%8s %14s %12s %10s %10s\n", "bytes", "throughput", "rate", "lat p50", "lat p99")
+	for _, size := range []int{64, 128, 256, 512, 1024, 1518} {
+		frame := packet.BuildUDPv4(srcMAC, gwMAC, packet.IPv4Addr{10, 0, 0, 1},
+			packet.IPv4Addr{10, 0, 1, 2}, 4000, 53, make([]byte, size-42))
+		rep, err := sys.Validate(&netdebug.TestSpec{
+			Name: "t1",
+			Gen: netdebug.GenSpec{Streams: []netdebug.StreamSpec{{
+				Name: "flood", Template: frame, Count: 2000,
+			}}},
+			Check: netdebug.CheckSpec{Rules: []netdebug.Rule{{Name: "fwd", Stream: "flood", ExpectPort: 1}}},
+		})
+		if err != nil || !rep.Pass {
+			log.Fatalf("size %d: %v %v", size, rep, err)
+		}
+		fmt.Printf("%8d %11.3f Gbps %9.3f Mpps %8dns %8dns\n",
+			size, rep.OutBPS/1e9, rep.OutPPS/1e6, rep.LatP50Ns, rep.LatP99Ns)
+	}
+}
+
+func t2() {
+	header("T2 — resources quantification across programs (sdnet estimates)")
+	programs := []struct{ name, src string }{
+		{"reflector", p4test.Reflector},
+		{"l2switch", p4test.L2Switch},
+		{"router", p4test.Router},
+		{"router-split", p4test.RouterSplit},
+		{"firewall", p4test.Firewall},
+	}
+	fmt.Printf("%-14s %10s %10s %8s %9s %9s %9s\n",
+		"program", "LUTs", "FFs", "BRAMs", "LUT%", "FF%", "BRAM%")
+	for _, p := range programs {
+		prog, err := compile.Compile(p.src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sd := target.NewSDNet(target.DefaultErrata())
+		if err := sd.Load(prog); err != nil {
+			log.Fatal(err)
+		}
+		r := sd.Resources()
+		fmt.Printf("%-14s %10d %10d %8d %8.1f%% %8.1f%% %8.1f%%\n",
+			p.name, r.LUTs, r.FFs, r.BRAMs, r.LUTPct, r.FFPct, r.BRAMPct)
+	}
+}
+
+func t3() {
+	header("T3 — fault localization: NetDebug names the faulty stage")
+	probe := packet.BuildUDPv4(srcMAC, gwMAC, packet.IPv4Addr{10, 0, 0, 1},
+		packet.IPv4Addr{10, 0, 1, 2}, 4000, 53, make([]byte, 26))
+	cases := []struct {
+		name  string
+		setup func(sys *netdebug.System)
+		probe []byte
+		want  string
+	}{
+		{"healthy device", func(*netdebug.System) {}, probe, "none"},
+		{"mac-in fault (port 0 down)", func(s *netdebug.System) {
+			s.InjectFault(netdebug.Fault{Kind: netdebug.FaultPortDown, Port: 0})
+		}, probe, "mac-in port 0"},
+		{"egress fault (queue stuck)", func(s *netdebug.System) {
+			s.InjectFault(netdebug.Fault{Kind: netdebug.FaultQueueStuck, Port: 1})
+		}, probe, "egress port 1"},
+		{"control drop (route table cleared)", func(s *netdebug.System) {
+			s.ClearTable("ipv4_lpm")
+		}, probe, "RouterIngress"},
+		{"parser drop (malformed probe)", func(*netdebug.System) {}, func() []byte {
+			b := append([]byte(nil), probe...)
+			b[14] = 0x65
+			return b
+		}(), "parser"},
+	}
+	fmt.Printf("%-38s %-18s %-18s %s\n", "injected fault", "diagnosed stage", "expected", "ok")
+	for _, c := range cases {
+		sys := openRouter(netdebug.TargetReference)
+		c.setup(sys)
+		diag := sys.Localize(c.probe, 0, 1)
+		ok := "yes"
+		if diag.Stage != c.want {
+			ok = "NO"
+		}
+		fmt.Printf("%-38s %-18s %-18s %s\n", c.name, diag.Stage, c.want, ok)
+		sys.Close()
+	}
+}
+
+func t4() {
+	header("T4 — comparison: alternative specifications of the same router")
+	mono := openRouter(netdebug.TargetReference)
+	defer mono.Close()
+	split, err := netdebug.Open(p4test.RouterSplit, netdebug.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer split.Close()
+	if err := split.InstallEntries([]netdebug.Entry{
+		{
+			Table:  "lpm_nexthop",
+			Keys:   []netdebug.KeyValue{{Value: netdebug.NewValue(0x0a000000, 32), PrefixLen: 8}},
+			Action: "set_nexthop",
+			Args:   []netdebug.Value{netdebug.NewValue(7, 16)},
+		},
+		{
+			Table:  "nexthop_egress",
+			Keys:   []netdebug.KeyValue{{Value: netdebug.NewValue(7, 16)}},
+			Action: "set_egress",
+			Args:   []netdebug.Value{netdebug.ValueFromBytes(gwMAC[:]), netdebug.NewValue(1, 9)},
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	probes, diverged := 0, 0
+	for i := 0; i < 500; i++ {
+		dstIP := packet.IPv4Addr{10, byte(i / 256), byte(i % 256), 9}
+		if i%7 == 6 {
+			dstIP = packet.IPv4Addr{172, 16, 0, byte(i)}
+		}
+		frame := packet.BuildUDPv4(srcMAC, gwMAC, packet.IPv4Addr{10, 0, 0, 1}, dstIP, uint16(i), 53, nil)
+		if i%13 == 12 {
+			frame[14] = 0x65
+		}
+		probes++
+		ra := mono.Device().InjectInternal(frame, 0, mono.Device().Now(), false)
+		rb := split.Device().InjectInternal(frame, 0, split.Device().Now(), false)
+		same := ra.Dropped() == rb.Dropped()
+		if same && !ra.Dropped() {
+			same = ra.Outputs[0].Port == rb.Outputs[0].Port &&
+				string(ra.Outputs[0].Data) == string(rb.Outputs[0].Data)
+		}
+		if !same {
+			diverged++
+		}
+	}
+	fmt.Printf("router vs router-split: %d probes, %d divergences\n", probes, diverged)
+}

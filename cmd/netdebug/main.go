@@ -1,0 +1,191 @@
+// Netdebug is the host-side command-line tool: it boots a device running
+// a P4 program (or connects to a remote agent over TCP), installs table
+// entries, runs a built-in validation suite, and prints the report — the
+// workflow of the paper's software tool.
+//
+//	netdebug -program router.p4 -target sdnet -suite reject
+//	netdebug -program router.p4 -suite perf
+//	netdebug -serve :9000 -program router.p4      # expose an agent over TCP
+//	netdebug -connect host:9000 -suite status     # drive a remote agent
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"netdebug"
+	"netdebug/internal/control"
+	"netdebug/internal/core"
+	"netdebug/internal/packet"
+)
+
+var (
+	programPath = flag.String("program", "", "P4 program to load")
+	targetKind  = flag.String("target", "reference", "target backend (reference, sdnet, sdnet-fixed)")
+	suite       = flag.String("suite", "", "validation suite: reject, perf, status")
+	serve       = flag.String("serve", "", "serve the device agent on a TCP address instead of running a suite")
+	connect     = flag.String("connect", "", "connect to a remote agent instead of booting a device")
+)
+
+var (
+	srcMAC = packet.MAC{2, 0, 0, 0, 0, 0xaa}
+	gwMAC  = packet.MAC{2, 0, 0, 0, 0xff, 1}
+)
+
+func main() {
+	log.SetFlags(0)
+	flag.Parse()
+
+	var ctl *core.Controller
+	switch {
+	case *connect != "":
+		cli, err := control.DialTCP(*connect)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctl = core.NewController(cli)
+		defer ctl.Close()
+	case *programPath != "":
+		src, err := os.ReadFile(*programPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := netdebug.Open(string(src), netdebug.Options{Target: netdebug.TargetKind(*targetKind)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sys.Close()
+		if *serve != "" {
+			ln, err := net.Listen("tcp", *serve)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("serving device agent on %s (target %s)", ln.Addr(), sys.TargetName())
+			agent := core.NewAgent(sys.Device())
+			control.ListenTCP(ln, agent)
+			return
+		}
+		installDefaultRoute(sys)
+		runSuiteOnSystem(sys)
+		return
+	default:
+		fmt.Fprintln(os.Stderr, "usage: netdebug -program FILE [-target T] -suite NAME")
+		fmt.Fprintln(os.Stderr, "       netdebug -connect HOST:PORT -suite NAME")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	runSuiteOnController(ctl)
+}
+
+func installDefaultRoute(sys *netdebug.System) {
+	err := sys.InstallEntry(netdebug.Entry{
+		Table:  "ipv4_lpm",
+		Keys:   []netdebug.KeyValue{{Value: netdebug.NewValue(0x0a000000, 32), PrefixLen: 8}},
+		Action: "ipv4_forward",
+		Args:   []netdebug.Value{netdebug.ValueFromBytes(gwMAC[:]), netdebug.NewValue(1, 9)},
+	})
+	if err != nil {
+		log.Printf("note: default route not installed (%v); suites needing ipv4_lpm will fail", err)
+	}
+}
+
+func buildSpec() *netdebug.TestSpec {
+	good := packet.BuildUDPv4(srcMAC, gwMAC, packet.IPv4Addr{10, 0, 0, 1},
+		packet.IPv4Addr{10, 0, 1, 2}, 4000, 53, make([]byte, 26))
+	bad := append([]byte(nil), good...)
+	bad[14] = 0x65
+	switch *suite {
+	case "reject":
+		return &netdebug.TestSpec{
+			Name: "reject",
+			Gen: netdebug.GenSpec{Streams: []netdebug.StreamSpec{
+				{Name: "wellformed", Template: good, Count: 100, RatePPS: 1e6},
+				{Name: "malformed", Template: bad, Count: 100, RatePPS: 1e6},
+			}},
+			Check: netdebug.CheckSpec{Rules: []netdebug.Rule{
+				{Name: "wellformed-forwarded", Stream: "wellformed", ExpectPort: 1},
+				{Name: "malformed-dropped", Stream: "malformed", ExpectDrop: true},
+			}},
+		}
+	case "perf":
+		frame := packet.BuildUDPv4(srcMAC, gwMAC, packet.IPv4Addr{10, 0, 0, 1},
+			packet.IPv4Addr{10, 0, 1, 2}, 4000, 53, make([]byte, 1024-42))
+		return &netdebug.TestSpec{
+			Name: "perf",
+			Gen: netdebug.GenSpec{Streams: []netdebug.StreamSpec{{
+				Name: "flood", Template: frame, Count: 5000,
+			}}},
+			Check: netdebug.CheckSpec{Rules: []netdebug.Rule{{
+				Name: "fwd", Stream: "flood", ExpectPort: 1,
+			}}},
+		}
+	}
+	return nil
+}
+
+func printReport(rep *netdebug.Report) {
+	fmt.Println(rep)
+	for _, r := range rep.Rules {
+		fmt.Printf("  rule %-24s pass=%d fail=%d\n", r.Rule, r.Pass, r.Fail)
+		for _, s := range r.Samples {
+			fmt.Printf("    sample: %s\n", s)
+		}
+	}
+	if rep.Forwarded > 0 {
+		fmt.Printf("  throughput %.3f Gbps, %.3f Mpps, latency p50/p99/max %d/%d/%d ns\n",
+			rep.OutBPS/1e9, rep.OutPPS/1e6, rep.LatP50Ns, rep.LatP99Ns, rep.LatMaxNs)
+	}
+}
+
+func runSuiteOnSystem(sys *netdebug.System) {
+	if *suite == "status" {
+		st, err := sys.Status()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for k, v := range st {
+			fmt.Printf("%s=%d\n", k, v)
+		}
+		return
+	}
+	spec := buildSpec()
+	if spec == nil {
+		log.Fatalf("unknown suite %q (want reject, perf, status)", *suite)
+	}
+	rep, err := sys.Validate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printReport(rep)
+	if !rep.Pass {
+		os.Exit(1)
+	}
+}
+
+func runSuiteOnController(ctl *core.Controller) {
+	if *suite == "status" {
+		st, err := ctl.Status()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for k, v := range st {
+			fmt.Printf("%s=%d\n", k, v)
+		}
+		return
+	}
+	spec := buildSpec()
+	if spec == nil {
+		log.Fatalf("unknown suite %q (want reject, perf, status)", *suite)
+	}
+	rep, err := ctl.RunTest(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printReport(rep)
+	if !rep.Pass {
+		os.Exit(1)
+	}
+}

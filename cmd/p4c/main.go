@@ -1,0 +1,70 @@
+// P4c is the P4 compiler driver: it parses and type-checks a program,
+// dumps the compiled IR, and prints the sdnet backend's resource estimate
+// and architectural verdict.
+//
+//	p4c [-target sdnet|reference] [-resources] [-verify] program.p4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"netdebug"
+	"netdebug/internal/p4/compile"
+	"netdebug/internal/target"
+)
+
+var (
+	targetName = flag.String("target", "sdnet", "backend to load onto (sdnet, sdnet-fixed, reference)")
+	resources  = flag.Bool("resources", false, "print the resource estimate")
+	runVerify  = flag.Bool("verify", false, "run the formal-verification property suite")
+)
+
+func main() {
+	log.SetFlags(0)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: p4c [flags] program.p4")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := compile.Compile(string(src))
+	if err != nil {
+		log.Fatalf("compile failed:\n%v", err)
+	}
+	fmt.Print(prog.Dump())
+
+	var tgt target.Target
+	switch *targetName {
+	case "reference":
+		tgt = target.NewReference()
+	case "sdnet":
+		tgt = target.NewSDNet(target.DefaultErrata())
+	case "sdnet-fixed":
+		tgt = target.NewSDNet(target.FixedErrata())
+	default:
+		log.Fatalf("unknown target %q", *targetName)
+	}
+	if err := tgt.Load(prog); err != nil {
+		log.Fatalf("%s rejects the program: %v", tgt.Name(), err)
+	}
+	fmt.Printf("target %s: program loads\n", tgt.Name())
+	if *resources {
+		fmt.Printf("resources: %s\n", tgt.Resources())
+	}
+	if *runVerify {
+		results, err := netdebug.VerifyProgram(string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range results {
+			fmt.Println(r.Detail)
+		}
+	}
+}

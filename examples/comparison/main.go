@@ -1,0 +1,88 @@
+// Comparison exercises the comparison use case: two alternative
+// specifications of the same router — a monolithic single-table version
+// and a split next-hop/egress version — are validated against each other
+// by differential injection of identical test packets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netdebug"
+	"netdebug/internal/p4/p4test"
+	"netdebug/internal/packet"
+)
+
+func main() {
+	gw := packet.MAC{2, 0, 0, 0, 0xff, 1}
+
+	mono, err := netdebug.Open(p4test.Router, netdebug.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mono.Close()
+	if err := mono.InstallEntry(netdebug.Entry{
+		Table:  "ipv4_lpm",
+		Keys:   []netdebug.KeyValue{{Value: netdebug.NewValue(0x0a000000, 32), PrefixLen: 8}},
+		Action: "ipv4_forward",
+		Args:   []netdebug.Value{netdebug.ValueFromBytes(gw[:]), netdebug.NewValue(1, 9)},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	split, err := netdebug.Open(p4test.RouterSplit, netdebug.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer split.Close()
+	if err := split.InstallEntries([]netdebug.Entry{
+		{
+			Table:  "lpm_nexthop",
+			Keys:   []netdebug.KeyValue{{Value: netdebug.NewValue(0x0a000000, 32), PrefixLen: 8}},
+			Action: "set_nexthop",
+			Args:   []netdebug.Value{netdebug.NewValue(7, 16)},
+		},
+		{
+			Table:  "nexthop_egress",
+			Keys:   []netdebug.KeyValue{{Value: netdebug.NewValue(7, 16)}},
+			Action: "set_egress",
+			Args:   []netdebug.Value{netdebug.ValueFromBytes(gw[:]), netdebug.NewValue(1, 9)},
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	src := packet.MAC{2, 0, 0, 0, 0, 0xaa}
+	dst := packet.MAC{2, 0, 0, 0, 0, 0xbb}
+	probes := 0
+	divergences := 0
+	for i := 0; i < 200; i++ {
+		dstIP := packet.IPv4Addr{10, 0, byte(i % 256), byte(3 * i % 256)}
+		if i%10 == 9 {
+			dstIP = packet.IPv4Addr{192, 168, 0, byte(i)} // off-route: both must drop
+		}
+		frame := packet.BuildUDPv4(src, dst, packet.IPv4Addr{10, 0, 0, 1}, dstIP, uint16(5000+i), 53, []byte{byte(i)})
+		if i%17 == 16 {
+			frame[14] = 0x65 // malformed: both must reject
+		}
+		probes++
+
+		ra := mono.Device().InjectInternal(frame, 0, mono.Device().Now(), false)
+		rb := split.Device().InjectInternal(frame, 0, split.Device().Now(), false)
+		same := ra.Dropped() == rb.Dropped()
+		if same && !ra.Dropped() {
+			same = ra.Outputs[0].Port == rb.Outputs[0].Port &&
+				string(ra.Outputs[0].Data) == string(rb.Outputs[0].Data)
+		}
+		if !same {
+			divergences++
+			fmt.Printf("probe %3d DIVERGES: mono dropped=%v split dropped=%v\n",
+				i, ra.Dropped(), rb.Dropped())
+		}
+	}
+	fmt.Printf("differential comparison: %d probes, %d divergences\n", probes, divergences)
+	if divergences != 0 {
+		log.Fatal("specifications are not equivalent")
+	}
+	fmt.Println("the two specifications of the router are behaviourally equivalent")
+}

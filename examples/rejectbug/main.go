@@ -1,0 +1,90 @@
+// Rejectbug reproduces the paper's §4 case study: using NetDebug we
+// discover that the SDNet flow does not implement the P4 reject parser
+// state, so every packet that should be dropped by the parser is sent to
+// the next hop — a severe bug invisible to software formal verification.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netdebug"
+	"netdebug/internal/p4/p4test"
+	"netdebug/internal/packet"
+)
+
+func main() {
+	fmt.Println("== Step 1: software formal verification of the router program ==")
+	results, err := netdebug.VerifyProgram(p4test.Router)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("  %s\n", r.Detail)
+	}
+	fmt.Println("The program is correct: rejected packets are always dropped.")
+	fmt.Println()
+
+	// The malformed probe: IPv4 version 6 — the parser must reject it.
+	src := packet.MAC{2, 0, 0, 0, 0, 0xaa}
+	dst := packet.MAC{2, 0, 0, 0, 0, 0xbb}
+	bad := packet.BuildUDPv4(src, dst, packet.IPv4Addr{10, 0, 0, 1}, packet.IPv4Addr{10, 0, 1, 2}, 4000, 53, nil)
+	bad[14] = 0x65
+
+	spec := &netdebug.TestSpec{
+		Name: "reject-validation",
+		Gen: netdebug.GenSpec{Streams: []netdebug.StreamSpec{{
+			Name: "malformed", Template: bad, Count: 100, RatePPS: 1e6,
+		}}},
+		Check: netdebug.CheckSpec{Rules: []netdebug.Rule{{
+			Name: "malformed-dropped", Stream: "malformed", ExpectDrop: true,
+		}}},
+	}
+	route := netdebug.Entry{
+		Table:  "ipv4_lpm",
+		Keys:   []netdebug.KeyValue{{Value: netdebug.NewValue(0x0a000000, 32), PrefixLen: 8}},
+		Action: "ipv4_forward",
+		Args:   []netdebug.Value{netdebug.ValueFromBytes(dst[:]), netdebug.NewValue(1, 9)},
+	}
+
+	run := func(kind netdebug.TargetKind) *netdebug.Report {
+		sys, err := netdebug.Open(p4test.Router, netdebug.Options{Target: kind})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sys.Close()
+		if err := sys.InstallEntry(route); err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sys.Validate(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	}
+
+	fmt.Println("== Step 2: NetDebug validation on the reference target ==")
+	rep := run(netdebug.TargetReference)
+	fmt.Printf("  %s\n\n", rep)
+
+	fmt.Println("== Step 3: NetDebug validation on the SDNet-compiled hardware ==")
+	rep = run(netdebug.TargetSDNet)
+	fmt.Printf("  %s\n", rep)
+	for _, r := range rep.Rules {
+		for _, s := range r.Samples {
+			fmt.Printf("  sample: %s\n", s)
+		}
+	}
+	if rep.Pass {
+		log.Fatal("expected the erratum to be detected")
+	}
+	fmt.Println()
+	fmt.Println("NetDebug immediately detected the severe bug: the reject state is")
+	fmt.Println("not implemented by SDNet, so malformed packets reach the next hop.")
+	fmt.Println("Formal verification of the data plane program could not see it.")
+
+	fmt.Println()
+	fmt.Println("== Step 4: after the compiler fix ==")
+	rep = run(netdebug.TargetSDNetFixed)
+	fmt.Printf("  %s\n", rep)
+}

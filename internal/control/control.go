@@ -1,0 +1,307 @@
+// Package control implements the dedicated management channel between the
+// NetDebug software tool on the host computer and the agent inside the
+// network device.
+//
+// The paper's architecture gives the host tool a dedicated interface "to
+// configure the generation of test packets and to collect test results";
+// this package is that interface. The protocol is a synchronous
+// request/response RPC carried over any net.Conn (the device model uses
+// net.Pipe in-process; cmd/netdebug uses TCP), encoded with encoding/gob.
+//
+// Payloads that belong to higher layers (generator and checker
+// specifications, test reports) travel as opaque byte slices so this
+// package stays free of dependencies on the core engine.
+package control
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"netdebug/internal/dataplane"
+)
+
+// ReqKind enumerates request types.
+type ReqKind uint8
+
+// Request kinds.
+const (
+	ReqHello ReqKind = iota + 1
+	ReqInstallEntry
+	ReqClearTable
+	ReqReadStatus
+	ReqConfigureGen
+	ReqRunTest
+	ReqFetchReport
+	ReqInjectFault
+	ReqClearFaults
+	ReqReadResources
+)
+
+// String names the request kind.
+func (k ReqKind) String() string {
+	names := map[ReqKind]string{
+		ReqHello: "hello", ReqInstallEntry: "install-entry",
+		ReqClearTable: "clear-table", ReqReadStatus: "read-status",
+		ReqConfigureGen: "configure-gen", ReqRunTest: "run-test",
+		ReqFetchReport: "fetch-report", ReqInjectFault: "inject-fault",
+		ReqClearFaults: "clear-faults", ReqReadResources: "read-resources",
+	}
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("req(%d)", uint8(k))
+}
+
+// FaultMsg mirrors device.Fault without importing the device package.
+type FaultMsg struct {
+	Kind int
+	Port int
+	Seed int64
+}
+
+// Request is one host-to-device message.
+type Request struct {
+	ID    uint64
+	Kind  ReqKind
+	Entry *dataplane.Entry
+	Table string
+	Fault *FaultMsg
+	// Spec carries a gob-encoded generator+checker test specification
+	// (core.TestSpec) for ReqConfigureGen.
+	Spec []byte
+}
+
+// ResourcesMsg mirrors target.ResourceReport.
+type ResourcesMsg struct {
+	LUTs, FFs, BRAMs       int
+	LUTPct, FFPct, BRAMPct float64
+}
+
+// HelloInfo describes the device.
+type HelloInfo struct {
+	TargetName  string
+	ProgramName string
+	NumPorts    int
+}
+
+// Response is one device-to-host message.
+type Response struct {
+	ID        uint64
+	Err       string
+	Hello     *HelloInfo
+	Status    map[string]uint64
+	Report    []byte // gob-encoded core.Report for ReqFetchReport
+	Resources *ResourcesMsg
+}
+
+// OK reports whether the response carries no error.
+func (r *Response) OK() bool { return r.Err == "" }
+
+// Error converts the response error string to an error value.
+func (r *Response) Error() error {
+	if r.Err == "" {
+		return nil
+	}
+	return fmt.Errorf("control: %s", r.Err)
+}
+
+// Handler serves requests on the device side.
+type Handler interface {
+	Handle(req *Request) *Response
+}
+
+// Client is the host side of the channel. It is safe for concurrent use;
+// requests are serialized.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	nextID uint64
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+// Close shuts the channel down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Call sends one request and waits for its response.
+func (c *Client) Call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req.ID = c.nextID
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("control: send %s: %w", req.Kind, err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("control: receive %s reply: %w", req.Kind, err)
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("control: response id %d for request %d", resp.ID, req.ID)
+	}
+	return &resp, nil
+}
+
+// Hello fetches device identity.
+func (c *Client) Hello() (*HelloInfo, error) {
+	resp, err := c.Call(&Request{Kind: ReqHello})
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.Error(); err != nil {
+		return nil, err
+	}
+	return resp.Hello, nil
+}
+
+// InstallEntry installs a table entry on the device.
+func (c *Client) InstallEntry(e dataplane.Entry) error {
+	resp, err := c.Call(&Request{Kind: ReqInstallEntry, Entry: &e})
+	if err != nil {
+		return err
+	}
+	return resp.Error()
+}
+
+// ClearTable empties a table.
+func (c *Client) ClearTable(name string) error {
+	resp, err := c.Call(&Request{Kind: ReqClearTable, Table: name})
+	if err != nil {
+		return err
+	}
+	return resp.Error()
+}
+
+// ReadStatus fetches the device's internal status registers.
+func (c *Client) ReadStatus() (map[string]uint64, error) {
+	resp, err := c.Call(&Request{Kind: ReqReadStatus})
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.Error(); err != nil {
+		return nil, err
+	}
+	return resp.Status, nil
+}
+
+// ReadResources fetches the target's resource report.
+func (c *Client) ReadResources() (*ResourcesMsg, error) {
+	resp, err := c.Call(&Request{Kind: ReqReadResources})
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.Error(); err != nil {
+		return nil, err
+	}
+	return resp.Resources, nil
+}
+
+// ConfigureGen ships a test specification to the device.
+func (c *Client) ConfigureGen(spec []byte) error {
+	resp, err := c.Call(&Request{Kind: ReqConfigureGen, Spec: spec})
+	if err != nil {
+		return err
+	}
+	return resp.Error()
+}
+
+// RunTest starts the configured test and waits for completion.
+func (c *Client) RunTest() error {
+	resp, err := c.Call(&Request{Kind: ReqRunTest})
+	if err != nil {
+		return err
+	}
+	return resp.Error()
+}
+
+// FetchReport collects the checker's results.
+func (c *Client) FetchReport() ([]byte, error) {
+	resp, err := c.Call(&Request{Kind: ReqFetchReport})
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.Error(); err != nil {
+		return nil, err
+	}
+	return resp.Report, nil
+}
+
+// InjectFault injects a hardware fault (test harness capability).
+func (c *Client) InjectFault(kind, port int, seed int64) error {
+	resp, err := c.Call(&Request{Kind: ReqInjectFault, Fault: &FaultMsg{Kind: kind, Port: port, Seed: seed}})
+	if err != nil {
+		return err
+	}
+	return resp.Error()
+}
+
+// ClearFaults restores healthy hardware.
+func (c *Client) ClearFaults() error {
+	resp, err := c.Call(&Request{Kind: ReqClearFaults})
+	if err != nil {
+		return err
+	}
+	return resp.Error()
+}
+
+// Serve answers requests on conn with h until the connection closes. It
+// returns the first decode error (net.ErrClosed / io.EOF on clean
+// shutdown).
+func Serve(conn net.Conn, h Handler) error {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return err
+		}
+		resp := h.Handle(&req)
+		if resp == nil {
+			resp = &Response{Err: fmt.Sprintf("unhandled request %s", req.Kind)}
+		}
+		resp.ID = req.ID
+		if err := enc.Encode(resp); err != nil {
+			return err
+		}
+	}
+}
+
+// Pipe returns a connected client/server pair over an in-process pipe and
+// starts serving h on the device side. Closing the client stops the
+// server.
+func Pipe(h Handler) *Client {
+	cliConn, srvConn := net.Pipe()
+	go Serve(srvConn, h) //nolint: error is io.EOF on client close
+	return NewClient(cliConn)
+}
+
+// ListenTCP serves h on a TCP listener, one connection at a time,
+// until the listener is closed.
+func ListenTCP(ln net.Listener, h Handler) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer conn.Close()
+			Serve(conn, h) //nolint: client hangup is the normal exit
+		}()
+	}
+}
+
+// DialTCP connects a client to a device agent over TCP.
+func DialTCP(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("control: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}

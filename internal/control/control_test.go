@@ -1,0 +1,206 @@
+package control
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"netdebug/internal/bitfield"
+	"netdebug/internal/dataplane"
+)
+
+// fakeHandler records requests and answers canned responses.
+type fakeHandler struct {
+	mu       sync.Mutex
+	installs []dataplane.Entry
+	faults   []FaultMsg
+	spec     []byte
+	ran      int
+}
+
+func (f *fakeHandler) Handle(req *Request) *Response {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch req.Kind {
+	case ReqHello:
+		return &Response{Hello: &HelloInfo{TargetName: "sdnet", ProgramName: "router", NumPorts: 4}}
+	case ReqInstallEntry:
+		f.installs = append(f.installs, *req.Entry)
+		return &Response{}
+	case ReqClearTable:
+		if req.Table == "ghost" {
+			return &Response{Err: "no table ghost"}
+		}
+		return &Response{}
+	case ReqReadStatus:
+		return &Response{Status: map[string]uint64{"parser.accept": 42}}
+	case ReqReadResources:
+		return &Response{Resources: &ResourcesMsg{LUTs: 100, LUTPct: 1.5}}
+	case ReqConfigureGen:
+		f.spec = append([]byte(nil), req.Spec...)
+		return &Response{}
+	case ReqRunTest:
+		f.ran++
+		return &Response{}
+	case ReqFetchReport:
+		return &Response{Report: []byte("report-blob")}
+	case ReqInjectFault:
+		f.faults = append(f.faults, *req.Fault)
+		return &Response{}
+	case ReqClearFaults:
+		return &Response{}
+	}
+	return nil
+}
+
+func TestPipeRoundTrip(t *testing.T) {
+	h := &fakeHandler{}
+	cli := Pipe(h)
+	defer cli.Close()
+
+	hello, err := cli.Hello()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hello.TargetName != "sdnet" || hello.NumPorts != 4 {
+		t.Fatalf("hello = %+v", hello)
+	}
+
+	entry := dataplane.Entry{
+		Table:  "ipv4_lpm",
+		Keys:   []dataplane.KeyValue{{Value: bitfield.New(0x0a000000, 32), PrefixLen: 8}},
+		Action: "ipv4_forward",
+		Args:   []bitfield.Value{bitfield.New(3, 9)},
+	}
+	if err := cli.InstallEntry(entry); err != nil {
+		t.Fatal(err)
+	}
+	h.mu.Lock()
+	if len(h.installs) != 1 {
+		t.Fatalf("installs = %d", len(h.installs))
+	}
+	got := h.installs[0]
+	h.mu.Unlock()
+	// gob must round-trip bitfield values exactly.
+	if !got.Keys[0].Value.Equal(entry.Keys[0].Value) || got.Keys[0].PrefixLen != 8 {
+		t.Fatalf("entry key mangled: %+v", got.Keys[0])
+	}
+	if !got.Args[0].Equal(entry.Args[0]) || got.Args[0].Width() != 9 {
+		t.Fatalf("entry args mangled: %+v", got.Args)
+	}
+
+	st, err := cli.ReadStatus()
+	if err != nil || st["parser.accept"] != 42 {
+		t.Fatalf("status = %v, %v", st, err)
+	}
+
+	res, err := cli.ReadResources()
+	if err != nil || res.LUTs != 100 || res.LUTPct != 1.5 {
+		t.Fatalf("resources = %+v, %v", res, err)
+	}
+
+	if err := cli.ConfigureGen([]byte{9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.RunTest(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cli.FetchReport()
+	if err != nil || string(rep) != "report-blob" {
+		t.Fatalf("report = %q, %v", rep, err)
+	}
+	if err := cli.InjectFault(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.ClearFaults(); err != nil {
+		t.Fatal(err)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ran != 1 || len(h.faults) != 1 || h.faults[0].Port != 2 {
+		t.Fatalf("handler state: ran=%d faults=%+v", h.ran, h.faults)
+	}
+}
+
+func TestErrorResponses(t *testing.T) {
+	cli := Pipe(&fakeHandler{})
+	defer cli.Close()
+	err := cli.ClearTable("ghost")
+	if err == nil || err.Error() != "control: no table ghost" {
+		t.Fatalf("err = %v", err)
+	}
+	// An error response must not poison the connection.
+	if err := cli.ClearTable("real"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPTransport(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	h := &fakeHandler{}
+	go ListenTCP(ln, h)
+
+	cli, err := DialTCP(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	hello, err := cli.Hello()
+	if err != nil || hello.ProgramName != "router" {
+		t.Fatalf("hello over tcp: %+v, %v", hello, err)
+	}
+	// Second concurrent client.
+	cli2, err := DialTCP(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+	if _, err := cli2.ReadStatus(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := DialTCP("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port should fail")
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	cli := Pipe(&fakeHandler{})
+	defer cli.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if _, err := cli.ReadStatus(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestUnhandledRequest(t *testing.T) {
+	cli := Pipe(handlerFunc(func(req *Request) *Response { return nil }))
+	defer cli.Close()
+	resp, err := cli.Call(&Request{Kind: ReqKind(99)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK() {
+		t.Fatal("unhandled request should produce an error response")
+	}
+}
+
+type handlerFunc func(*Request) *Response
+
+func (f handlerFunc) Handle(req *Request) *Response { return f(req) }

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"netdebug/internal/control"
+	"netdebug/internal/device"
+	"netdebug/internal/target"
+)
+
+// TestSpec bundles the generator and checker programs for one test run —
+// the unit of configuration the host tool ships to the device.
+type TestSpec struct {
+	Name  string
+	Gen   GenSpec
+	Check CheckSpec
+}
+
+// EncodeTestSpec serializes a spec for the control channel.
+func EncodeTestSpec(spec *TestSpec) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(spec); err != nil {
+		return nil, fmt.Errorf("core: encoding test spec: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeTestSpec reverses EncodeTestSpec.
+func DecodeTestSpec(b []byte) (*TestSpec, error) {
+	var spec TestSpec
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("core: decoding test spec: %w", err)
+	}
+	return &spec, nil
+}
+
+// EncodeReport serializes a report for the control channel.
+func EncodeReport(r *Report) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		return nil, fmt.Errorf("core: encoding report: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeReport reverses EncodeReport.
+func DecodeReport(b []byte) (*Report, error) {
+	var r Report
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&r); err != nil {
+		return nil, fmt.Errorf("core: decoding report: %w", err)
+	}
+	return &r, nil
+}
+
+// Agent is the device-resident half of NetDebug: it owns the test packet
+// generator and output checker hardware modules and serves the host tool's
+// control channel.
+type Agent struct {
+	dev *device.Device
+
+	mu     sync.Mutex
+	spec   *TestSpec
+	report *Report
+}
+
+// NewAgent attaches NetDebug to a device.
+func NewAgent(dev *device.Device) *Agent {
+	return &Agent{dev: dev}
+}
+
+// Device returns the underlying device (for in-process harnesses).
+func (a *Agent) Device() *device.Device { return a.dev }
+
+// Configure installs a test specification.
+func (a *Agent) Configure(spec *TestSpec) error {
+	if _, err := NewGenerator(spec.Gen); err != nil {
+		return err
+	}
+	if _, err := NewChecker(spec.Check); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.spec = spec
+	a.report = nil
+	return nil
+}
+
+// Run executes the configured test: the generator injects each test packet
+// directly into the data plane under test at its scheduled virtual time,
+// and the checker validates every result in real time. The report is
+// retained for collection.
+func (a *Agent) Run() (*Report, error) {
+	a.mu.Lock()
+	spec := a.spec
+	a.mu.Unlock()
+	if spec == nil {
+		return nil, fmt.Errorf("core: no test configured")
+	}
+	gen, err := NewGenerator(spec.Gen)
+	if err != nil {
+		return nil, err
+	}
+	checker, err := NewChecker(spec.Check)
+	if err != nil {
+		return nil, err
+	}
+	for _, tp := range gen.Packets(a.dev.Now()) {
+		res := a.dev.InjectInternal(tp.Data, tp.IngressPort, tp.At, true)
+		checker.OnResult(tp, res, tp.At)
+	}
+	report := checker.Finish()
+	a.mu.Lock()
+	a.report = report
+	a.mu.Unlock()
+	return report, nil
+}
+
+// LastReport returns the most recent report, or nil.
+func (a *Agent) LastReport() *Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.report
+}
+
+// Handle implements control.Handler, serving the host tool.
+func (a *Agent) Handle(req *control.Request) *control.Response {
+	fail := func(err error) *control.Response {
+		return &control.Response{Err: err.Error()}
+	}
+	switch req.Kind {
+	case control.ReqHello:
+		prog := a.dev.Target().Program()
+		name := ""
+		if prog != nil {
+			name = prog.Name
+		}
+		return &control.Response{Hello: &control.HelloInfo{
+			TargetName:  a.dev.Target().Name(),
+			ProgramName: name,
+			NumPorts:    a.dev.Config().NumPorts,
+		}}
+	case control.ReqInstallEntry:
+		if req.Entry == nil {
+			return fail(fmt.Errorf("install-entry without entry"))
+		}
+		if err := a.dev.Target().InstallEntry(*req.Entry); err != nil {
+			return fail(err)
+		}
+		return &control.Response{}
+	case control.ReqClearTable:
+		if err := a.dev.Target().ClearTable(req.Table); err != nil {
+			return fail(err)
+		}
+		return &control.Response{}
+	case control.ReqReadStatus:
+		return &control.Response{Status: a.dev.Status()}
+	case control.ReqReadResources:
+		r := a.dev.Target().Resources()
+		return &control.Response{Resources: &control.ResourcesMsg{
+			LUTs: r.LUTs, FFs: r.FFs, BRAMs: r.BRAMs,
+			LUTPct: r.LUTPct, FFPct: r.FFPct, BRAMPct: r.BRAMPct,
+		}}
+	case control.ReqConfigureGen:
+		spec, err := DecodeTestSpec(req.Spec)
+		if err != nil {
+			return fail(err)
+		}
+		if err := a.Configure(spec); err != nil {
+			return fail(err)
+		}
+		return &control.Response{}
+	case control.ReqRunTest:
+		if _, err := a.Run(); err != nil {
+			return fail(err)
+		}
+		return &control.Response{}
+	case control.ReqFetchReport:
+		rep := a.LastReport()
+		if rep == nil {
+			return fail(fmt.Errorf("no report available; run a test first"))
+		}
+		b, err := EncodeReport(rep)
+		if err != nil {
+			return fail(err)
+		}
+		return &control.Response{Report: b}
+	case control.ReqInjectFault:
+		if req.Fault == nil {
+			return fail(fmt.Errorf("inject-fault without fault"))
+		}
+		err := a.dev.InjectFault(device.Fault{
+			Kind: device.FaultKind(req.Fault.Kind),
+			Port: req.Fault.Port,
+			Seed: req.Fault.Seed,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return &control.Response{}
+	case control.ReqClearFaults:
+		a.dev.ClearFaults()
+		return &control.Response{}
+	}
+	return nil
+}
+
+// Result re-exports target.Result for package users.
+type Result = target.Result

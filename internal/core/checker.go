@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"netdebug/internal/dataplane"
+	"netdebug/internal/p4/compile"
+	"netdebug/internal/stats"
+	"netdebug/internal/target"
+)
+
+// FieldExpect is one post-condition on an output packet: the field at Loc,
+// masked by Mask (all-ones when zero), must equal Value.
+type FieldExpect struct {
+	Name  string // diagnostic label, e.g. "ipv4.ttl"
+	Loc   FieldLoc
+	Value uint64
+	Mask  uint64
+}
+
+// Rule is one checker rule, applied to the results of one stream (or all
+// test packets when Stream is empty).
+type Rule struct {
+	Name   string
+	Stream string
+	// ExpectDrop asserts the data plane drops the packet. Observing it on
+	// any output is a failure — this is the rule that catches the SDNet
+	// reject erratum.
+	ExpectDrop bool
+	// ExpectPort, when >= 0, asserts the egress port.
+	ExpectPort int
+	// Expect are field post-conditions evaluated on the output bytes.
+	Expect []FieldExpect
+}
+
+// CheckSpec programs the output packet checker.
+type CheckSpec struct {
+	Rules []Rule
+	// LatencyBound, when nonzero, fails any test packet whose pipeline
+	// latency exceeds it.
+	LatencyBound time.Duration
+	// P4Check is an optional P4 classifier program. Each forwarded test
+	// packet is run through it on a reference engine; the packet passes
+	// when the classifier forwards it. This is how test and validation
+	// code is "written using P4" per the paper.
+	P4Check string
+	// P4CheckEntries preloads tables of the classifier.
+	P4CheckEntries []dataplane.Entry
+}
+
+// RuleResult accumulates one rule's verdicts.
+type RuleResult struct {
+	Rule    string
+	Pass    uint64
+	Fail    uint64
+	Samples []string // first few failure descriptions
+}
+
+// Report is the checker's output, collected by the host tool.
+type Report struct {
+	Injected  uint64
+	Forwarded uint64
+	Dropped   uint64
+	// LiveSeen counts non-test (live traffic) outputs observed in
+	// parallel, which the checker ignores for verdicts.
+	LiveSeen uint64
+	Rules    []RuleResult
+	// Latency statistics over forwarded test packets, nanoseconds.
+	LatMeanNs, LatP50Ns, LatP99Ns, LatMaxNs int64
+	// Output rates over forwarded test packets.
+	OutPPS, OutBPS float64
+	// DropStages counts drops per pipeline stage — the internal view used
+	// for localization.
+	DropStages map[string]uint64
+	Pass       bool
+}
+
+// Failures returns the total failure count across rules.
+func (r *Report) Failures() uint64 {
+	var n uint64
+	for _, rr := range r.Rules {
+		n += rr.Fail
+	}
+	return n
+}
+
+// String renders a compact summary.
+func (r *Report) String() string {
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%s: injected=%d forwarded=%d dropped=%d failures=%d p99=%dns",
+		verdict, r.Injected, r.Forwarded, r.Dropped, r.Failures(), r.LatP99Ns)
+}
+
+const maxSamples = 5
+
+// Checker is the output packet checker. Feed it each test packet's result
+// via OnResult and live-traffic outputs via OnLiveOutput, then call Finish.
+type Checker struct {
+	spec   CheckSpec
+	rules  map[string][]*ruleState // stream -> rules ("" = all)
+	lat    *stats.Histogram
+	meter  stats.Meter
+	report Report
+	p4     *dataplane.Engine
+	p4ctx  *dataplane.Context
+}
+
+type ruleState struct {
+	def    Rule
+	result RuleResult
+}
+
+// NewChecker compiles the spec (including the optional P4 classifier).
+func NewChecker(spec CheckSpec) (*Checker, error) {
+	c := &Checker{
+		spec:  spec,
+		rules: make(map[string][]*ruleState),
+		lat:   stats.NewHistogram(),
+	}
+	c.report.DropStages = make(map[string]uint64)
+	for _, r := range spec.Rules {
+		if r.Name == "" {
+			return nil, fmt.Errorf("core: checker rule with empty name")
+		}
+		c.rules[r.Stream] = append(c.rules[r.Stream], &ruleState{def: r, result: RuleResult{Rule: r.Name}})
+	}
+	if spec.P4Check != "" {
+		prog, err := compile.Compile(spec.P4Check)
+		if err != nil {
+			return nil, fmt.Errorf("core: compiling P4 check program: %w", err)
+		}
+		c.p4 = dataplane.New(prog)
+		c.p4ctx = c.p4.NewContext()
+		for _, e := range spec.P4CheckEntries {
+			if err := c.p4.InstallEntry(e); err != nil {
+				return nil, fmt.Errorf("core: loading P4 check entries: %w", err)
+			}
+		}
+	}
+	return c, nil
+}
+
+func (rs *ruleState) pass() { rs.result.Pass++ }
+
+func (rs *ruleState) fail(format string, args ...any) {
+	rs.result.Fail++
+	if len(rs.result.Samples) < maxSamples {
+		rs.result.Samples = append(rs.result.Samples, fmt.Sprintf(format, args...))
+	}
+}
+
+// rulesFor returns the rules applying to a stream (stream-specific plus
+// match-all rules).
+func (c *Checker) rulesFor(stream string) []*ruleState {
+	if stream == "" {
+		return c.rules[""]
+	}
+	specific := c.rules[stream]
+	global := c.rules[""]
+	if len(global) == 0 {
+		return specific
+	}
+	out := make([]*ruleState, 0, len(specific)+len(global))
+	out = append(out, specific...)
+	return append(out, global...)
+}
+
+// OnResult checks one injected test packet against its data-plane result.
+func (c *Checker) OnResult(tp TestPacket, res target.Result, at time.Duration) {
+	c.report.Injected++
+	if res.Dropped() {
+		c.report.Dropped++
+		stage := res.Trace.DropStage
+		if stage == "" {
+			stage = "unknown"
+		}
+		c.report.DropStages[stage]++
+	} else {
+		c.report.Forwarded++
+		done := at + res.Latency
+		c.lat.Observe(res.Latency)
+		for _, out := range res.Outputs {
+			c.meter.Record(done, len(out.Data))
+		}
+	}
+	for _, rs := range c.rulesFor(tp.Stream) {
+		c.applyRule(rs, tp, res)
+	}
+}
+
+func (c *Checker) applyRule(rs *ruleState, tp TestPacket, res target.Result) {
+	if rs.def.ExpectDrop {
+		if res.Dropped() {
+			rs.pass()
+		} else {
+			rs.fail("stream %s seq %d: forwarded to port %d, want drop",
+				tp.Stream, tp.Seq, res.Outputs[0].Port)
+		}
+		return
+	}
+	if res.Dropped() {
+		rs.fail("stream %s seq %d: dropped at %s, want forward",
+			tp.Stream, tp.Seq, res.Trace.DropStage)
+		return
+	}
+	out := res.Outputs[0]
+	if rs.def.ExpectPort >= 0 && out.Port != uint64(rs.def.ExpectPort) {
+		rs.fail("stream %s seq %d: egress port %d, want %d",
+			tp.Stream, tp.Seq, out.Port, rs.def.ExpectPort)
+		return
+	}
+	for _, fe := range rs.def.Expect {
+		got, err := fe.Loc.Extract(out.Data)
+		if err != nil {
+			rs.fail("stream %s seq %d: field %s outside output packet",
+				tp.Stream, tp.Seq, fe.Name)
+			return
+		}
+		mask := fe.Mask
+		if mask == 0 {
+			mask = ^uint64(0)
+		}
+		if got.Uint64()&mask != fe.Value&mask {
+			rs.fail("stream %s seq %d: %s = %#x, want %#x",
+				tp.Stream, tp.Seq, fe.Name, got.Uint64()&mask, fe.Value&mask)
+			return
+		}
+	}
+	if c.spec.LatencyBound > 0 && res.Latency > c.spec.LatencyBound {
+		rs.fail("stream %s seq %d: latency %v exceeds bound %v",
+			tp.Stream, tp.Seq, res.Latency, c.spec.LatencyBound)
+		return
+	}
+	if c.p4 != nil {
+		out2, _ := c.p4.Process(c.p4ctx, out.Data, out.Port)
+		if out2 == nil {
+			rs.fail("stream %s seq %d: P4 check classifier rejected output", tp.Stream, tp.Seq)
+			return
+		}
+	}
+	rs.pass()
+}
+
+// OnLiveOutput counts an output packet that does not belong to the test
+// (live traffic running in parallel).
+func (c *Checker) OnLiveOutput() { c.report.LiveSeen++ }
+
+// Finish computes the final report.
+func (c *Checker) Finish() *Report {
+	r := c.report
+	r.LatMeanNs = c.lat.Mean().Nanoseconds()
+	r.LatP50Ns = c.lat.Quantile(0.5).Nanoseconds()
+	r.LatP99Ns = c.lat.Quantile(0.99).Nanoseconds()
+	r.LatMaxNs = c.lat.Max().Nanoseconds()
+	snap := c.meter.Snapshot()
+	r.OutPPS = snap.PPS
+	r.OutBPS = snap.BPS
+	r.Pass = true
+	for _, rules := range c.rules {
+		for _, rs := range rules {
+			r.Rules = append(r.Rules, rs.result)
+			if rs.result.Fail > 0 {
+				r.Pass = false
+			}
+		}
+	}
+	sort.Slice(r.Rules, func(i, j int) bool { return r.Rules[i].Rule < r.Rules[j].Rule })
+	return &r
+}

@@ -1,0 +1,640 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"netdebug/internal/bitfield"
+	"netdebug/internal/dataplane"
+	"netdebug/internal/device"
+	"netdebug/internal/p4/compile"
+	"netdebug/internal/p4/ir"
+	"netdebug/internal/p4/p4test"
+	"netdebug/internal/packet"
+	"netdebug/internal/target"
+)
+
+var (
+	macA = packet.MAC{2, 0, 0, 0, 0, 0xa}
+	macB = packet.MAC{2, 0, 0, 0, 0, 0xb}
+	gw   = packet.MAC{2, 0, 0, 0, 0xff, 1}
+	ipA  = packet.IPv4Addr{10, 0, 0, 1}
+	ipB  = packet.IPv4Addr{10, 0, 1, 2}
+)
+
+func routerProgram(t testing.TB) *ir.Program {
+	t.Helper()
+	prog, err := compile.Compile(p4test.Router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func routeEntry() dataplane.Entry {
+	return dataplane.Entry{
+		Table:  "ipv4_lpm",
+		Keys:   []dataplane.KeyValue{{Value: bitfield.New(0x0a000000, 32), PrefixLen: 8}},
+		Action: "ipv4_forward",
+		Args:   []bitfield.Value{bitfield.FromBytes(gw[:]), bitfield.New(1, 9)},
+	}
+}
+
+// newAgent boots a device around tg (loaded with Router + one route) and
+// attaches NetDebug.
+func newAgent(t testing.TB, tg target.Target) *Agent {
+	t.Helper()
+	if err := tg.Load(routerProgram(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tg.InstallEntry(routeEntry()); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := device.New(device.Config{Target: tg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewAgent(dev)
+}
+
+func goodFrame(payload int) []byte {
+	return packet.BuildUDPv4(macA, macB, ipA, ipB, 40000, 53, make([]byte, payload))
+}
+
+func badVersionFrame() []byte {
+	f := goodFrame(26)
+	f[14] = 0x65 // IPv4 version 6 -> parser must reject
+	fixIPv4Checksum(f)
+	return f
+}
+
+func TestLayout(t *testing.T) {
+	prog := routerProgram(t)
+	l, err := LayoutFor(prog, "ethernet", "ipv4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Bits() != 112+160 {
+		t.Fatalf("layout bits = %d", l.Bits())
+	}
+	ttl := l.MustField("ipv4.ttl")
+	if ttl.BitOff != 112+64 || ttl.Bits != 8 {
+		t.Fatalf("ttl loc = %+v", ttl)
+	}
+	et := l.MustField("ethernet.etherType")
+	if et.BitOff != 96 || et.Bits != 16 {
+		t.Fatalf("etherType loc = %+v", et)
+	}
+	if _, err := l.Field("ipv4.nope"); err == nil {
+		t.Error("unknown field should error")
+	}
+	if _, err := LayoutFor(prog, "ghost"); err == nil {
+		t.Error("unknown instance should error")
+	}
+	if _, err := LayoutFor(prog, "standard_metadata"); err == nil {
+		t.Error("metadata instance should error")
+	}
+}
+
+func TestGeneratorSweepAndSeq(t *testing.T) {
+	prog := routerProgram(t)
+	l, _ := LayoutFor(prog, "ethernet", "ipv4")
+	dst := l.MustField("ipv4.dstAddr")
+	id := l.MustField("ipv4.identification")
+	gen, err := NewGenerator(GenSpec{Streams: []StreamSpec{{
+		Name:     "sweep",
+		Template: goodFrame(26),
+		Count:    10,
+		RatePPS:  1e6,
+		Sweeps:   []FieldSweep{{Loc: dst, Start: 0x0a000001, Step: 7}},
+		SeqLoc:   id,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := gen.Packets(0)
+	if len(pkts) != 10 {
+		t.Fatalf("packets = %d", len(pkts))
+	}
+	for i, tp := range pkts {
+		if tp.At != time.Duration(i)*time.Microsecond {
+			t.Fatalf("pkt %d at %v", i, tp.At)
+		}
+		got, _ := dst.Extract(tp.Data)
+		if got.Uint64() != 0x0a000001+uint64(i)*7 {
+			t.Fatalf("pkt %d dst = %#x", i, got.Uint64())
+		}
+		seq, _ := id.Extract(tp.Data)
+		if seq.Uint64() != tp.Seq || tp.Seq != uint64(i) {
+			t.Fatalf("pkt %d seq tag %d (field %d)", i, tp.Seq, seq.Uint64())
+		}
+	}
+}
+
+func TestGeneratorFuzzDeterministic(t *testing.T) {
+	prog := routerProgram(t)
+	l, _ := LayoutFor(prog, "ethernet", "ipv4")
+	spec := GenSpec{Streams: []StreamSpec{{
+		Name:     "fuzz",
+		Template: goodFrame(26),
+		Count:    20,
+		Fuzz:     []FieldFuzz{{Loc: l.MustField("ipv4.srcAddr"), Seed: 99}},
+	}}}
+	g1, _ := NewGenerator(spec)
+	g2, _ := NewGenerator(spec)
+	p1, p2 := g1.Packets(0), g2.Packets(0)
+	for i := range p1 {
+		if string(p1[i].Data) != string(p2[i].Data) {
+			t.Fatal("fuzz is not reproducible")
+		}
+	}
+	// and actually varies
+	if string(p1[0].Data) == string(p1[1].Data) {
+		t.Fatal("fuzz did not vary the field")
+	}
+}
+
+func TestGeneratorMergesStreamsByTime(t *testing.T) {
+	gen, err := NewGenerator(GenSpec{Streams: []StreamSpec{
+		{Name: "slow", Template: goodFrame(0), Count: 3, RatePPS: 1e5},  // every 10us
+		{Name: "fast", Template: goodFrame(0), Count: 10, RatePPS: 1e6}, // every 1us
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := gen.Packets(0)
+	if len(pkts) != 13 {
+		t.Fatalf("packets = %d", len(pkts))
+	}
+	for i := 1; i < len(pkts); i++ {
+		if pkts[i].At < pkts[i-1].At {
+			t.Fatal("packets not time-sorted")
+		}
+	}
+	// Seq must be globally unique.
+	seen := map[uint64]bool{}
+	for _, tp := range pkts {
+		if seen[tp.Seq] {
+			t.Fatalf("duplicate seq %d", tp.Seq)
+		}
+		seen[tp.Seq] = true
+	}
+}
+
+func TestGeneratorLineRateDefault(t *testing.T) {
+	gen, err := NewGenerator(GenSpec{Streams: []StreamSpec{{
+		Name: "lr", Template: make([]byte, 1480), Count: 2,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := gen.Packets(0)
+	// (1480+20)*8 bits / 10Gbps = 1.2us between frames
+	gap := pkts[1].At - pkts[0].At
+	if gap != 1200*time.Nanosecond {
+		t.Fatalf("line-rate gap = %v", gap)
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	bad := []GenSpec{
+		{},
+		{Streams: []StreamSpec{{Name: "", Template: []byte{1}, Count: 1}}},
+		{Streams: []StreamSpec{{Name: "a", Template: nil, Count: 1}}},
+		{Streams: []StreamSpec{{Name: "a", Template: []byte{1}, Count: 0}}},
+		{Streams: []StreamSpec{{Name: "a", Template: []byte{1}, Count: 1}, {Name: "a", Template: []byte{1}, Count: 1}}},
+		{Streams: []StreamSpec{{Name: "a", Template: []byte{1}, Count: 1,
+			Sweeps: []FieldSweep{{Loc: FieldLoc{BitOff: 4, Bits: 8}}}}}},
+		{Streams: []StreamSpec{{Name: "a", Template: []byte{1, 2}, Count: 300,
+			SeqLoc: FieldLoc{BitOff: 0, Bits: 8}}}}, // 8-bit tag, 300 packets
+	}
+	for i, spec := range bad {
+		if _, err := NewGenerator(spec); err == nil {
+			t.Errorf("spec %d should be rejected", i)
+		}
+	}
+}
+
+// TestRejectBugDetection is the paper's §4 case study, end to end through
+// the full NetDebug stack (controller -> control channel -> agent ->
+// generator -> device -> checker): the reference target passes the
+// malformed-packet drop test, the SDNet target fails it because the reject
+// parser state is not implemented.
+func TestRejectBugDetection(t *testing.T) {
+	spec := &TestSpec{
+		Name: "reject-validation",
+		Gen: GenSpec{Streams: []StreamSpec{
+			{Name: "wellformed", Template: goodFrame(26), Count: 50, RatePPS: 1e6},
+			{Name: "malformed", Template: badVersionFrame(), Count: 50, RatePPS: 1e6},
+		}},
+		Check: CheckSpec{Rules: []Rule{
+			{Name: "wellformed-forwarded", Stream: "wellformed", ExpectPort: 1},
+			{Name: "malformed-dropped", Stream: "malformed", ExpectDrop: true},
+		}},
+	}
+
+	// Reference target: both rules pass.
+	ctl := Connect(newAgent(t, target.NewReference()))
+	defer ctl.Close()
+	rep, err := ctl.RunTest(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("reference run failed: %v", rep)
+	}
+	if rep.Dropped != 50 || rep.Forwarded != 50 {
+		t.Fatalf("reference: dropped=%d forwarded=%d", rep.Dropped, rep.Forwarded)
+	}
+
+	// SDNet target: malformed packets are forwarded — NetDebug detects the
+	// severe bug immediately.
+	ctl2 := Connect(newAgent(t, target.NewSDNet(target.DefaultErrata())))
+	defer ctl2.Close()
+	rep2, err := ctl2.RunTest(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Pass {
+		t.Fatal("sdnet run passed; the reject erratum must be detected")
+	}
+	var malformed *RuleResult
+	for i := range rep2.Rules {
+		if rep2.Rules[i].Rule == "malformed-dropped" {
+			malformed = &rep2.Rules[i]
+		}
+	}
+	if malformed == nil || malformed.Fail != 50 || malformed.Pass != 0 {
+		t.Fatalf("malformed rule: %+v", malformed)
+	}
+	if len(malformed.Samples) == 0 || !strings.Contains(malformed.Samples[0], "want drop") {
+		t.Fatalf("samples: %v", malformed.Samples)
+	}
+	// The fixed compiler passes again.
+	ctl3 := Connect(newAgent(t, target.NewSDNet(target.FixedErrata())))
+	defer ctl3.Close()
+	rep3, err := ctl3.RunTest(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep3.Pass {
+		t.Fatalf("fixed sdnet failed: %v", rep3)
+	}
+}
+
+func TestCheckerFieldExpectations(t *testing.T) {
+	prog := routerProgram(t)
+	l, _ := LayoutFor(prog, "ethernet", "ipv4")
+	ttl := l.MustField("ipv4.ttl")
+	spec := &TestSpec{
+		Name: "ttl-decrement",
+		Gen: GenSpec{Streams: []StreamSpec{{
+			Name: "probe", Template: goodFrame(26), Count: 10, RatePPS: 1e6,
+		}}},
+		Check: CheckSpec{Rules: []Rule{{
+			Name:       "ttl-is-63",
+			Stream:     "probe",
+			ExpectPort: 1,
+			Expect:     []FieldExpect{{Name: "ipv4.ttl", Loc: ttl, Value: 63}},
+		}}},
+	}
+	ctl := Connect(newAgent(t, target.NewReference()))
+	defer ctl.Close()
+	rep, err := ctl.RunTest(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("ttl check failed: %+v", rep.Rules)
+	}
+	// Now expect the wrong value; every packet must fail.
+	spec.Check.Rules[0].Expect[0].Value = 64
+	rep, err = ctl.RunTest(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass || rep.Failures() != 10 {
+		t.Fatalf("wrong-value check: %v", rep)
+	}
+}
+
+func TestCheckerP4Classifier(t *testing.T) {
+	// The P4 checker program: forward (pass) only packets whose TTL is
+	// exactly 63 — validation code written in P4, per the paper.
+	const p4check = `
+	header ethernet_t { bit<48> dst; bit<48> src; bit<16> etherType; }
+	header ipv4_t {
+	  bit<4> version; bit<4> ihl; bit<8> tos; bit<16> len;
+	  bit<16> id; bit<3> flags; bit<13> frag; bit<8> ttl; bit<8> proto;
+	  bit<16> csum; bit<32> srcAddr; bit<32> dstAddr;
+	}
+	struct hs { ethernet_t eth; ipv4_t ipv4; }
+	parser CkParser(packet_in pkt, out hs hdr) {
+	  state start {
+	    pkt.extract(hdr.eth);
+	    transition select(hdr.eth.etherType) { 16w0x0800: pi; default: reject; }
+	  }
+	  state pi { pkt.extract(hdr.ipv4); transition accept; }
+	}
+	control CkVerify(inout hs hdr, inout standard_metadata_t sm) {
+	  apply {
+	    if (hdr.ipv4.ttl == 8w63) {
+	      sm.egress_spec = 9w1;
+	    } else {
+	      mark_to_drop();
+	    }
+	  }
+	}
+	control CkDeparser(packet_out pkt, in hs hdr) {
+	  apply { pkt.emit(hdr.eth); pkt.emit(hdr.ipv4); }
+	}
+	V1Switch(CkParser(), CkVerify(), CkDeparser()) main;`
+
+	spec := &TestSpec{
+		Name: "p4-check",
+		Gen: GenSpec{Streams: []StreamSpec{{
+			Name: "probe", Template: goodFrame(26), Count: 5, RatePPS: 1e6,
+		}}},
+		Check: CheckSpec{
+			Rules:   []Rule{{Name: "p4-verdict", Stream: "probe", ExpectPort: -1}},
+			P4Check: p4check,
+		},
+	}
+	ctl := Connect(newAgent(t, target.NewReference()))
+	defer ctl.Close()
+	rep, err := ctl.RunTest(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("p4 classifier should accept ttl=63 outputs: %+v", rep.Rules)
+	}
+
+	// A buggy program that does not decrement TTL fails the P4 check.
+	progNoTTL, err := compile.Compile(p4test.RouterNoTTLCheck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RouterNoTTLCheck still decrements; build a variant that doesn't by
+	// using the reflector (TTL untouched -> 64).
+	_ = progNoTTL
+	refl := target.NewReference()
+	prog2, err := compile.Compile(p4test.Reflector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refl.Load(prog2); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := device.New(device.Config{Target: refl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl2 := Connect(NewAgent(dev))
+	defer ctl2.Close()
+	rep2, err := ctl2.RunTest(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Pass {
+		t.Fatal("p4 classifier should reject outputs with ttl != 63")
+	}
+}
+
+func TestCheckerLatencyBound(t *testing.T) {
+	spec := &TestSpec{
+		Name: "latency",
+		Gen: GenSpec{Streams: []StreamSpec{{
+			Name: "probe", Template: goodFrame(1000), Count: 10, RatePPS: 1e5,
+		}}},
+		Check: CheckSpec{
+			Rules:        []Rule{{Name: "fast-enough", Stream: "probe", ExpectPort: -1}},
+			LatencyBound: time.Nanosecond, // impossible bound
+		},
+	}
+	ctl := Connect(newAgent(t, target.NewSDNet(target.DefaultErrata())))
+	defer ctl.Close()
+	rep, err := ctl.RunTest(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("1ns latency bound must fail")
+	}
+	if !strings.Contains(rep.Rules[0].Samples[0], "latency") {
+		t.Fatalf("sample: %v", rep.Rules[0].Samples)
+	}
+	if rep.LatP99Ns <= 0 || rep.LatMaxNs < rep.LatP50Ns {
+		t.Fatalf("latency stats: %+v", rep)
+	}
+}
+
+func TestCheckerThroughputMeter(t *testing.T) {
+	spec := &TestSpec{
+		Name: "rate",
+		Gen: GenSpec{Streams: []StreamSpec{{
+			Name: "probe", Template: goodFrame(1186), Count: 1000, // 1250B on wire with headers
+		}}},
+		Check: CheckSpec{Rules: []Rule{{Name: "fwd", Stream: "probe", ExpectPort: -1}}},
+	}
+	ctl := Connect(newAgent(t, target.NewReference()))
+	defer ctl.Close()
+	rep, err := ctl.RunTest(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("rate test failed: %v", rep)
+	}
+	// Line-rate injection of 1228-byte frames at 10G: ~9.84 Gbps of L2
+	// throughput (payload bits over wire time including overhead).
+	if rep.OutBPS < 9.0e9 || rep.OutBPS > 10.5e9 {
+		t.Fatalf("throughput = %.3g bps", rep.OutBPS)
+	}
+	if rep.OutPPS < 0.9e6/1.0 && rep.OutPPS > 0 { // ~1.0 Mpps for 1248B frames
+		t.Fatalf("pps = %f", rep.OutPPS)
+	}
+}
+
+func TestAgentErrors(t *testing.T) {
+	agent := newAgent(t, target.NewReference())
+	ctl := Connect(agent)
+	defer ctl.Close()
+	// Run before configure.
+	if _, err := agent.Run(); err == nil {
+		t.Error("run without configure should fail")
+	}
+	// Fetch before run.
+	if _, err := ctl.RunTest(&TestSpec{}); err == nil {
+		t.Error("empty spec should fail validation")
+	}
+	// Bad entry via controller.
+	if err := ctl.InstallEntry(dataplane.Entry{Table: "ghost"}); err == nil {
+		t.Error("install into missing table should fail")
+	}
+	// Status round trip.
+	st, err := ctl.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st["port0.link_up"]; !ok {
+		t.Fatalf("status missing link state: %v", st)
+	}
+	// Hello.
+	hello, err := ctl.Hello()
+	if err != nil || hello.TargetName != "reference" {
+		t.Fatalf("hello: %+v %v", hello, err)
+	}
+}
+
+func TestControllerResources(t *testing.T) {
+	ctl := Connect(newAgent(t, target.NewSDNet(target.DefaultErrata())))
+	defer ctl.Close()
+	res, err := ctl.Resources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LUTs <= 0 || res.LUTPct <= 0 {
+		t.Fatalf("resources: %+v", res)
+	}
+}
+
+func TestLocalizeDataplaneFault(t *testing.T) {
+	// A program bug: clear the route table so the probe is dropped at the
+	// ingress control.
+	agent := newAgent(t, target.NewReference())
+	agent.Device().Target().ClearTable("ipv4_lpm")
+	diag := LocalizeFault(agent.Device(), goodFrame(26), 0, 1)
+	if diag.Stage != "RouterIngress" {
+		t.Fatalf("stage = %q, want RouterIngress", diag.Stage)
+	}
+}
+
+func TestLocalizeParserFault(t *testing.T) {
+	agent := newAgent(t, target.NewReference())
+	diag := LocalizeFault(agent.Device(), badVersionFrame(), 0, 1)
+	if diag.Stage != "parser" {
+		t.Fatalf("stage = %q, want parser", diag.Stage)
+	}
+}
+
+func TestLocalizeMACFault(t *testing.T) {
+	agent := newAgent(t, target.NewReference())
+	agent.Device().InjectFault(device.Fault{Kind: device.FaultPortDown, Port: 0})
+	diag := LocalizeFault(agent.Device(), goodFrame(26), 0, 1)
+	if diag.Stage != "mac-in port 0" {
+		t.Fatalf("stage = %q, want mac-in port 0 (evidence: %v)", diag.Stage, diag.Evidence)
+	}
+}
+
+func TestLocalizeEgressFault(t *testing.T) {
+	agent := newAgent(t, target.NewReference())
+	agent.Device().InjectFault(device.Fault{Kind: device.FaultQueueStuck, Port: 1})
+	diag := LocalizeFault(agent.Device(), goodFrame(26), 0, 1)
+	if diag.Stage != "egress port 1" {
+		t.Fatalf("stage = %q, want egress port 1 (evidence: %v)", diag.Stage, diag.Evidence)
+	}
+}
+
+func TestLocalizeHealthy(t *testing.T) {
+	agent := newAgent(t, target.NewReference())
+	diag := LocalizeFault(agent.Device(), goodFrame(26), 0, 1)
+	if diag.Stage != "none" {
+		t.Fatalf("stage = %q, want none (evidence: %v)", diag.Stage, diag.Evidence)
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	spec := &TestSpec{
+		Name: "rt",
+		Gen: GenSpec{Streams: []StreamSpec{{
+			Name: "s", Template: []byte{1, 2, 3}, Count: 4, RatePPS: 100,
+			Sweeps: []FieldSweep{{Loc: FieldLoc{0, 8}, Start: 1, Step: 2}},
+		}}},
+		Check: CheckSpec{Rules: []Rule{{Name: "r", Stream: "s", ExpectDrop: true}}},
+	}
+	b, err := EncodeTestSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTestSpec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "rt" || len(got.Gen.Streams) != 1 || got.Gen.Streams[0].Sweeps[0].Step != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, err := DecodeTestSpec([]byte("garbage")); err == nil {
+		t.Error("garbage spec should fail decode")
+	}
+}
+
+// TestLiveTrafficInParallel verifies NetDebug validates while live traffic
+// flows through the device — "deployed in parallel to live traffic".
+func TestLiveTrafficInParallel(t *testing.T) {
+	agent := newAgent(t, target.NewReference())
+	dev := agent.Device()
+	// Live traffic: 100 frames through the external ports.
+	for i := 0; i < 100; i++ {
+		dev.SendExternal(0, goodFrame(100), time.Duration(i)*10*time.Microsecond)
+	}
+	// Test run interleaved afterwards on the same device.
+	spec := &TestSpec{
+		Name: "parallel",
+		Gen: GenSpec{Streams: []StreamSpec{{
+			Name: "probe", Template: goodFrame(26), Count: 20, RatePPS: 1e6,
+		}}},
+		Check: CheckSpec{Rules: []Rule{{Name: "fwd", Stream: "probe", ExpectPort: 1}}},
+	}
+	if err := agent.Configure(spec); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := agent.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || rep.Injected != 20 {
+		t.Fatalf("parallel test: %v", rep)
+	}
+	// Live traffic still flowed: port 1 transmitted the 100 live frames.
+	if got := dev.Status()["port1.tx.frames"]; got != 100 {
+		t.Fatalf("live frames transmitted = %d", got)
+	}
+}
+
+func BenchmarkGeneratorPackets(b *testing.B) {
+	spec := GenSpec{Streams: []StreamSpec{{
+		Name: "s", Template: goodFrame(64), Count: 1000, RatePPS: 1e6,
+		Sweeps: []FieldSweep{{Loc: FieldLoc{240, 32}, Start: 1, Step: 1}},
+	}}}
+	gen, err := NewGenerator(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pkts := gen.Packets(0); len(pkts) != 1000 {
+			b.Fatal("bad count")
+		}
+	}
+}
+
+func BenchmarkEndToEndTest(b *testing.B) {
+	ctl := Connect(newAgent(b, target.NewSDNet(target.DefaultErrata())))
+	defer ctl.Close()
+	spec := &TestSpec{
+		Name: "bench",
+		Gen: GenSpec{Streams: []StreamSpec{{
+			Name: "probe", Template: goodFrame(64), Count: 100, RatePPS: 1e6,
+		}}},
+		Check: CheckSpec{Rules: []Rule{{Name: "fwd", Stream: "probe", ExpectPort: 1}}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := ctl.RunTest(spec)
+		if err != nil || !rep.Pass {
+			b.Fatalf("%v %v", rep, err)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"netdebug/internal/bitfield"
+	"netdebug/internal/packet"
+)
+
+// FieldSweep varies a field deterministically across a stream's packets:
+// packet i gets Start + i*Step (mod 2^width).
+type FieldSweep struct {
+	Loc   FieldLoc
+	Start uint64
+	Step  uint64
+}
+
+// FieldFuzz randomizes a field from a seeded source, so fuzz runs are
+// reproducible.
+type FieldFuzz struct {
+	Loc  FieldLoc
+	Seed int64
+}
+
+// StreamSpec describes one generated packet stream.
+type StreamSpec struct {
+	// Name labels the stream; the checker's rules reference it.
+	Name string
+	// Template is the base packet. Sweeps, fuzzers, and the sequence tag
+	// are applied on top of a copy of it.
+	Template []byte
+	// Count is the number of packets to generate.
+	Count int
+	// IngressPort is the data-plane ingress port metadata for injected
+	// packets.
+	IngressPort uint64
+	// RatePPS paces the stream in virtual time. Zero means line-rate
+	// back-to-back at 10 Gbps.
+	RatePPS float64
+	// Sweeps and Fuzz mutate template fields per packet.
+	Sweeps []FieldSweep
+	Fuzz   []FieldFuzz
+	// SeqLoc, when valid, receives the per-stream sequence number so the
+	// checker can match outputs to injected packets and detect loss.
+	SeqLoc FieldLoc
+	// FixIPv4 recomputes the IPv4 header checksum (assumed at the standard
+	// 14-byte Ethernet offset) after field edits.
+	FixIPv4 bool
+}
+
+// GenSpec is a full generator program: a set of streams merged on the
+// virtual timeline.
+type GenSpec struct {
+	Streams []StreamSpec
+}
+
+// TestPacket is one generated packet with its injection schedule.
+type TestPacket struct {
+	Data        []byte
+	At          time.Duration
+	Seq         uint64
+	Stream      string
+	IngressPort uint64
+	// ExpectSeq reports whether the packet carries a sequence tag.
+	ExpectSeq bool
+}
+
+// Generator produces the timed packet sequence described by a GenSpec.
+type Generator struct {
+	spec GenSpec
+}
+
+// NewGenerator validates the spec and returns a generator.
+func NewGenerator(spec GenSpec) (*Generator, error) {
+	if len(spec.Streams) == 0 {
+		return nil, fmt.Errorf("core: generator spec has no streams")
+	}
+	seen := map[string]bool{}
+	for i, s := range spec.Streams {
+		if s.Name == "" {
+			return nil, fmt.Errorf("core: stream %d has no name", i)
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("core: duplicate stream %q", s.Name)
+		}
+		seen[s.Name] = true
+		if len(s.Template) == 0 {
+			return nil, fmt.Errorf("core: stream %q has an empty template", s.Name)
+		}
+		if s.Count <= 0 {
+			return nil, fmt.Errorf("core: stream %q has count %d", s.Name, s.Count)
+		}
+		limit := len(s.Template) * 8
+		for _, sw := range s.Sweeps {
+			if sw.Loc.BitOff+sw.Loc.Bits > limit {
+				return nil, fmt.Errorf("core: stream %q sweep outside template", s.Name)
+			}
+		}
+		for _, fz := range s.Fuzz {
+			if fz.Loc.BitOff+fz.Loc.Bits > limit {
+				return nil, fmt.Errorf("core: stream %q fuzz outside template", s.Name)
+			}
+		}
+		if s.SeqLoc.Valid() && s.SeqLoc.BitOff+s.SeqLoc.Bits > limit {
+			return nil, fmt.Errorf("core: stream %q sequence tag outside template", s.Name)
+		}
+	}
+	// Sequence tags are global across streams; every tagged stream must be
+	// able to hold the largest tag.
+	total := 0
+	for _, s := range spec.Streams {
+		total += s.Count
+	}
+	for _, s := range spec.Streams {
+		if s.SeqLoc.Valid() && s.SeqLoc.Bits < 63 && total > 1<<uint(s.SeqLoc.Bits) {
+			return nil, fmt.Errorf("core: stream %q: %d-bit sequence tag cannot number %d packets",
+				s.Name, s.SeqLoc.Bits, total)
+		}
+	}
+	return &Generator{spec: spec}, nil
+}
+
+// lineRatePPS is the back-to-back packet rate for an n-byte frame at
+// 10 Gbps including preamble+IFG.
+func lineRatePPS(n int) float64 {
+	return 10e9 / (float64(n+20) * 8)
+}
+
+// Packets materializes every stream, merged and sorted by injection time.
+// Packet generation is fully deterministic for a given spec. Sequence tags
+// (Seq) are unique across all streams so the checker can attribute any
+// output packet to its injected original.
+func (g *Generator) Packets(start time.Duration) []TestPacket {
+	var out []TestPacket
+	gid := uint64(0)
+	for _, s := range g.spec.Streams {
+		rate := s.RatePPS
+		if rate <= 0 {
+			rate = lineRatePPS(len(s.Template))
+		}
+		interval := time.Duration(1e9 / rate)
+		fuzzers := make([]*rand.Rand, len(s.Fuzz))
+		for i, fz := range s.Fuzz {
+			fuzzers[i] = rand.New(rand.NewSource(fz.Seed))
+		}
+		for i := 0; i < s.Count; i++ {
+			data := append([]byte(nil), s.Template...)
+			for _, sw := range s.Sweeps {
+				v := sw.Start + uint64(i)*sw.Step
+				bitfield.MustInject(data, sw.Loc.BitOff, sw.Loc.Bits, bitfield.New(v, sw.Loc.Bits))
+			}
+			for fi, fz := range s.Fuzz {
+				v := fuzzers[fi].Uint64()
+				bitfield.MustInject(data, fz.Loc.BitOff, fz.Loc.Bits, bitfield.New(v, fz.Loc.Bits))
+			}
+			tp := TestPacket{
+				At:          start + time.Duration(i)*interval,
+				Stream:      s.Name,
+				IngressPort: s.IngressPort,
+				Seq:         gid,
+			}
+			gid++
+			if s.SeqLoc.Valid() {
+				bitfield.MustInject(data, s.SeqLoc.BitOff, s.SeqLoc.Bits, bitfield.New(tp.Seq, s.SeqLoc.Bits))
+				tp.ExpectSeq = true
+			}
+			if s.FixIPv4 {
+				fixIPv4Checksum(data)
+			}
+			tp.Data = data
+			out = append(out, tp)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// fixIPv4Checksum recomputes the IPv4 header checksum of an Ethernet/IPv4
+// frame in place. Frames without an IPv4 header are left untouched.
+func fixIPv4Checksum(frame []byte) {
+	if len(frame) < 14+20 {
+		return
+	}
+	var eth packet.Ethernet
+	if eth.DecodeFromBytes(frame) != nil || eth.EtherType != packet.EtherTypeIPv4 {
+		return
+	}
+	ihl := int(frame[14] & 0x0f)
+	hlen := ihl * 4
+	if ihl < 5 || len(frame) < 14+hlen {
+		return
+	}
+	frame[14+10], frame[14+11] = 0, 0
+	ck := bitfield.Checksum(frame[14 : 14+hlen])
+	frame[14+10] = byte(ck >> 8)
+	frame[14+11] = byte(ck)
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"netdebug/internal/bitfield"
+	"netdebug/internal/dataplane"
+	"netdebug/internal/target"
+)
+
+// TestGeneratorFixIPv4 verifies that sweeping an IPv4 field with FixIPv4
+// set regenerates a valid header checksum on every packet.
+func TestGeneratorFixIPv4(t *testing.T) {
+	prog := routerProgram(t)
+	l, _ := LayoutFor(prog, "ethernet", "ipv4")
+	dst := l.MustField("ipv4.dstAddr")
+	gen, err := NewGenerator(GenSpec{Streams: []StreamSpec{{
+		Name:     "sweep",
+		Template: goodFrame(8),
+		Count:    25,
+		Sweeps:   []FieldSweep{{Loc: dst, Start: 0x0a000001, Step: 13}},
+		FixIPv4:  true,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tp := range gen.Packets(0) {
+		if got := bitfield.OnesComplementSum(tp.Data[14 : 14+20]); got != 0xffff {
+			t.Fatalf("pkt %d: header checksum invalid after sweep (sum %#x)", i, got)
+		}
+	}
+}
+
+// TestGeneratorFixIPv4SkipsNonIP ensures the checksum fixer leaves
+// non-IPv4 templates untouched.
+func TestGeneratorFixIPv4SkipsNonIP(t *testing.T) {
+	arp := make([]byte, 60)
+	arp[12], arp[13] = 0x08, 0x06 // EtherType ARP
+	orig := append([]byte(nil), arp...)
+	fixIPv4Checksum(arp)
+	if string(arp) != string(orig) {
+		t.Fatal("non-IPv4 frame was modified")
+	}
+	short := make([]byte, 10)
+	fixIPv4Checksum(short) // must not panic
+}
+
+// TestCheckerP4CheckEntries exercises a table-driven P4 classifier: the
+// checker program consults its own match-action table, loaded via
+// P4CheckEntries.
+func TestCheckerP4CheckEntries(t *testing.T) {
+	const ck = `
+	header ethernet_t { bit<48> d; bit<48> s; bit<16> t; }
+	struct hs { ethernet_t eth; }
+	parser P(packet_in pkt, out hs hdr) { state start { pkt.extract(hdr.eth); transition accept; } }
+	control C(inout hs hdr, inout standard_metadata_t sm) {
+	  action ok() { sm.egress_spec = 9w1; }
+	  action bad() { mark_to_drop(); }
+	  table allowed_src {
+	    key = { hdr.eth.s: exact; }
+	    actions = { ok; bad; }
+	    default_action = bad();
+	  }
+	  apply { allowed_src.apply(); }
+	}
+	control D(packet_out pkt, in hs hdr) { apply { pkt.emit(hdr.eth); } }
+	S(P(), C(), D()) main;`
+
+	// The router rewrites the source MAC to the original destination
+	// (macB), so outputs carry macB as source; allow exactly that.
+	spec := &TestSpec{
+		Name: "p4-entries",
+		Gen: GenSpec{Streams: []StreamSpec{{
+			Name: "probe", Template: goodFrame(26), Count: 5, RatePPS: 1e6,
+		}}},
+		Check: CheckSpec{
+			Rules:   []Rule{{Name: "classified", Stream: "probe", ExpectPort: -1}},
+			P4Check: ck,
+			P4CheckEntries: []dataplane.Entry{{
+				Table:  "allowed_src",
+				Keys:   []dataplane.KeyValue{{Value: bitfield.FromBytes(macB[:])}},
+				Action: "ok",
+			}},
+		},
+	}
+	ctl := Connect(newAgent(t, target.NewReference()))
+	defer ctl.Close()
+	rep, err := ctl.RunTest(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("classifier with entry should pass: %+v", rep.Rules)
+	}
+
+	// Without the entry, the classifier's default action drops -> fail.
+	spec.Check.P4CheckEntries = nil
+	rep, err = ctl.RunTest(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("classifier without entries should reject all outputs")
+	}
+}
+
+// TestCheckerBadP4Program ensures classifier compile errors surface.
+func TestCheckerBadP4Program(t *testing.T) {
+	_, err := NewChecker(CheckSpec{P4Check: "definitely not p4 {"})
+	if err == nil {
+		t.Fatal("bad classifier source should fail")
+	}
+}

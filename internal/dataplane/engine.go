@@ -1,0 +1,537 @@
+// Package dataplane executes compiled P4 programs (package ir): it parses
+// packets through the parse graph, applies match-action tables, and
+// deparses output packets.
+//
+// The Engine implements the P4₁₆ reference semantics exactly; hardware
+// targets (package target) compose Engine phases and may transform the IR
+// first to model compiler or architecture errata. An Engine is not safe
+// for concurrent use; the device model serializes packets through it.
+package dataplane
+
+import (
+	"fmt"
+
+	"netdebug/internal/bitfield"
+	"netdebug/internal/p4/ir"
+	"netdebug/internal/stats"
+)
+
+// Parser error codes stored in standard_metadata.parser_error.
+const (
+	ParseErrNone uint64 = iota
+	ParseErrReject
+	ParseErrPacketTooShort
+	ParseErrLoop
+)
+
+// Verdict is the parser outcome for one packet.
+type Verdict int
+
+// Parser verdicts.
+const (
+	VerdictAccept Verdict = iota
+	VerdictReject
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	if v == VerdictAccept {
+		return "accept"
+	}
+	return "reject"
+}
+
+// maxParserStates bounds parse-graph traversal so cyclic graphs terminate.
+const maxParserStates = 256
+
+// TableEvent records one table application, for traces and taps.
+type TableEvent struct {
+	Table  string
+	Hit    bool
+	Action string
+	// Keys holds the evaluated key values at apply time.
+	Keys []bitfield.Value
+}
+
+// Trace is the per-packet execution record — the "internal view" NetDebug's
+// checker and localizer consume.
+type Trace struct {
+	ParserPath  []string
+	ParserError uint64
+	Verdict     Verdict
+	Tables      []TableEvent
+	Dropped     bool
+	DropStage   string // pipeline element that dropped the packet
+}
+
+// Context is the per-packet execution state. Obtain one from
+// Engine.NewContext and reuse it across packets.
+type Context struct {
+	fields  [][]bitfield.Value
+	valid   []bool
+	locals  []bitfield.Value
+	args    [][]bitfield.Value // action argument stack
+	dropped bool
+	cursor  int // parse cursor in bits
+	packet  []byte
+	payload []byte
+	out     []byte
+	Trace   Trace
+	// CollectTrace enables per-packet trace recording.
+	CollectTrace bool
+}
+
+// Engine executes one compiled program.
+type Engine struct {
+	prog     *ir.Program
+	tables   map[string]*tableState
+	Counters *stats.Set
+}
+
+// New builds an engine for prog.
+func New(prog *ir.Program) *Engine {
+	e := &Engine{
+		prog:     prog,
+		tables:   make(map[string]*tableState),
+		Counters: stats.NewSet(),
+	}
+	for _, t := range prog.Tables() {
+		e.tables[t.Name] = newTableState(t)
+	}
+	return e
+}
+
+// Program returns the loaded program.
+func (e *Engine) Program() *ir.Program { return e.prog }
+
+// NewContext allocates a context sized for the program.
+func (e *Engine) NewContext() *Context {
+	ctx := &Context{}
+	ctx.fields = make([][]bitfield.Value, len(e.prog.Instances))
+	ctx.valid = make([]bool, len(e.prog.Instances))
+	for i, inst := range e.prog.Instances {
+		ctx.fields[i] = make([]bitfield.Value, len(inst.Type.Fields))
+	}
+	maxLocals := 0
+	for _, c := range e.prog.Controls {
+		if c.NumLocals > maxLocals {
+			maxLocals = c.NumLocals
+		}
+	}
+	ctx.locals = make([]bitfield.Value, maxLocals)
+	return ctx
+}
+
+// Reset prepares the context for a new packet.
+func (e *Engine) Reset(ctx *Context, pkt []byte, ingressPort uint64) {
+	for i, inst := range e.prog.Instances {
+		ctx.valid[i] = inst.Metadata
+		f := ctx.fields[i]
+		for j := range f {
+			f[j] = bitfield.New(0, inst.Type.Fields[j].Width)
+		}
+	}
+	for i := range ctx.locals {
+		ctx.locals[i] = bitfield.Value{}
+	}
+	ctx.args = ctx.args[:0]
+	ctx.dropped = false
+	ctx.cursor = 0
+	ctx.packet = pkt
+	ctx.payload = nil
+	ctx.out = ctx.out[:0]
+	ctx.Trace = Trace{}
+	if e.prog.StdMeta >= 0 {
+		ctx.fields[e.prog.StdMeta][ir.StdMetaIngressPort] = bitfield.New(ingressPort, 9)
+		ctx.fields[e.prog.StdMeta][ir.StdMetaPacketLength] = bitfield.New(uint64(len(pkt)), 32)
+	}
+}
+
+// Field returns the current value of an instance field.
+func (ctx *Context) Field(inst, field int) bitfield.Value { return ctx.fields[inst][field] }
+
+// SetField overrides an instance field (used by targets to model errata).
+func (ctx *Context) SetField(inst, field int, v bitfield.Value) { ctx.fields[inst][field] = v }
+
+// Valid reports header validity.
+func (ctx *Context) Valid(inst int) bool { return ctx.valid[inst] }
+
+// Dropped reports whether the packet was dropped.
+func (ctx *Context) Dropped() bool { return ctx.dropped }
+
+// MarkDropped forces the drop flag (used by targets).
+func (ctx *Context) MarkDropped(stage string) {
+	ctx.dropped = true
+	if ctx.CollectTrace && ctx.Trace.DropStage == "" {
+		ctx.Trace.DropStage = stage
+	}
+	ctx.Trace.Dropped = true
+}
+
+// EgressSpec returns standard_metadata.egress_spec.
+func (e *Engine) EgressSpec(ctx *Context) uint64 {
+	if e.prog.StdMeta < 0 {
+		return 0
+	}
+	return ctx.fields[e.prog.StdMeta][ir.StdMetaEgressSpec].Uint64()
+}
+
+// setParserError records the error code in standard_metadata.
+func (e *Engine) setParserError(ctx *Context, code uint64) {
+	ctx.Trace.ParserError = code
+	if e.prog.StdMeta >= 0 {
+		ctx.fields[e.prog.StdMeta][ir.StdMetaParserError] = bitfield.New(code, 8)
+	}
+}
+
+// Parse runs the parse graph over the packet in ctx. It returns the
+// verdict; reject semantics (drop) are applied by the caller so targets can
+// model errata.
+func (e *Engine) Parse(ctx *Context) Verdict {
+	state := e.prog.Parser.Start
+	steps := 0
+	for state >= 0 {
+		if steps++; steps > maxParserStates {
+			e.setParserError(ctx, ParseErrLoop)
+			e.Counters.Counter("parser.loop").Inc()
+			ctx.Trace.Verdict = VerdictReject
+			return VerdictReject
+		}
+		st := e.prog.Parser.States[state]
+		if ctx.CollectTrace {
+			ctx.Trace.ParserPath = append(ctx.Trace.ParserPath, st.Name)
+		}
+		e.Counters.Counter("parser.state." + st.Name).Inc()
+		for _, op := range st.Ops {
+			if !e.execParserOp(ctx, op) {
+				e.setParserError(ctx, ParseErrPacketTooShort)
+				e.Counters.Counter("parser.too_short").Inc()
+				ctx.Trace.Verdict = VerdictReject
+				return VerdictReject
+			}
+		}
+		state = e.nextState(ctx, st.Trans)
+	}
+	ctx.payload = ctx.packet[ctx.cursor/8:]
+	if state == ir.StateReject {
+		e.setParserError(ctx, ParseErrReject)
+		e.Counters.Counter("parser.reject").Inc()
+		ctx.Trace.Verdict = VerdictReject
+		return VerdictReject
+	}
+	e.Counters.Counter("parser.accept").Inc()
+	ctx.Trace.Verdict = VerdictAccept
+	return VerdictAccept
+}
+
+func (e *Engine) execParserOp(ctx *Context, op ir.Stmt) bool {
+	switch op := op.(type) {
+	case *ir.Extract:
+		inst := e.prog.Instances[op.Inst]
+		need := inst.Type.Bits
+		if ctx.cursor+need > len(ctx.packet)*8 {
+			return false
+		}
+		for j, f := range inst.Type.Fields {
+			ctx.fields[op.Inst][j] = bitfield.MustExtract(ctx.packet, ctx.cursor+f.Offset, f.Width)
+		}
+		ctx.valid[op.Inst] = true
+		ctx.cursor += need
+		return true
+	case *ir.AssignField:
+		ctx.fields[op.Inst][op.Field] = e.eval(ctx, op.RHS)
+		return true
+	default:
+		panic(fmt.Sprintf("dataplane: illegal parser op %T", op))
+	}
+}
+
+func (e *Engine) nextState(ctx *Context, tr ir.Transition) int {
+	if len(tr.Keys) == 0 {
+		return tr.Default
+	}
+	vals := make([]bitfield.Value, len(tr.Keys))
+	for i, k := range tr.Keys {
+		vals[i] = e.eval(ctx, k)
+	}
+	for _, c := range tr.Cases {
+		match := true
+		for i := range vals {
+			if !vals[i].MatchesMasked(c.Values[i], c.Masks[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return c.Next
+		}
+	}
+	return tr.Default
+}
+
+// RunPipeline executes every control in pipeline order.
+func (e *Engine) RunPipeline(ctx *Context) {
+	for _, c := range e.prog.Controls {
+		e.RunControl(ctx, c)
+	}
+}
+
+// RunControl executes one control's apply body.
+func (e *Engine) RunControl(ctx *Context, c *ir.Control) {
+	e.execStmts(ctx, c.Apply, c.Name)
+}
+
+// execStmts runs a statement list; it returns false when a Return was
+// executed (propagated to abort the enclosing body).
+func (e *Engine) execStmts(ctx *Context, stmts []ir.Stmt, stage string) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ir.AssignField:
+			ctx.fields[s.Inst][s.Field] = e.eval(ctx, s.RHS)
+		case *ir.AssignLocal:
+			ctx.locals[s.Idx] = e.eval(ctx, s.RHS)
+		case *ir.SetValid:
+			ctx.valid[s.Inst] = s.Valid
+		case *ir.MarkToDrop:
+			ctx.MarkDropped(stage)
+		case *ir.If:
+			branch := s.Else
+			if e.eval(ctx, s.Cond).Uint64() != 0 {
+				branch = s.Then
+			}
+			if !e.execStmts(ctx, branch, stage) {
+				return false
+			}
+		case *ir.ApplyTable:
+			e.applyTable(ctx, s.Table, stage)
+		case *ir.CallAction:
+			args := make([]bitfield.Value, len(s.Args))
+			for i, a := range s.Args {
+				args[i] = e.eval(ctx, a)
+			}
+			e.runAction(ctx, s.Action, args, stage)
+		case *ir.Return:
+			return false
+		default:
+			panic(fmt.Sprintf("dataplane: illegal control statement %T", s))
+		}
+	}
+	return true
+}
+
+func (e *Engine) applyTable(ctx *Context, t *ir.Table, stage string) {
+	ts := e.tables[t.Name]
+	vals := make([]bitfield.Value, len(t.Keys))
+	for i, k := range t.Keys {
+		vals[i] = e.eval(ctx, k.Expr)
+	}
+	be := ts.lookup(vals)
+	ev := TableEvent{Table: t.Name}
+	if ctx.CollectTrace {
+		ev.Keys = vals
+	}
+	if be != nil {
+		ev.Hit = true
+		ev.Action = be.action.Name
+		e.Counters.Counter("table." + t.Name + ".hit").Inc()
+		e.runAction(ctx, be.action, be.Args, stage)
+	} else {
+		ev.Action = t.Default.Action.Name
+		e.Counters.Counter("table." + t.Name + ".miss").Inc()
+		e.runAction(ctx, t.Default.Action, t.Default.Args, stage)
+	}
+	if ctx.CollectTrace {
+		ctx.Trace.Tables = append(ctx.Trace.Tables, ev)
+	}
+}
+
+func (e *Engine) runAction(ctx *Context, a *ir.Action, args []bitfield.Value, stage string) {
+	ctx.args = append(ctx.args, args)
+	e.execStmts(ctx, a.Body, stage)
+	ctx.args = ctx.args[:len(ctx.args)-1]
+}
+
+// Deparse reassembles the output packet: valid headers in emit order, then
+// the unparsed payload.
+func (e *Engine) Deparse(ctx *Context) []byte {
+	ctx.out = ctx.out[:0]
+	e.execDeparse(ctx, e.prog.Deparser.Stmts)
+	ctx.out = append(ctx.out, ctx.payload...)
+	return ctx.out
+}
+
+func (e *Engine) execDeparse(ctx *Context, stmts []ir.Stmt) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ir.Emit:
+			if !ctx.valid[s.Inst] {
+				continue
+			}
+			inst := e.prog.Instances[s.Inst]
+			start := len(ctx.out)
+			ctx.out = append(ctx.out, make([]byte, (inst.Type.Bits+7)/8)...)
+			buf := ctx.out[start:]
+			for j, f := range inst.Type.Fields {
+				bitfield.MustInject(buf, f.Offset, f.Width, ctx.fields[s.Inst][j])
+			}
+			e.Counters.Counter("deparser.emit." + inst.Name).Inc()
+		case *ir.If:
+			branch := s.Else
+			if e.eval(ctx, s.Cond).Uint64() != 0 {
+				branch = s.Then
+			}
+			e.execDeparse(ctx, branch)
+		default:
+			panic(fmt.Sprintf("dataplane: illegal deparser statement %T", s))
+		}
+	}
+}
+
+// eval evaluates an IR expression against the context.
+func (e *Engine) eval(ctx *Context, x ir.Expr) bitfield.Value {
+	switch x := x.(type) {
+	case ir.Const:
+		return x.Val
+	case ir.FieldRef:
+		return ctx.fields[x.Inst][x.Field]
+	case ir.LocalRef:
+		return ctx.locals[x.Idx]
+	case ir.ParamRef:
+		return ctx.args[len(ctx.args)-1][x.Idx]
+	case ir.IsValid:
+		if ctx.valid[x.Inst] {
+			return bitfield.New(1, 1)
+		}
+		return bitfield.New(0, 1)
+	case ir.Unary:
+		v := e.eval(ctx, x.X)
+		switch x.Op {
+		case ir.OpNot:
+			if v.IsZero() {
+				return bitfield.New(1, 1)
+			}
+			return bitfield.New(0, 1)
+		case ir.OpBitNot:
+			return v.Not()
+		case ir.OpNeg:
+			return bitfield.New(0, v.Width()).Sub(v)
+		}
+	case ir.Binary:
+		return e.evalBinary(ctx, x)
+	case ir.Ternary:
+		if e.eval(ctx, x.Cond).Uint64() != 0 {
+			return e.eval(ctx, x.A)
+		}
+		return e.eval(ctx, x.B)
+	}
+	panic(fmt.Sprintf("dataplane: illegal expression %T", x))
+}
+
+func boolVal(b bool) bitfield.Value {
+	if b {
+		return bitfield.New(1, 1)
+	}
+	return bitfield.New(0, 1)
+}
+
+func (e *Engine) evalBinary(ctx *Context, x ir.Binary) bitfield.Value {
+	// Short-circuit logical operators.
+	switch x.Op {
+	case ir.OpLAnd:
+		if e.eval(ctx, x.X).IsZero() {
+			return bitfield.New(0, 1)
+		}
+		return boolVal(!e.eval(ctx, x.Y).IsZero())
+	case ir.OpLOr:
+		if !e.eval(ctx, x.X).IsZero() {
+			return bitfield.New(1, 1)
+		}
+		return boolVal(!e.eval(ctx, x.Y).IsZero())
+	}
+	a := e.eval(ctx, x.X)
+	b := e.eval(ctx, x.Y)
+	switch x.Op {
+	case ir.OpAdd:
+		return a.Add(b)
+	case ir.OpSub:
+		return a.Sub(b)
+	case ir.OpMul:
+		return a.Mul(b)
+	case ir.OpAnd:
+		return a.And(b)
+	case ir.OpOr:
+		return a.Or(b)
+	case ir.OpXor:
+		return a.Xor(b)
+	case ir.OpShl:
+		return a.Shl(int(b.Uint64()))
+	case ir.OpShr:
+		return a.Shr(int(b.Uint64()))
+	case ir.OpEq:
+		return boolVal(a.Equal(b))
+	case ir.OpNeq:
+		return boolVal(!a.Equal(b))
+	case ir.OpLt:
+		return boolVal(a.Cmp(b) < 0)
+	case ir.OpLe:
+		return boolVal(a.Cmp(b) <= 0)
+	case ir.OpGt:
+		return boolVal(a.Cmp(b) > 0)
+	case ir.OpGe:
+		return boolVal(a.Cmp(b) >= 0)
+	}
+	panic(fmt.Sprintf("dataplane: illegal binary op %v", x.Op))
+}
+
+// InstallEntry validates and installs a table entry.
+func (e *Engine) InstallEntry(entry Entry) error {
+	ts, ok := e.tables[entry.Table]
+	if !ok {
+		return fmt.Errorf("dataplane: no table %q", entry.Table)
+	}
+	var action *ir.Action
+	for _, a := range ts.def.Actions {
+		if a.Name == entry.Action {
+			action = a
+			break
+		}
+	}
+	if action == nil {
+		return fmt.Errorf("dataplane: table %q does not allow action %q", entry.Table, entry.Action)
+	}
+	return ts.install(entry, action)
+}
+
+// ClearTable removes all entries from a table.
+func (e *Engine) ClearTable(name string) error {
+	ts, ok := e.tables[name]
+	if !ok {
+		return fmt.Errorf("dataplane: no table %q", name)
+	}
+	ts.clear()
+	return nil
+}
+
+// TableCount returns the number of installed entries.
+func (e *Engine) TableCount(name string) int {
+	if ts, ok := e.tables[name]; ok {
+		return ts.count
+	}
+	return 0
+}
+
+// Process runs the full reference pipeline: parse (reject drops), controls,
+// deparse. It returns the output packet (nil if dropped) and the egress
+// port from standard_metadata.egress_spec.
+func (e *Engine) Process(ctx *Context, pkt []byte, ingressPort uint64) (out []byte, egress uint64) {
+	e.Reset(ctx, pkt, ingressPort)
+	if e.Parse(ctx) == VerdictReject {
+		ctx.MarkDropped("parser")
+		return nil, 0
+	}
+	e.RunPipeline(ctx)
+	if ctx.dropped {
+		return nil, 0
+	}
+	return e.Deparse(ctx), e.EgressSpec(ctx)
+}

@@ -1,0 +1,281 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+
+	"netdebug/internal/bitfield"
+	"netdebug/internal/p4/ir"
+)
+
+// KeyValue is one key component of a table entry.
+type KeyValue struct {
+	Value bitfield.Value
+	// PrefixLen applies to lpm keys: number of leading bits that must
+	// match. For exact keys it is ignored.
+	PrefixLen int
+	// Mask applies to ternary keys. A zero-width mask means exact.
+	Mask bitfield.Value
+}
+
+// Entry is one table entry as installed by the control plane.
+type Entry struct {
+	Table    string
+	Keys     []KeyValue
+	Action   string
+	Args     []bitfield.Value
+	Priority int // ternary only; higher wins
+}
+
+// tableKind classifies the lookup structure used for a table.
+type tableKind int
+
+const (
+	kindExact tableKind = iota
+	kindLPM
+	kindTernary
+)
+
+// boundEntry is an entry resolved against the program.
+type boundEntry struct {
+	Entry
+	action *ir.Action
+	// order is the install sequence number, used to break priority ties
+	// deterministically (first installed wins).
+	order int
+}
+
+// tableState is the runtime state of one table.
+type tableState struct {
+	def     *ir.Table
+	kind    tableKind
+	lpmIdx  int // index of the lpm key within def.Keys
+	exact   map[string]*boundEntry
+	tries   map[string]*lpmTrie // keyed by the exact portion of the key
+	ternary []*boundEntry       // sorted by (priority desc, order asc)
+	count   int
+	nextOrd int
+}
+
+func newTableState(def *ir.Table) *tableState {
+	ts := &tableState{def: def, lpmIdx: -1}
+	for i, k := range def.Keys {
+		switch k.Kind {
+		case ir.MatchTernary:
+			ts.kind = kindTernary
+		case ir.MatchLPM:
+			if ts.kind != kindTernary {
+				ts.kind = kindLPM
+			}
+			ts.lpmIdx = i
+		}
+	}
+	switch ts.kind {
+	case kindExact:
+		ts.exact = make(map[string]*boundEntry)
+	case kindLPM:
+		ts.tries = make(map[string]*lpmTrie)
+	}
+	return ts
+}
+
+// exactKeyBytes concatenates the byte representation of each non-lpm key.
+func (ts *tableState) exactKeyBytes(vals []bitfield.Value, skip int) string {
+	var buf []byte
+	for i, v := range vals {
+		if i == skip {
+			continue
+		}
+		buf = append(buf, v.Bytes()...)
+	}
+	return string(buf)
+}
+
+// install validates and inserts an entry.
+func (ts *tableState) install(e Entry, action *ir.Action) error {
+	if len(e.Keys) != len(ts.def.Keys) {
+		return fmt.Errorf("table %s: entry has %d keys, table has %d",
+			ts.def.Name, len(e.Keys), len(ts.def.Keys))
+	}
+	if ts.count >= ts.def.Size {
+		return &CapacityError{Table: ts.def.Name, Size: ts.def.Size}
+	}
+	for i, k := range e.Keys {
+		w := ts.def.Keys[i].Expr.Width()
+		if k.Value.Width() != w {
+			return fmt.Errorf("table %s key %d: width %d, want %d",
+				ts.def.Name, i, k.Value.Width(), w)
+		}
+		if ts.def.Keys[i].Kind == ir.MatchLPM && (k.PrefixLen < 0 || k.PrefixLen > w) {
+			return fmt.Errorf("table %s key %d: prefix length %d outside [0,%d]",
+				ts.def.Name, i, k.PrefixLen, w)
+		}
+	}
+	if len(e.Args) != len(action.Params) {
+		return fmt.Errorf("table %s: action %s takes %d args, entry has %d",
+			ts.def.Name, action.Name, len(action.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		if a.Width() != action.Params[i].Width {
+			return fmt.Errorf("table %s: action %s arg %d width %d, want %d",
+				ts.def.Name, action.Name, i, a.Width(), action.Params[i].Width)
+		}
+	}
+	be := &boundEntry{Entry: e, action: action, order: ts.nextOrd}
+	ts.nextOrd++
+	switch ts.kind {
+	case kindExact:
+		vals := make([]bitfield.Value, len(e.Keys))
+		for i := range e.Keys {
+			vals[i] = e.Keys[i].Value
+		}
+		k := ts.exactKeyBytes(vals, -1)
+		if _, dup := ts.exact[k]; dup {
+			return fmt.Errorf("table %s: duplicate entry", ts.def.Name)
+		}
+		ts.exact[k] = be
+	case kindLPM:
+		vals := make([]bitfield.Value, len(e.Keys))
+		for i := range e.Keys {
+			vals[i] = e.Keys[i].Value
+		}
+		group := ts.exactKeyBytes(vals, ts.lpmIdx)
+		trie := ts.tries[group]
+		if trie == nil {
+			trie = &lpmTrie{}
+			ts.tries[group] = trie
+		}
+		lk := e.Keys[ts.lpmIdx]
+		if !trie.insert(lk.Value, lk.PrefixLen, be) {
+			return fmt.Errorf("table %s: duplicate prefix %s/%d", ts.def.Name, lk.Value, lk.PrefixLen)
+		}
+	case kindTernary:
+		ts.ternary = append(ts.ternary, be)
+		sort.SliceStable(ts.ternary, func(i, j int) bool {
+			if ts.ternary[i].Priority != ts.ternary[j].Priority {
+				return ts.ternary[i].Priority > ts.ternary[j].Priority
+			}
+			return ts.ternary[i].order < ts.ternary[j].order
+		})
+	}
+	ts.count++
+	return nil
+}
+
+// lookup matches the evaluated key values against installed entries.
+func (ts *tableState) lookup(vals []bitfield.Value) *boundEntry {
+	switch ts.kind {
+	case kindExact:
+		return ts.exact[ts.exactKeyBytes(vals, -1)]
+	case kindLPM:
+		trie := ts.tries[ts.exactKeyBytes(vals, ts.lpmIdx)]
+		if trie == nil {
+			return nil
+		}
+		return trie.lookup(vals[ts.lpmIdx])
+	case kindTernary:
+		for _, be := range ts.ternary {
+			if ts.ternaryMatches(be, vals) {
+				return be
+			}
+		}
+	}
+	return nil
+}
+
+func (ts *tableState) ternaryMatches(be *boundEntry, vals []bitfield.Value) bool {
+	for i, kv := range be.Keys {
+		switch ts.def.Keys[i].Kind {
+		case ir.MatchExact:
+			if !vals[i].Equal(kv.Value) {
+				return false
+			}
+		case ir.MatchLPM:
+			w := vals[i].Width()
+			mask := prefixMask(w, kv.PrefixLen)
+			if !vals[i].MatchesMasked(kv.Value, mask) {
+				return false
+			}
+		case ir.MatchTernary:
+			mask := kv.Mask
+			if mask.Width() == 0 {
+				mask = bitfield.Mask(vals[i].Width())
+			}
+			if !vals[i].MatchesMasked(kv.Value, mask) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// clear removes every entry.
+func (ts *tableState) clear() {
+	switch ts.kind {
+	case kindExact:
+		ts.exact = make(map[string]*boundEntry)
+	case kindLPM:
+		ts.tries = make(map[string]*lpmTrie)
+	case kindTernary:
+		ts.ternary = nil
+	}
+	ts.count = 0
+}
+
+// CapacityError reports an install into a full table — the signal the
+// architecture-check use case looks for.
+type CapacityError struct {
+	Table string
+	Size  int
+}
+
+func (e *CapacityError) Error() string {
+	return fmt.Sprintf("table %s is full (size %d)", e.Table, e.Size)
+}
+
+// prefixMask returns a w-bit mask with the top n bits set.
+func prefixMask(w, n int) bitfield.Value {
+	return bitfield.Mask(w).Shl(w - n).WithWidth(w)
+}
+
+// lpmTrie is a binary trie over key bits, most significant bit first.
+type lpmTrie struct {
+	root trieNode
+}
+
+type trieNode struct {
+	children [2]*trieNode
+	entry    *boundEntry
+}
+
+// insert adds a prefix; it returns false on duplicates.
+func (t *lpmTrie) insert(val bitfield.Value, plen int, be *boundEntry) bool {
+	n := &t.root
+	w := val.Width()
+	for i := 0; i < plen; i++ {
+		b := val.Bit(w - 1 - i)
+		if n.children[b] == nil {
+			n.children[b] = &trieNode{}
+		}
+		n = n.children[b]
+	}
+	if n.entry != nil {
+		return false
+	}
+	n.entry = be
+	return true
+}
+
+// lookup returns the longest-prefix match for val, or nil.
+func (t *lpmTrie) lookup(val bitfield.Value) *boundEntry {
+	n := &t.root
+	best := n.entry
+	w := val.Width()
+	for i := 0; i < w && n != nil; i++ {
+		n = n.children[val.Bit(w-1-i)]
+		if n != nil && n.entry != nil {
+			best = n.entry
+		}
+	}
+	return best
+}

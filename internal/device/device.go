@@ -1,0 +1,396 @@
+// Package device models the network platform NetDebug is deployed inside:
+// a NetFPGA-SUME-like device with four 10 GbE ports, MAC/interface logic,
+// an output-queueing stage, and a programmable data plane (package target)
+// in the middle.
+//
+// The simulation is synchronous with a virtual clock: every frame carries a
+// timestamp, serialization delays follow line rate, and the pipeline delay
+// comes from the target's latency model. This makes every measurement
+// (throughput, packet rate, latency) exactly reproducible.
+//
+// The device exposes two attachment levels, which is the heart of the
+// paper's comparison:
+//
+//   - External ports (SendExternal/Captures): what an external network
+//     tester can reach. Frames pass through the MAC layer, where
+//     interface-level faults live, and through the output queues.
+//   - Internal taps (InjectInternal, tap callbacks, Status): what NetDebug's
+//     in-device generator and checker reach — injection directly into the
+//     data plane, observation before the MACs, and internal status
+//     registers.
+package device
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"netdebug/internal/stats"
+	"netdebug/internal/target"
+)
+
+// Config sizes the device.
+type Config struct {
+	// NumPorts is the number of external ports (default 4, like SUME).
+	NumPorts int
+	// PortSpeedBps is the line rate per port (default 10e9).
+	PortSpeedBps float64
+	// QueueDepth is the per-port output queue capacity in frames
+	// (default 128).
+	QueueDepth int
+	// Target is the loaded data plane under test.
+	Target target.Target
+}
+
+func (c *Config) fill() {
+	if c.NumPorts == 0 {
+		c.NumPorts = 4
+	}
+	if c.PortSpeedBps == 0 {
+		c.PortSpeedBps = 10e9
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 128
+	}
+}
+
+// TapPoint identifies an internal observation point.
+type TapPoint int
+
+// Tap points, in packet order.
+const (
+	TapMACIn TapPoint = iota
+	TapDataplaneIn
+	TapDataplaneOut
+	TapMACOut
+)
+
+// String names the tap point.
+func (t TapPoint) String() string {
+	switch t {
+	case TapMACIn:
+		return "mac-in"
+	case TapDataplaneIn:
+		return "dataplane-in"
+	case TapDataplaneOut:
+		return "dataplane-out"
+	case TapMACOut:
+		return "mac-out"
+	}
+	return fmt.Sprintf("tap(%d)", int(t))
+}
+
+// TapEvent is delivered to tap callbacks.
+type TapEvent struct {
+	Point TapPoint
+	Port  int
+	Data  []byte
+	At    time.Duration
+	// Result carries the data-plane execution record for TapDataplaneOut
+	// events (including drops, which produce a TapDataplaneOut event with
+	// nil Data).
+	Result *target.Result
+}
+
+// TapFunc observes packets at a tap point. Callbacks run synchronously on
+// the simulation path and must not retain Data.
+type TapFunc func(TapEvent)
+
+// CapturedFrame is a frame seen leaving an external port.
+type CapturedFrame struct {
+	Data []byte
+	At   time.Duration
+}
+
+// FaultKind enumerates injectable hardware faults.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultPortDown takes the port's link down: all RX and TX on the port
+	// is lost silently.
+	FaultPortDown FaultKind = iota
+	// FaultBitFlip corrupts one random bit per arriving frame at the MAC,
+	// before the data plane sees it.
+	FaultBitFlip
+	// FaultQueueStuck freezes the port's output queue: frames enqueue
+	// until the queue fills, then tail-drop.
+	FaultQueueStuck
+)
+
+// String names the fault.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultPortDown:
+		return "port-down"
+	case FaultBitFlip:
+		return "bit-flip"
+	case FaultQueueStuck:
+		return "queue-stuck"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Fault is one injected hardware fault.
+type Fault struct {
+	Kind FaultKind
+	Port int
+	Seed int64 // for FaultBitFlip
+}
+
+type portState struct {
+	up         bool
+	bitFlip    *rand.Rand
+	queueStuck bool
+	// nextTxFree is when the TX line finishes its current frame.
+	nextTxFree time.Duration
+	// queued is the current output queue occupancy in frames.
+	queued   int
+	captures []CapturedFrame
+}
+
+// Device is one simulated network platform.
+type Device struct {
+	cfg      Config
+	now      time.Duration
+	ports    []*portState
+	taps     map[TapPoint][]TapFunc
+	Counters *stats.Set
+}
+
+// New boots a device around the given (already loaded) target.
+func New(cfg Config) (*Device, error) {
+	cfg.fill()
+	if cfg.Target == nil {
+		return nil, fmt.Errorf("device: config has no target")
+	}
+	if cfg.Target.Program() == nil {
+		return nil, fmt.Errorf("device: target has no loaded program")
+	}
+	d := &Device{
+		cfg:      cfg,
+		taps:     make(map[TapPoint][]TapFunc),
+		Counters: stats.NewSet(),
+	}
+	for i := 0; i < cfg.NumPorts; i++ {
+		d.ports = append(d.ports, &portState{up: true})
+	}
+	return d, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Target returns the data plane under test.
+func (d *Device) Target() target.Target { return d.cfg.Target }
+
+// Now returns the current virtual time.
+func (d *Device) Now() time.Duration { return d.now }
+
+// AdvanceTo moves the virtual clock forward (it never moves backwards).
+func (d *Device) AdvanceTo(t time.Duration) {
+	if t > d.now {
+		d.now = t
+	}
+}
+
+// Tap registers a callback at a tap point. Taps are internal: only
+// NetDebug-style in-device tooling can install them.
+func (d *Device) Tap(p TapPoint, fn TapFunc) {
+	d.taps[p] = append(d.taps[p], fn)
+}
+
+func (d *Device) fire(ev TapEvent) {
+	for _, fn := range d.taps[ev.Point] {
+		fn(ev)
+	}
+}
+
+// InjectFault applies a hardware fault.
+func (d *Device) InjectFault(f Fault) error {
+	if f.Port < 0 || f.Port >= len(d.ports) {
+		return fmt.Errorf("device: no port %d", f.Port)
+	}
+	p := d.ports[f.Port]
+	switch f.Kind {
+	case FaultPortDown:
+		p.up = false
+	case FaultBitFlip:
+		p.bitFlip = rand.New(rand.NewSource(f.Seed))
+	case FaultQueueStuck:
+		p.queueStuck = true
+	default:
+		return fmt.Errorf("device: unknown fault %v", f.Kind)
+	}
+	d.Counters.Counter("faults.injected").Inc()
+	return nil
+}
+
+// ClearFaults restores healthy hardware.
+func (d *Device) ClearFaults() {
+	for _, p := range d.ports {
+		p.up = true
+		p.bitFlip = nil
+		p.queueStuck = false
+		p.queued = 0
+	}
+}
+
+// wireTime is the serialization delay of an n-byte frame at line rate,
+// including the 20-byte preamble+IFG overhead.
+func (d *Device) wireTime(n int) time.Duration {
+	bits := float64(n+20) * 8
+	return time.Duration(bits / d.cfg.PortSpeedBps * 1e9)
+}
+
+// SendExternal delivers a frame to an external port at virtual time at,
+// exactly as a connected cable would. The frame traverses the MAC (where
+// interface faults apply), the data plane, and the output queues.
+func (d *Device) SendExternal(port int, frame []byte, at time.Duration) error {
+	if port < 0 || port >= len(d.ports) {
+		return fmt.Errorf("device: no port %d", port)
+	}
+	d.AdvanceTo(at)
+	p := d.ports[port]
+	d.Counters.Counter(fmt.Sprintf("port%d.rx.frames", port)).Inc()
+	if !p.up {
+		d.Counters.Counter(fmt.Sprintf("port%d.rx.link_down", port)).Inc()
+		return nil // silently lost, as on real hardware
+	}
+	data := frame
+	if p.bitFlip != nil && len(frame) > 0 {
+		data = append([]byte(nil), frame...)
+		bit := p.bitFlip.Intn(len(data) * 8)
+		data[bit/8] ^= 1 << uint(7-bit%8)
+		d.Counters.Counter(fmt.Sprintf("port%d.rx.bit_flips", port)).Inc()
+	}
+	rxDone := at + d.wireTime(len(frame))
+	d.fire(TapEvent{Point: TapMACIn, Port: port, Data: data, At: rxDone})
+	d.processAndQueue(data, uint64(port), rxDone, true)
+	return nil
+}
+
+// InjectInternal pushes a frame directly into the data plane under test,
+// bypassing the MACs — the NetDebug generator's attachment point. The
+// returned result carries the full internal trace.
+func (d *Device) InjectInternal(frame []byte, ingressPort uint64, at time.Duration, trace bool) target.Result {
+	d.AdvanceTo(at)
+	d.Counters.Counter("netdebug.injected").Inc()
+	return d.process(frame, ingressPort, at, trace)
+}
+
+// process runs the data plane and fires dataplane taps; it returns the
+// result without queueing outputs.
+func (d *Device) process(frame []byte, ingressPort uint64, at time.Duration, trace bool) target.Result {
+	d.fire(TapEvent{Point: TapDataplaneIn, Port: int(ingressPort), Data: frame, At: at})
+	res := d.cfg.Target.Process(frame, ingressPort, trace)
+	done := at + res.Latency
+	if res.Dropped() {
+		d.Counters.Counter("dataplane.dropped").Inc()
+		d.fire(TapEvent{Point: TapDataplaneOut, Port: -1, Data: nil, At: done, Result: &res})
+		return res
+	}
+	for _, out := range res.Outputs {
+		d.fire(TapEvent{Point: TapDataplaneOut, Port: int(out.Port), Data: out.Data, At: done, Result: &res})
+	}
+	return res
+}
+
+// processAndQueue runs the data plane and forwards outputs through the
+// output queues to the external ports.
+func (d *Device) processAndQueue(frame []byte, ingressPort uint64, at time.Duration, trace bool) {
+	res := d.process(frame, ingressPort, at, trace)
+	done := at + res.Latency
+	for _, out := range res.Outputs {
+		d.enqueue(int(out.Port), out.Data, done)
+	}
+}
+
+// enqueue models the output queue and TX serialization of one port.
+func (d *Device) enqueue(port int, data []byte, ready time.Duration) {
+	if port < 0 || port >= len(d.ports) {
+		d.Counters.Counter("tx.bad_port").Inc()
+		return
+	}
+	p := d.ports[port]
+	if !p.up {
+		d.Counters.Counter(fmt.Sprintf("port%d.tx.link_down", port)).Inc()
+		return
+	}
+	if p.queueStuck {
+		if p.queued < d.cfg.QueueDepth {
+			p.queued++ // enqueued, never drained
+		} else {
+			d.Counters.Counter(fmt.Sprintf("port%d.tx.queue_drops", port)).Inc()
+		}
+		return
+	}
+	// Queue occupancy: frames waiting for the TX line. If the backlog in
+	// flight exceeds the queue depth, tail-drop.
+	txStart := p.nextTxFree
+	if ready > txStart {
+		txStart = ready
+	}
+	wire := d.wireTime(len(data))
+	backlog := int((txStart - ready) / wire)
+	if wire > 0 && backlog >= d.cfg.QueueDepth {
+		d.Counters.Counter(fmt.Sprintf("port%d.tx.queue_drops", port)).Inc()
+		return
+	}
+	txDone := txStart + wire
+	p.nextTxFree = txDone
+	d.AdvanceTo(txDone)
+	d.Counters.Counter(fmt.Sprintf("port%d.tx.frames", port)).Inc()
+	d.fire(TapEvent{Point: TapMACOut, Port: port, Data: data, At: txDone})
+	p.captures = append(p.captures, CapturedFrame{
+		Data: append([]byte(nil), data...),
+		At:   txDone,
+	})
+}
+
+// Captures drains and returns the frames transmitted on a port since the
+// last call — what an external tester's capture port sees.
+func (d *Device) Captures(port int) []CapturedFrame {
+	if port < 0 || port >= len(d.ports) {
+		return nil
+	}
+	p := d.ports[port]
+	out := p.captures
+	p.captures = nil
+	return out
+}
+
+// QueueOccupancy returns the stuck-queue depth of a port (nonzero only
+// under FaultQueueStuck).
+func (d *Device) QueueOccupancy(port int) int {
+	if port < 0 || port >= len(d.ports) {
+		return 0
+	}
+	return d.ports[port].queued
+}
+
+// LinkUp reports port link state.
+func (d *Device) LinkUp(port int) bool {
+	if port < 0 || port >= len(d.ports) {
+		return false
+	}
+	return d.ports[port].up
+}
+
+// Status merges device counters with the target's internal status
+// registers — the view available over NetDebug's dedicated interface.
+func (d *Device) Status() map[string]uint64 {
+	out := d.Counters.Values()
+	for k, v := range d.cfg.Target.Status() {
+		out["target."+k] = v
+	}
+	for i, p := range d.ports {
+		out[fmt.Sprintf("port%d.queue_occupancy", i)] = uint64(p.queued)
+		if p.up {
+			out[fmt.Sprintf("port%d.link_up", i)] = 1
+		} else {
+			out[fmt.Sprintf("port%d.link_up", i)] = 0
+		}
+	}
+	return out
+}

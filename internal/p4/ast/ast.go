@@ -1,0 +1,440 @@
+// Package ast defines the abstract syntax tree for the NetDebug P4 subset.
+//
+// The tree is produced by package parser and consumed by the type checker
+// (package types) and the IR lowering pass (package compile). Every node
+// carries the source position of its first token for diagnostics.
+package ast
+
+import (
+	"math/big"
+
+	"netdebug/internal/p4/token"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Decls []Decl
+}
+
+// Decl is a top-level declaration.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// TypeRef is a syntactic type: bit<N>, bool, or a named type.
+type TypeRef struct {
+	P     token.Pos
+	Name  string // "bit", "bool", or type name
+	Width int    // for bit<N>
+}
+
+// Pos implements Node.
+func (t *TypeRef) Pos() token.Pos { return t.P }
+
+// IsBit reports whether the reference is a bit<N> type.
+func (t *TypeRef) IsBit() bool { return t.Name == "bit" }
+
+// Field is one member of a header or struct.
+type Field struct {
+	P    token.Pos
+	Type *TypeRef
+	Name string
+}
+
+// Pos implements Node.
+func (f *Field) Pos() token.Pos { return f.P }
+
+// HeaderDecl is `header Name { fields }`.
+type HeaderDecl struct {
+	P      token.Pos
+	Name   string
+	Fields []*Field
+}
+
+func (d *HeaderDecl) Pos() token.Pos { return d.P }
+func (d *HeaderDecl) declNode()      {}
+
+// StructDecl is `struct Name { fields }`.
+type StructDecl struct {
+	P      token.Pos
+	Name   string
+	Fields []*Field
+}
+
+func (d *StructDecl) Pos() token.Pos { return d.P }
+func (d *StructDecl) declNode()      {}
+
+// ConstDecl is `const type Name = expr;`.
+type ConstDecl struct {
+	P     token.Pos
+	Type  *TypeRef
+	Name  string
+	Value Expr
+}
+
+func (d *ConstDecl) Pos() token.Pos { return d.P }
+func (d *ConstDecl) declNode()      {}
+
+// TypedefDecl is `typedef type Name;`.
+type TypedefDecl struct {
+	P    token.Pos
+	Type *TypeRef
+	Name string
+}
+
+func (d *TypedefDecl) Pos() token.Pos { return d.P }
+func (d *TypedefDecl) declNode()      {}
+
+// Direction of a parameter.
+type Direction int
+
+// Parameter directions.
+const (
+	DirNone Direction = iota
+	DirIn
+	DirOut
+	DirInOut
+)
+
+// String renders the direction keyword.
+func (d Direction) String() string {
+	switch d {
+	case DirIn:
+		return "in"
+	case DirOut:
+		return "out"
+	case DirInOut:
+		return "inout"
+	}
+	return ""
+}
+
+// Param is a parser/control/action parameter.
+type Param struct {
+	P    token.Pos
+	Dir  Direction
+	Type *TypeRef
+	Name string
+}
+
+// Pos implements Node.
+func (p *Param) Pos() token.Pos { return p.P }
+
+// ParserDecl is a parser with states.
+type ParserDecl struct {
+	P      token.Pos
+	Name   string
+	Params []*Param
+	States []*StateDecl
+}
+
+func (d *ParserDecl) Pos() token.Pos { return d.P }
+func (d *ParserDecl) declNode()      {}
+
+// StateDecl is one parser state.
+type StateDecl struct {
+	P          token.Pos
+	Name       string
+	Body       []Stmt
+	Transition *Transition
+}
+
+// Pos implements Node.
+func (d *StateDecl) Pos() token.Pos { return d.P }
+
+// Transition ends a parser state. Either Next is set (direct transition) or
+// Select is set.
+type Transition struct {
+	P      token.Pos
+	Next   string // direct transition target ("accept"/"reject"/state)
+	Select *SelectExpr
+}
+
+// Pos implements Node.
+func (t *Transition) Pos() token.Pos { return t.P }
+
+// SelectExpr is `select(keys...) { cases }`.
+type SelectExpr struct {
+	P     token.Pos
+	Keys  []Expr
+	Cases []*SelectCase
+}
+
+// Pos implements Node.
+func (s *SelectExpr) Pos() token.Pos { return s.P }
+
+// SelectCase is one arm of a select. Keysets match positionally against the
+// select keys; Default marks the `default`/`_` arm.
+type SelectCase struct {
+	P       token.Pos
+	Default bool
+	Keysets []*Keyset
+	Next    string
+}
+
+// Pos implements Node.
+func (c *SelectCase) Pos() token.Pos { return c.P }
+
+// Keyset is a value, optionally with a &&& mask, or the wildcard `_`.
+type Keyset struct {
+	P        token.Pos
+	Wildcard bool
+	Value    Expr
+	Mask     Expr // nil when exact
+}
+
+// Pos implements Node.
+func (k *Keyset) Pos() token.Pos { return k.P }
+
+// ControlDecl is a control block with actions, tables, and an apply body.
+type ControlDecl struct {
+	P       token.Pos
+	Name    string
+	Params  []*Param
+	Actions []*ActionDecl
+	Tables  []*TableDecl
+	Locals  []*VarDecl
+	Apply   *BlockStmt
+}
+
+func (d *ControlDecl) Pos() token.Pos { return d.P }
+func (d *ControlDecl) declNode()      {}
+
+// ActionDecl is `action name(params) { body }`.
+type ActionDecl struct {
+	P      token.Pos
+	Name   string
+	Params []*Param
+	Body   *BlockStmt
+}
+
+// Pos implements Node.
+func (d *ActionDecl) Pos() token.Pos { return d.P }
+
+// MatchKind is how a table key matches.
+type MatchKind int
+
+// Match kinds.
+const (
+	MatchExact MatchKind = iota
+	MatchLPM
+	MatchTernary
+)
+
+// String renders the P4 keyword.
+func (m MatchKind) String() string {
+	switch m {
+	case MatchExact:
+		return "exact"
+	case MatchLPM:
+		return "lpm"
+	case MatchTernary:
+		return "ternary"
+	}
+	return "match?"
+}
+
+// TableKey is one `expr : match_kind;` entry.
+type TableKey struct {
+	P    token.Pos
+	Expr Expr
+	Kind MatchKind
+}
+
+// Pos implements Node.
+func (k *TableKey) Pos() token.Pos { return k.P }
+
+// ActionRef names an action in a table's actions list or default_action,
+// with optional bound arguments (default_action only).
+type ActionRef struct {
+	P    token.Pos
+	Name string
+	Args []Expr
+}
+
+// Pos implements Node.
+func (a *ActionRef) Pos() token.Pos { return a.P }
+
+// TableDecl is a match-action table.
+type TableDecl struct {
+	P             token.Pos
+	Name          string
+	Keys          []*TableKey
+	Actions       []*ActionRef
+	DefaultAction *ActionRef
+	Size          int
+}
+
+// Pos implements Node.
+func (d *TableDecl) Pos() token.Pos { return d.P }
+
+// InstantiationDecl is `Pkg(P(), I(), D()) main;` — the pipeline wiring.
+type InstantiationDecl struct {
+	P       token.Pos
+	Package string
+	Args    []string // names of the instantiated parser/controls
+	Name    string   // usually "main"
+}
+
+func (d *InstantiationDecl) Pos() token.Pos { return d.P }
+func (d *InstantiationDecl) declNode()      {}
+
+// Stmt is a statement.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// BlockStmt is `{ stmts }`.
+type BlockStmt struct {
+	P     token.Pos
+	Stmts []Stmt
+}
+
+func (s *BlockStmt) Pos() token.Pos { return s.P }
+func (s *BlockStmt) stmtNode()      {}
+
+// AssignStmt is `lvalue = expr;`.
+type AssignStmt struct {
+	P   token.Pos
+	LHS Expr // PathExpr
+	RHS Expr
+}
+
+func (s *AssignStmt) Pos() token.Pos { return s.P }
+func (s *AssignStmt) stmtNode()      {}
+
+// CallStmt is a method/function call used as a statement:
+// pkt.extract(hdr.x); table.apply(); mark_to_drop(meta); hdr.h.setValid();
+type CallStmt struct {
+	P    token.Pos
+	Call *CallExpr
+}
+
+func (s *CallStmt) Pos() token.Pos { return s.P }
+func (s *CallStmt) stmtNode()      {}
+
+// IfStmt is `if (cond) then else els`.
+type IfStmt struct {
+	P    token.Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+func (s *IfStmt) Pos() token.Pos { return s.P }
+func (s *IfStmt) stmtNode()      {}
+
+// VarDecl is a local variable declaration `type name = expr;` (initializer
+// optional).
+type VarDecl struct {
+	P    token.Pos
+	Type *TypeRef
+	Name string
+	Init Expr // may be nil
+}
+
+func (s *VarDecl) Pos() token.Pos { return s.P }
+func (s *VarDecl) stmtNode()      {}
+
+// ReturnStmt is `return;` — exits an action or control apply body early.
+type ReturnStmt struct {
+	P token.Pos
+}
+
+func (s *ReturnStmt) Pos() token.Pos { return s.P }
+func (s *ReturnStmt) stmtNode()      {}
+
+// Expr is an expression.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// IntLit is an integer literal. Width is -1 for unsized literals; the
+// checker assigns a width from context. Value uses big.Int to hold up to
+// 128-bit constants exactly.
+type IntLit struct {
+	P     token.Pos
+	Value *big.Int
+	Width int // -1 if unsized
+}
+
+func (e *IntLit) Pos() token.Pos { return e.P }
+func (e *IntLit) exprNode()      {}
+
+// BoolLit is `true` or `false`.
+type BoolLit struct {
+	P     token.Pos
+	Value bool
+}
+
+func (e *BoolLit) Pos() token.Pos { return e.P }
+func (e *BoolLit) exprNode()      {}
+
+// PathExpr is a dotted path: hdr.ipv4.ttl, standard_metadata.egress_spec,
+// or a bare identifier.
+type PathExpr struct {
+	P     token.Pos
+	Parts []string
+}
+
+func (e *PathExpr) Pos() token.Pos { return e.P }
+func (e *PathExpr) exprNode()      {}
+
+// String joins the parts with dots.
+func (e *PathExpr) String() string {
+	s := e.Parts[0]
+	for _, p := range e.Parts[1:] {
+		s += "." + p
+	}
+	return s
+}
+
+// CallExpr is `target(args)` where target is a PathExpr; the final path
+// part is the method name for method-style calls (pkt.extract, t.apply,
+// h.isValid, h.setValid).
+type CallExpr struct {
+	P      token.Pos
+	Target *PathExpr
+	Args   []Expr
+}
+
+func (e *CallExpr) Pos() token.Pos { return e.P }
+func (e *CallExpr) exprNode()      {}
+
+// UnaryExpr is `op x` for ! ~ -.
+type UnaryExpr struct {
+	P  token.Pos
+	Op token.Kind
+	X  Expr
+}
+
+func (e *UnaryExpr) Pos() token.Pos { return e.P }
+func (e *UnaryExpr) exprNode()      {}
+
+// BinaryExpr is `x op y`.
+type BinaryExpr struct {
+	P    token.Pos
+	Op   token.Kind
+	X, Y Expr
+}
+
+func (e *BinaryExpr) Pos() token.Pos { return e.P }
+func (e *BinaryExpr) exprNode()      {}
+
+// TernaryExpr is `cond ? a : b`.
+type TernaryExpr struct {
+	P    token.Pos
+	Cond Expr
+	A, B Expr
+}
+
+func (e *TernaryExpr) Pos() token.Pos { return e.P }
+func (e *TernaryExpr) exprNode()      {}

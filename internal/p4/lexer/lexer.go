@@ -1,0 +1,308 @@
+// Package lexer converts P4 source text into a token stream.
+//
+// The scanner handles //-style and /* */-style comments, decimal, hex
+// (0x...), and binary (0b...) integer literals, P4 width-prefixed literals
+// such as 8w255 and 16w0x0800, and all operators used by the NetDebug P4
+// subset, including the &&& ternary mask operator.
+package lexer
+
+import (
+	"fmt"
+
+	"netdebug/internal/p4/token"
+)
+
+// Lexer scans one source buffer.
+type Lexer struct {
+	src  string
+	off  int // byte offset of next rune
+	line int
+	col  int
+	errs []error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns scan errors accumulated so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+func isLetter(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token, or an EOF token at end of input.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.advance()
+	switch {
+	case isLetter(c):
+		start := l.off - 1
+		for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		lit := l.src[start:l.off]
+		return token.Token{Kind: token.Lookup(lit), Lit: lit, Pos: pos}
+	case isDigit(c):
+		return l.scanNumber(pos, c)
+	}
+	switch c {
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBRACKET, Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBRACKET, Pos: pos}
+	case ';':
+		return token.Token{Kind: token.SEMICOLON, Pos: pos}
+	case ':':
+		return token.Token{Kind: token.COLON, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: pos}
+	case '.':
+		return token.Token{Kind: token.DOT, Pos: pos}
+	case '@':
+		return token.Token{Kind: token.AT, Pos: pos}
+	case '?':
+		return token.Token{Kind: token.QUESTION, Pos: pos}
+	case '+':
+		return token.Token{Kind: token.PLUS, Pos: pos}
+	case '-':
+		return token.Token{Kind: token.MINUS, Pos: pos}
+	case '*':
+		return token.Token{Kind: token.STAR, Pos: pos}
+	case '/':
+		return token.Token{Kind: token.SLASH, Pos: pos}
+	case '%':
+		return token.Token{Kind: token.PERCENT, Pos: pos}
+	case '^':
+		return token.Token{Kind: token.XOR, Pos: pos}
+	case '~':
+		return token.Token{Kind: token.TILDE, Pos: pos}
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			return token.Token{Kind: token.EQ, Pos: pos}
+		}
+		return token.Token{Kind: token.ASSIGN, Pos: pos}
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return token.Token{Kind: token.NEQ, Pos: pos}
+		}
+		return token.Token{Kind: token.NOT, Pos: pos}
+	case '<':
+		if l.peek() == '<' {
+			l.advance()
+			return token.Token{Kind: token.SHL, Pos: pos}
+		}
+		if l.peek() == '=' {
+			l.advance()
+			return token.Token{Kind: token.LE, Pos: pos}
+		}
+		return token.Token{Kind: token.LT, Pos: pos}
+	case '>':
+		if l.peek() == '>' {
+			l.advance()
+			return token.Token{Kind: token.SHR, Pos: pos}
+		}
+		if l.peek() == '=' {
+			l.advance()
+			return token.Token{Kind: token.GE, Pos: pos}
+		}
+		return token.Token{Kind: token.GT, Pos: pos}
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			if l.peek() == '&' {
+				l.advance()
+				return token.Token{Kind: token.MASK, Pos: pos}
+			}
+			return token.Token{Kind: token.LAND, Pos: pos}
+		}
+		return token.Token{Kind: token.AND, Pos: pos}
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return token.Token{Kind: token.LOR, Pos: pos}
+		}
+		return token.Token{Kind: token.OR, Pos: pos}
+	case '"':
+		start := l.off
+		for l.off < len(l.src) && l.peek() != '"' && l.peek() != '\n' {
+			l.advance()
+		}
+		lit := l.src[start:l.off]
+		if l.off >= len(l.src) || l.peek() != '"' {
+			l.errorf(pos, "unterminated string literal")
+			return token.Token{Kind: token.ILLEGAL, Lit: lit, Pos: pos}
+		}
+		l.advance()
+		return token.Token{Kind: token.STRING, Lit: lit, Pos: pos}
+	}
+	l.errorf(pos, "unexpected character %q", c)
+	return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+}
+
+// scanNumber scans integer literals: decimal, 0x hex, 0b binary, and P4
+// width-prefixed forms (8w255, 16w0x0800). The raw text is preserved in
+// Lit; numeric interpretation happens in the parser.
+func (l *Lexer) scanNumber(pos token.Pos, first byte) token.Token {
+	start := l.off - 1
+	// Scan the leading digit run (underscores are digit separators).
+	for l.off < len(l.src) && (isDigit(l.peek()) || l.peek() == '_') {
+		l.advance()
+	}
+	// Width prefix? e.g. "8w..." or "8s..." (signed not supported; flagged
+	// by the parser).
+	if l.off < len(l.src) && (l.peek() == 'w' || l.peek() == 's') {
+		l.advance()
+		l.scanMagnitude(pos)
+		return token.Token{Kind: token.INT, Lit: l.src[start:l.off], Pos: pos}
+	}
+	// 0x / 0b forms begin with a single '0'.
+	if first == '0' && l.off-start == 1 && l.off < len(l.src) &&
+		(l.peek() == 'x' || l.peek() == 'X' || l.peek() == 'b' || l.peek() == 'B') {
+		l.off = start // rewind and rescan as magnitude
+		l.col -= 1
+		l.scanMagnitude(pos)
+		return token.Token{Kind: token.INT, Lit: l.src[start:l.off], Pos: pos}
+	}
+	return token.Token{Kind: token.INT, Lit: l.src[start:l.off], Pos: pos}
+}
+
+// scanMagnitude scans decimal, 0x..., or 0b... digits.
+func (l *Lexer) scanMagnitude(pos token.Pos) {
+	if l.off >= len(l.src) {
+		l.errorf(pos, "incomplete integer literal")
+		return
+	}
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		n := 0
+		for l.off < len(l.src) && (isHexDigit(l.peek()) || l.peek() == '_') {
+			l.advance()
+			n++
+		}
+		if n == 0 {
+			l.errorf(pos, "hex literal with no digits")
+		}
+		return
+	}
+	if l.peek() == '0' && (l.peek2() == 'b' || l.peek2() == 'B') {
+		l.advance()
+		l.advance()
+		n := 0
+		for l.off < len(l.src) && (l.peek() == '0' || l.peek() == '1' || l.peek() == '_') {
+			l.advance()
+			n++
+		}
+		if n == 0 {
+			l.errorf(pos, "binary literal with no digits")
+		}
+		return
+	}
+	n := 0
+	for l.off < len(l.src) && (isDigit(l.peek()) || l.peek() == '_') {
+		l.advance()
+		n++
+	}
+	if n == 0 {
+		l.errorf(pos, "integer literal with no digits")
+	}
+}
+
+// All scans the entire input and returns every token up to and including
+// EOF. It is a convenience for tests and the parser.
+func (l *Lexer) All() []token.Token {
+	var out []token.Token
+	for {
+		t := l.Next()
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package lexer
+
+import (
+	"testing"
+
+	"netdebug/internal/p4/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	lx := New(src)
+	var out []token.Kind
+	for _, tok := range lx.All() {
+		out = append(out, tok.Kind)
+	}
+	if errs := lx.Errors(); len(errs) > 0 {
+		t.Fatalf("lex errors: %v", errs)
+	}
+	return out
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	got := kinds(t, "header foo bit<48> transition select accept")
+	want := []token.Kind{token.HEADER, token.IDENT, token.BIT, token.LT,
+		token.INT, token.GT, token.TRANSITION, token.SELECT, token.IDENT, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	got := kinds(t, "== != <= >= << >> && || &&& & | ^ ~ ! = < > + - * / % ? :")
+	want := []token.Kind{token.EQ, token.NEQ, token.LE, token.GE, token.SHL,
+		token.SHR, token.LAND, token.LOR, token.MASK, token.AND, token.OR,
+		token.XOR, token.TILDE, token.NOT, token.ASSIGN, token.LT, token.GT,
+		token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT,
+		token.QUESTION, token.COLON, token.EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumberForms(t *testing.T) {
+	lx := New("10 0x0800 0b1010 8w255 16w0x0800 4w0b1111 1_000")
+	toks := lx.All()
+	if len(lx.Errors()) > 0 {
+		t.Fatal(lx.Errors())
+	}
+	lits := []string{"10", "0x0800", "0b1010", "8w255", "16w0x0800", "4w0b1111", "1_000"}
+	for i, want := range lits {
+		if toks[i].Kind != token.INT || toks[i].Lit != want {
+			t.Fatalf("token %d = %v, want INT %q", i, toks[i], want)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := kinds(t, `
+	// line comment with symbols == != { }
+	state /* block
+	   spanning lines */ start`)
+	want := []token.Kind{token.STATE, token.IDENT, token.EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestUnterminatedComment(t *testing.T) {
+	lx := New("/* never closed")
+	lx.All()
+	if len(lx.Errors()) == 0 {
+		t.Fatal("want error for unterminated comment")
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	lx := New("state $ start")
+	toks := lx.All()
+	if len(lx.Errors()) == 0 {
+		t.Fatal("want error for $")
+	}
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == token.ILLEGAL {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no ILLEGAL token emitted")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	lx := New("a\n  bb\n")
+	toks := lx.All()
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Fatalf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Fatalf("bb at %v", toks[1].Pos)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	lx := New(`@name("hello.world")`)
+	toks := lx.All()
+	if len(lx.Errors()) > 0 {
+		t.Fatal(lx.Errors())
+	}
+	if toks[3].Kind != token.STRING || toks[3].Lit != "hello.world" {
+		t.Fatalf("string token: %v", toks[3])
+	}
+	lx = New(`"unterminated`)
+	lx.All()
+	if len(lx.Errors()) == 0 {
+		t.Fatal("want error for unterminated string")
+	}
+}
+
+func TestKeywordTable(t *testing.T) {
+	if token.Lookup("parser") != token.PARSER {
+		t.Fatal("parser should be a keyword")
+	}
+	if token.Lookup("myparser") != token.IDENT {
+		t.Fatal("myparser should be an identifier")
+	}
+	if !token.PARSER.IsKeyword() || token.IDENT.IsKeyword() {
+		t.Fatal("IsKeyword misclassifies")
+	}
+}

@@ -1,0 +1,524 @@
+// Package p4test provides the P4 sample programs shared by tests,
+// benchmarks, and examples across the repository.
+//
+// Router is the program from the paper's §4 case study: an IPv4 router
+// whose parser transitions to reject for any packet that is not well-formed
+// IPv4 (bad version or truncated). On the reference target those packets
+// are dropped; on the sdnet target the reject erratum forwards them.
+package p4test
+
+// Router is a v1model-style IPv4 router with a reject transition in the
+// parser — the program used throughout the paper's evaluation.
+const Router = `
+// IPv4 router with strict parser validation.
+const bit<16> TYPE_IPV4 = 0x0800;
+
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> totalLen;
+    bit<16> identification;
+    bit<3>  flags;
+    bit<13> fragOffset;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> hdrChecksum;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+}
+
+parser RouterParser(packet_in pkt, out headers_t hdr, inout standard_metadata_t std_meta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.version, hdr.ipv4.ihl) {
+            (4w4, 4w5): accept;
+            default: reject;   // malformed IPv4 must be dropped
+        }
+    }
+}
+
+control RouterIngress(inout headers_t hdr, inout standard_metadata_t std_meta) {
+    action drop() {
+        mark_to_drop();
+    }
+    action ipv4_forward(bit<48> dstMac, bit<9> port) {
+        std_meta.egress_spec = port;
+        hdr.ethernet.srcAddr = hdr.ethernet.dstAddr;
+        hdr.ethernet.dstAddr = dstMac;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    table ipv4_lpm {
+        key = {
+            hdr.ipv4.dstAddr: lpm;
+        }
+        actions = {
+            ipv4_forward;
+            drop;
+            NoAction;
+        }
+        size = 1024;
+        default_action = drop();
+    }
+    apply {
+        if (hdr.ipv4.isValid()) {
+            if (hdr.ipv4.ttl == 0) {
+                mark_to_drop();
+            } else {
+                ipv4_lpm.apply();
+            }
+        } else {
+            mark_to_drop();
+        }
+    }
+}
+
+control RouterDeparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+    }
+}
+
+V1Switch(RouterParser(), RouterIngress(), RouterDeparser()) main;
+`
+
+// RouterNoTTLCheck is Router with the TTL==0 guard removed — a functional
+// program bug used by the functional-testing scenarios: packets arriving
+// with TTL 0 are forwarded with TTL 255 after the decrement wraps.
+const RouterNoTTLCheck = `
+const bit<16> TYPE_IPV4 = 0x0800;
+
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> totalLen;
+    bit<16> identification;
+    bit<3>  flags;
+    bit<13> fragOffset;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> hdrChecksum;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+}
+
+parser RouterParser(packet_in pkt, out headers_t hdr, inout standard_metadata_t std_meta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.version, hdr.ipv4.ihl) {
+            (4w4, 4w5): accept;
+            default: reject;
+        }
+    }
+}
+
+control RouterIngress(inout headers_t hdr, inout standard_metadata_t std_meta) {
+    action drop() {
+        mark_to_drop();
+    }
+    action ipv4_forward(bit<48> dstMac, bit<9> port) {
+        std_meta.egress_spec = port;
+        hdr.ethernet.srcAddr = hdr.ethernet.dstAddr;
+        hdr.ethernet.dstAddr = dstMac;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    table ipv4_lpm {
+        key = {
+            hdr.ipv4.dstAddr: lpm;
+        }
+        actions = {
+            ipv4_forward;
+            drop;
+            NoAction;
+        }
+        size = 1024;
+        default_action = drop();
+    }
+    apply {
+        if (hdr.ipv4.isValid()) {
+            ipv4_lpm.apply();
+        } else {
+            mark_to_drop();
+        }
+    }
+}
+
+control RouterDeparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+    }
+}
+
+V1Switch(RouterParser(), RouterIngress(), RouterDeparser()) main;
+`
+
+// L2Switch is a MAC-learning-style switch with an exact-match table.
+const L2Switch = `
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+}
+
+parser SwParser(packet_in pkt, out headers_t hdr, inout standard_metadata_t std_meta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition accept;
+    }
+}
+
+control SwIngress(inout headers_t hdr, inout standard_metadata_t std_meta) {
+    action drop() {
+        mark_to_drop();
+    }
+    action forward(bit<9> port) {
+        std_meta.egress_spec = port;
+    }
+    table mac_table {
+        key = {
+            hdr.ethernet.dstAddr: exact;
+        }
+        actions = {
+            forward;
+            drop;
+        }
+        size = 4096;
+        default_action = drop();
+    }
+    apply {
+        mac_table.apply();
+    }
+}
+
+control SwDeparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+    }
+}
+
+V1Switch(SwParser(), SwIngress(), SwDeparser()) main;
+`
+
+// Firewall is an ACL with a ternary table over the IPv4 5-tuple prefix
+// fields, applied after an LPM routing step — exercises multi-table
+// pipelines and ternary priorities.
+const Firewall = `
+const bit<16> TYPE_IPV4 = 0x0800;
+const bit<8>  PROTO_TCP = 6;
+const bit<8>  PROTO_UDP = 17;
+
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> totalLen;
+    bit<16> identification;
+    bit<3>  flags;
+    bit<13> fragOffset;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> hdrChecksum;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+header ports_t {
+    bit<16> srcPort;
+    bit<16> dstPort;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+    ports_t    ports;
+}
+
+struct fw_meta_t {
+    bit<1> acl_hit;
+}
+
+parser FwParser(packet_in pkt, out headers_t hdr, inout standard_metadata_t std_meta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            PROTO_TCP: parse_ports;
+            PROTO_UDP: parse_ports;
+            default: accept;
+        }
+    }
+    state parse_ports {
+        pkt.extract(hdr.ports);
+        transition accept;
+    }
+}
+
+control FwIngress(inout headers_t hdr, inout standard_metadata_t std_meta, inout fw_meta_t meta) {
+    action drop() {
+        mark_to_drop();
+    }
+    action allow() {
+        meta.acl_hit = 1;
+    }
+    action route(bit<9> port) {
+        std_meta.egress_spec = port;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    table acl {
+        key = {
+            hdr.ipv4.srcAddr: ternary;
+            hdr.ipv4.dstAddr: ternary;
+            hdr.ports.dstPort: ternary;
+        }
+        actions = {
+            allow;
+            drop;
+        }
+        size = 512;
+        default_action = drop();
+    }
+    table routing {
+        key = {
+            hdr.ipv4.dstAddr: lpm;
+        }
+        actions = {
+            route;
+            drop;
+        }
+        size = 1024;
+        default_action = drop();
+    }
+    apply {
+        if (hdr.ipv4.isValid()) {
+            acl.apply();
+            if (meta.acl_hit == 1) {
+                routing.apply();
+            } else {
+                mark_to_drop();
+            }
+        } else {
+            mark_to_drop();
+        }
+    }
+}
+
+control FwDeparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.ports);
+    }
+}
+
+V1Switch(FwParser(), FwIngress(), FwDeparser()) main;
+`
+
+// RouterSplit computes the same function as Router but with the forwarding
+// decision split across two tables (next-hop selection, then egress
+// rewrite). Used by the comparison use case: two specifications of the
+// same program.
+const RouterSplit = `
+const bit<16> TYPE_IPV4 = 0x0800;
+
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> totalLen;
+    bit<16> identification;
+    bit<3>  flags;
+    bit<13> fragOffset;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> hdrChecksum;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+}
+
+struct split_meta_t {
+    bit<16> nexthop_id;
+    bit<1>  routed;
+}
+
+parser SplitParser(packet_in pkt, out headers_t hdr, inout standard_metadata_t std_meta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.version, hdr.ipv4.ihl) {
+            (4w4, 4w5): accept;
+            default: reject;
+        }
+    }
+}
+
+control SplitIngress(inout headers_t hdr, inout standard_metadata_t std_meta, inout split_meta_t meta) {
+    action drop() {
+        mark_to_drop();
+    }
+    action set_nexthop(bit<16> nh) {
+        meta.nexthop_id = nh;
+        meta.routed = 1;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    }
+    action set_egress(bit<48> dstMac, bit<9> port) {
+        std_meta.egress_spec = port;
+        hdr.ethernet.srcAddr = hdr.ethernet.dstAddr;
+        hdr.ethernet.dstAddr = dstMac;
+    }
+    table lpm_nexthop {
+        key = {
+            hdr.ipv4.dstAddr: lpm;
+        }
+        actions = {
+            set_nexthop;
+            drop;
+        }
+        size = 1024;
+        default_action = drop();
+    }
+    table nexthop_egress {
+        key = {
+            meta.nexthop_id: exact;
+        }
+        actions = {
+            set_egress;
+            drop;
+        }
+        size = 256;
+        default_action = drop();
+    }
+    apply {
+        if (hdr.ipv4.isValid()) {
+            if (hdr.ipv4.ttl == 0) {
+                mark_to_drop();
+            } else {
+                lpm_nexthop.apply();
+                if (meta.routed == 1) {
+                    nexthop_egress.apply();
+                }
+            }
+        } else {
+            mark_to_drop();
+        }
+    }
+}
+
+control SplitDeparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+    }
+}
+
+V1Switch(SplitParser(), SplitIngress(), SplitDeparser()) main;
+`
+
+// Reflector bounces every packet back out the port it arrived on — the
+// minimal program used by latency tests.
+const Reflector = `
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+}
+
+parser RParser(packet_in pkt, out headers_t hdr, inout standard_metadata_t std_meta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition accept;
+    }
+}
+
+control RIngress(inout headers_t hdr, inout standard_metadata_t std_meta) {
+    apply {
+        std_meta.egress_spec = std_meta.ingress_port;
+        bit<48> tmp = hdr.ethernet.srcAddr;
+        hdr.ethernet.srcAddr = hdr.ethernet.dstAddr;
+        hdr.ethernet.dstAddr = tmp;
+    }
+}
+
+control RDeparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+    }
+}
+
+V1Switch(RParser(), RIngress(), RDeparser()) main;
+`

@@ -1,0 +1,236 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"netdebug/internal/p4/ast"
+	"netdebug/internal/p4/p4test"
+)
+
+func TestParseRouterShape(t *testing.T) {
+	prog, err := Parse(p4test.Router)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var headers, structs, parsers, controls, consts, insts int
+	for _, d := range prog.Decls {
+		switch d.(type) {
+		case *ast.HeaderDecl:
+			headers++
+		case *ast.StructDecl:
+			structs++
+		case *ast.ParserDecl:
+			parsers++
+		case *ast.ControlDecl:
+			controls++
+		case *ast.ConstDecl:
+			consts++
+		case *ast.InstantiationDecl:
+			insts++
+		}
+	}
+	if headers != 2 || structs != 1 || parsers != 1 || controls != 2 || consts != 1 || insts != 1 {
+		t.Fatalf("decl counts: h=%d s=%d p=%d c=%d k=%d i=%d",
+			headers, structs, parsers, controls, consts, insts)
+	}
+}
+
+func TestParseAllSamples(t *testing.T) {
+	for name, src := range map[string]string{
+		"Router": p4test.Router, "NoTTL": p4test.RouterNoTTLCheck,
+		"L2": p4test.L2Switch, "FW": p4test.Firewall,
+		"Split": p4test.RouterSplit, "Refl": p4test.Reflector,
+	} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestIntLiteralForms(t *testing.T) {
+	src := `const bit<32> A = 10;
+	const bit<32> B = 0x0800;
+	const bit<32> C = 0b1010;
+	const bit<32> D = 8w255;
+	const bit<32> E = 16w0x0800;`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		val   int64
+		width int
+	}{{10, -1}, {0x0800, -1}, {10, -1}, {255, 8}, {0x0800, 16}}
+	for i, d := range prog.Decls {
+		lit := d.(*ast.ConstDecl).Value.(*ast.IntLit)
+		if lit.Value.Int64() != want[i].val || lit.Width != want[i].width {
+			t.Errorf("const %d: %v/%d want %v/%d", i, lit.Value, lit.Width, want[i].val, want[i].width)
+		}
+	}
+}
+
+func TestSignedLiteralRejected(t *testing.T) {
+	if _, err := Parse(`const bit<8> A = 8s5;`); err == nil ||
+		!strings.Contains(err.Error(), "signed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExpressionPrecedence(t *testing.T) {
+	src := `
+	header h_t { bit<8> x; } struct hs { h_t h; }
+	parser P(packet_in p, out hs hdr) { state start { transition accept; } }
+	control I(inout hs hdr) {
+	  apply { hdr.h.x = hdr.h.x + hdr.h.x * hdr.h.x; }
+	}
+	control D(packet_out p, in hs hdr) { apply {} }
+	S(P(), I(), D()) main;`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctl *ast.ControlDecl
+	for _, d := range prog.Decls {
+		if c, ok := d.(*ast.ControlDecl); ok && c.Name == "I" {
+			ctl = c
+		}
+	}
+	assign := ctl.Apply.Stmts[0].(*ast.AssignStmt)
+	add, ok := assign.RHS.(*ast.BinaryExpr)
+	if !ok {
+		t.Fatalf("rhs = %T", assign.RHS)
+	}
+	// + must be the root; * binds tighter.
+	if _, ok := add.Y.(*ast.BinaryExpr); !ok {
+		t.Fatalf("rhs of + is %T, want BinaryExpr(*)", add.Y)
+	}
+}
+
+func TestTernaryExpression(t *testing.T) {
+	src := `
+	header h_t { bit<8> x; } struct hs { h_t h; }
+	parser P(packet_in p, out hs hdr) { state start { transition accept; } }
+	control I(inout hs hdr) {
+	  apply { hdr.h.x = hdr.h.x > 8w5 ? 8w1 : 8w0; }
+	}
+	control D(packet_out p, in hs hdr) { apply {} }
+	S(P(), I(), D()) main;`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = prog
+}
+
+func TestAnnotationsSkipped(t *testing.T) {
+	src := `
+	@name("my.header") header h_t { bit<8> x; }
+	struct hs { h_t h; }
+	parser P(packet_in p, out hs hdr) { state start { transition accept; } }
+	control D(packet_out p, in hs hdr) { apply {} }
+	S(P(), D()) main;`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorRecovery(t *testing.T) {
+	// Multiple errors reported, not just the first.
+	src := `
+	header h_t { bit<8> x }   // missing semicolon
+	struct hs { h_t h; }
+	parser P(packet_in p, out hs hdr) { state start { transition } }  // missing target
+	control D(packet_out p, in hs hdr) { apply {} }
+	S(P(), D()) main;`
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("want errors")
+	}
+	if n := strings.Count(err.Error(), "\n") + 1; n < 2 {
+		t.Fatalf("want multiple errors, got: %v", err)
+	}
+}
+
+func TestStateWithoutTransition(t *testing.T) {
+	src := `
+	header h_t { bit<8> x; } struct hs { h_t h; }
+	parser P(packet_in p, out hs hdr) { state start { p.extract(hdr.h); } }
+	control D(packet_out p, in hs hdr) { apply {} }
+	S(P(), D()) main;`
+	if _, err := Parse(src); err == nil || !strings.Contains(err.Error(), "no transition") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTableProperties(t *testing.T) {
+	src := `
+	header h_t { bit<8> x; } struct hs { h_t h; }
+	parser P(packet_in p, out hs hdr) { state start { transition accept; } }
+	control I(inout hs hdr) {
+	  action a(bit<9> v) {}
+	  table t {
+	    key = { hdr.h.x: exact; }
+	    actions = { a; NoAction; }
+	    size = 128;
+	    default_action = a(9w3);
+	  }
+	  apply { t.apply(); }
+	}
+	control D(packet_out p, in hs hdr) { apply {} }
+	S(P(), I(), D()) main;`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tbl *ast.TableDecl
+	for _, d := range prog.Decls {
+		if c, ok := d.(*ast.ControlDecl); ok && c.Name == "I" {
+			tbl = c.Tables[0]
+		}
+	}
+	if tbl.Size != 128 || len(tbl.Keys) != 1 || len(tbl.Actions) != 2 {
+		t.Fatalf("table: %+v", tbl)
+	}
+	if tbl.DefaultAction == nil || tbl.DefaultAction.Name != "a" || len(tbl.DefaultAction.Args) != 1 {
+		t.Fatalf("default action: %+v", tbl.DefaultAction)
+	}
+}
+
+func TestSelectTupleCase(t *testing.T) {
+	src := `
+	header h_t { bit<4> a; bit<4> b; } struct hs { h_t h; }
+	parser P(packet_in p, out hs hdr) {
+	  state start {
+	    p.extract(hdr.h);
+	    transition select(hdr.h.a, hdr.h.b) {
+	      (4w1, 4w2): s1;
+	      (4w3, _): accept;
+	      default: reject;
+	    }
+	  }
+	  state s1 { transition accept; }
+	}
+	control D(packet_out p, in hs hdr) { apply {} }
+	S(P(), D()) main;`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pd *ast.ParserDecl
+	for _, d := range prog.Decls {
+		if p, ok := d.(*ast.ParserDecl); ok {
+			pd = p
+		}
+	}
+	sel := pd.States[0].Transition.Select
+	if len(sel.Keys) != 2 || len(sel.Cases) != 3 {
+		t.Fatalf("select: keys=%d cases=%d", len(sel.Keys), len(sel.Cases))
+	}
+	if !sel.Cases[1].Keysets[1].Wildcard {
+		t.Fatal("second keyset of case 2 should be wildcard")
+	}
+	if !sel.Cases[2].Default {
+		t.Fatal("third case should be default")
+	}
+}

@@ -1,0 +1,166 @@
+// Package token defines the lexical tokens of the P4₁₆ subset understood
+// by NetDebug, together with source positions for diagnostics.
+package token
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	ILLEGAL
+
+	// Literals and identifiers.
+	IDENT  // ipv4_lpm
+	INT    // 10, 0x0800, 0b101, 8w255, 4w0xF
+	STRING // "..." (annotations only)
+
+	// Punctuation.
+	LPAREN    // (
+	RPAREN    // )
+	LBRACE    // {
+	RBRACE    // }
+	LBRACKET  // [
+	RBRACKET  // ]
+	SEMICOLON // ;
+	COLON     // :
+	COMMA     // ,
+	DOT       // .
+
+	// Operators.
+	ASSIGN   // =
+	EQ       // ==
+	NEQ      // !=
+	LT       // <
+	LE       // <=
+	GT       // >
+	GE       // >=
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	AND      // &
+	OR       // |
+	XOR      // ^
+	NOT      // !
+	TILDE    // ~
+	SHL      // <<
+	SHR      // >>
+	LAND     // &&
+	LOR      // ||
+	MASK     // &&& (ternary key mask)
+	AT       // @ (annotations)
+	QUESTION // ?
+
+	// Keywords.
+	kwStart
+	ACTION
+	ACTIONS
+	APPLY
+	BIT
+	BOOL
+	CONST
+	CONTROL
+	DEFAULT
+	DEFAULT_ACTION
+	ELSE
+	ENTRIES
+	EXACT
+	FALSE
+	HEADER
+	IF
+	IN
+	INOUT
+	KEY
+	LPM
+	OUT
+	PARSER
+	RETURN
+	SELECT
+	SIZE
+	STATE
+	STRUCT
+	TABLE
+	TERNARY
+	TRANSITION
+	TRUE
+	TYPEDEF
+	kwEnd
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", ILLEGAL: "ILLEGAL", IDENT: "identifier", INT: "integer",
+	STRING: "string",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACKET: "[", RBRACKET: "]", SEMICOLON: ";", COLON: ":", COMMA: ",",
+	DOT: ".", ASSIGN: "=", EQ: "==", NEQ: "!=", LT: "<", LE: "<=",
+	GT: ">", GE: ">=", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/",
+	PERCENT: "%", AND: "&", OR: "|", XOR: "^", NOT: "!", TILDE: "~",
+	SHL: "<<", SHR: ">>", LAND: "&&", LOR: "||", MASK: "&&&", AT: "@",
+	QUESTION: "?",
+	ACTION:   "action", ACTIONS: "actions", APPLY: "apply", BIT: "bit",
+	BOOL: "bool", CONST: "const", CONTROL: "control", DEFAULT: "default",
+	DEFAULT_ACTION: "default_action", ELSE: "else", ENTRIES: "entries",
+	EXACT: "exact", FALSE: "false", HEADER: "header", IF: "if", IN: "in",
+	INOUT: "inout", KEY: "key", LPM: "lpm", OUT: "out", PARSER: "parser",
+	RETURN: "return", SELECT: "select", SIZE: "size", STATE: "state",
+	STRUCT: "struct", TABLE: "table", TERNARY: "ternary",
+	TRANSITION: "transition", TRUE: "true", TYPEDEF: "typedef",
+}
+
+// String returns a human-readable token kind name.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"action": ACTION, "actions": ACTIONS, "apply": APPLY, "bit": BIT,
+	"bool": BOOL, "const": CONST, "control": CONTROL, "default": DEFAULT,
+	"default_action": DEFAULT_ACTION, "else": ELSE, "entries": ENTRIES,
+	"exact": EXACT, "false": FALSE, "header": HEADER, "if": IF, "in": IN,
+	"inout": INOUT, "key": KEY, "lpm": LPM, "out": OUT, "parser": PARSER,
+	"return": RETURN, "select": SELECT, "size": SIZE, "state": STATE,
+	"struct": STRUCT, "table": TABLE, "ternary": TERNARY,
+	"transition": TRANSITION, "true": TRUE, "typedef": TYPEDEF,
+}
+
+// Lookup maps an identifier to its keyword kind, or IDENT.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// IsKeyword reports whether k is a reserved word.
+func (k Kind) IsKeyword() bool { return k > kwStart && k < kwEnd }
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Lit  string // raw text for IDENT, INT, STRING, ILLEGAL
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, STRING, ILLEGAL:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,67 @@
+package packet
+
+// Builders for the packet shapes the test generator and examples use most.
+// Each returns freshly allocated wire bytes with lengths and checksums
+// filled in.
+
+// BuildUDPv4 assembles Ethernet/IPv4/UDP with the given payload.
+func BuildUDPv4(srcMAC, dstMAC MAC, srcIP, dstIP IPv4Addr, srcPort, dstPort uint16, payload []byte) []byte {
+	eth := &Ethernet{Src: srcMAC, Dst: dstMAC, EtherType: EtherTypeIPv4}
+	ip := &IPv4{Version: 4, IHL: 5, TTL: 64, Protocol: IPProtoUDP, Src: srcIP, Dst: dstIP}
+	udp := &UDP{SrcPort: srcPort, DstPort: dstPort}
+	udp.SetNetworkForChecksum(ip)
+	b := NewSerializeBuffer()
+	opts := SerializeOptions{FixLengths: true, ComputeChecksums: true}
+	if err := Serialize(b, opts, eth, ip, udp, &Payload{Data: payload}); err != nil {
+		panic(err) // builders use only well-formed static layers
+	}
+	return append([]byte(nil), b.Bytes()...)
+}
+
+// BuildTCPv4 assembles Ethernet/IPv4/TCP with the given flags and payload.
+func BuildTCPv4(srcMAC, dstMAC MAC, srcIP, dstIP IPv4Addr, srcPort, dstPort uint16, flags uint8, payload []byte) []byte {
+	eth := &Ethernet{Src: srcMAC, Dst: dstMAC, EtherType: EtherTypeIPv4}
+	ip := &IPv4{Version: 4, IHL: 5, TTL: 64, Protocol: IPProtoTCP, Src: srcIP, Dst: dstIP}
+	tcp := &TCP{SrcPort: srcPort, DstPort: dstPort, DataOffset: 5, Flags: flags, Window: 65535}
+	tcp.SetNetworkForChecksum(ip)
+	b := NewSerializeBuffer()
+	opts := SerializeOptions{FixLengths: true, ComputeChecksums: true}
+	if err := Serialize(b, opts, eth, ip, tcp, &Payload{Data: payload}); err != nil {
+		panic(err)
+	}
+	return append([]byte(nil), b.Bytes()...)
+}
+
+// BuildICMPEcho assembles an Ethernet/IPv4/ICMP echo request.
+func BuildICMPEcho(srcMAC, dstMAC MAC, srcIP, dstIP IPv4Addr, id, seq uint16, payload []byte) []byte {
+	eth := &Ethernet{Src: srcMAC, Dst: dstMAC, EtherType: EtherTypeIPv4}
+	ip := &IPv4{Version: 4, IHL: 5, TTL: 64, Protocol: IPProtoICMP, Src: srcIP, Dst: dstIP}
+	icmp := &ICMPv4{Type: ICMPv4EchoRequest, ID: id, Seq: seq}
+	b := NewSerializeBuffer()
+	opts := SerializeOptions{FixLengths: true, ComputeChecksums: true}
+	if err := Serialize(b, opts, eth, ip, icmp, &Payload{Data: payload}); err != nil {
+		panic(err)
+	}
+	return append([]byte(nil), b.Bytes()...)
+}
+
+// BuildARPRequest assembles a broadcast ARP who-has.
+func BuildARPRequest(srcMAC MAC, srcIP, tgtIP IPv4Addr) []byte {
+	eth := &Ethernet{Src: srcMAC, Dst: MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, EtherType: EtherTypeARP}
+	arp := &ARP{Operation: ARPRequest, SenderMAC: srcMAC, SenderIP: srcIP, TgtIP: tgtIP}
+	b := NewSerializeBuffer()
+	if err := Serialize(b, SerializeOptions{}, eth, arp); err != nil {
+		panic(err)
+	}
+	return append([]byte(nil), b.Bytes()...)
+}
+
+// PadToMinimum pads frame with zeros to the 64-byte Ethernet minimum
+// (60 bytes before the 4-byte FCS, which this model does not carry).
+func PadToMinimum(frame []byte) []byte {
+	const minNoFCS = 60
+	for len(frame) < minNoFCS {
+		frame = append(frame, 0)
+	}
+	return frame
+}

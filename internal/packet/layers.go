@@ -1,0 +1,693 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"netdebug/internal/bitfield"
+)
+
+// MAC is a 48-bit Ethernet hardware address.
+type MAC [6]byte
+
+// String renders the address in colon-separated hex.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// ParseMAC parses "aa:bb:cc:dd:ee:ff".
+func ParseMAC(s string) (MAC, error) {
+	var m MAC
+	n, err := fmt.Sscanf(s, "%02x:%02x:%02x:%02x:%02x:%02x",
+		&m[0], &m[1], &m[2], &m[3], &m[4], &m[5])
+	if err != nil || n != 6 {
+		return MAC{}, fmt.Errorf("packet: invalid MAC %q", s)
+	}
+	return m, nil
+}
+
+// IPv4Addr is a 32-bit IPv4 address in network order.
+type IPv4Addr [4]byte
+
+// String renders dotted-quad notation.
+func (a IPv4Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// Uint32 returns the address as a host-order integer.
+func (a IPv4Addr) Uint32() uint32 { return binary.BigEndian.Uint32(a[:]) }
+
+// IPv4AddrFrom converts a host-order integer to an address.
+func IPv4AddrFrom(v uint32) IPv4Addr {
+	var a IPv4Addr
+	binary.BigEndian.PutUint32(a[:], v)
+	return a
+}
+
+// ParseIPv4 parses dotted-quad notation.
+func ParseIPv4(s string) (IPv4Addr, error) {
+	var a IPv4Addr
+	var b0, b1, b2, b3 int
+	n, err := fmt.Sscanf(s, "%d.%d.%d.%d", &b0, &b1, &b2, &b3)
+	if err != nil || n != 4 || b0|b1|b2|b3 < 0 || b0 > 255 || b1 > 255 || b2 > 255 || b3 > 255 {
+		return a, fmt.Errorf("packet: invalid IPv4 address %q", s)
+	}
+	a[0], a[1], a[2], a[3] = byte(b0), byte(b1), byte(b2), byte(b3)
+	return a, nil
+}
+
+// IPv6Addr is a 128-bit IPv6 address in network order.
+type IPv6Addr [16]byte
+
+// Ethernet is an Ethernet II frame header.
+type Ethernet struct {
+	Dst, Src  MAC
+	EtherType uint16
+	payload   []byte
+}
+
+// LayerType implements Layer.
+func (e *Ethernet) LayerType() LayerType { return LayerTypeEthernet }
+
+// LayerPayload implements Layer.
+func (e *Ethernet) LayerPayload() []byte { return e.payload }
+
+// NextLayerType implements Layer.
+func (e *Ethernet) NextLayerType() LayerType {
+	switch e.EtherType {
+	case EtherTypeIPv4:
+		return LayerTypeIPv4
+	case EtherTypeIPv6:
+		return LayerTypeIPv6
+	case EtherTypeARP:
+		return LayerTypeARP
+	case EtherTypeVLAN:
+		return LayerTypeVLAN
+	}
+	return LayerTypePayload
+}
+
+// DecodeFromBytes implements Layer.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < 14 {
+		return errTooShort(LayerTypeEthernet, 14, len(data))
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	e.payload = data[14:]
+	return nil
+}
+
+// SerializeTo implements Layer.
+func (e *Ethernet) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	h := b.PrependBytes(14)
+	copy(h[0:6], e.Dst[:])
+	copy(h[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(h[12:14], e.EtherType)
+	return nil
+}
+
+// Flow returns the MAC-level flow.
+func (e *Ethernet) Flow() Flow {
+	return NewFlow(NewEndpoint(EndpointMAC, e.Src[:]), NewEndpoint(EndpointMAC, e.Dst[:]))
+}
+
+// VLAN is an 802.1Q tag.
+type VLAN struct {
+	Priority  uint8 // 3 bits
+	DropElig  bool  // DEI
+	ID        uint16
+	EtherType uint16
+	payload   []byte
+}
+
+// LayerType implements Layer.
+func (v *VLAN) LayerType() LayerType { return LayerTypeVLAN }
+
+// LayerPayload implements Layer.
+func (v *VLAN) LayerPayload() []byte { return v.payload }
+
+// NextLayerType implements Layer.
+func (v *VLAN) NextLayerType() LayerType {
+	switch v.EtherType {
+	case EtherTypeIPv4:
+		return LayerTypeIPv4
+	case EtherTypeIPv6:
+		return LayerTypeIPv6
+	case EtherTypeARP:
+		return LayerTypeARP
+	case EtherTypeVLAN:
+		return LayerTypeVLAN
+	}
+	return LayerTypePayload
+}
+
+// DecodeFromBytes implements Layer.
+func (v *VLAN) DecodeFromBytes(data []byte) error {
+	if len(data) < 4 {
+		return errTooShort(LayerTypeVLAN, 4, len(data))
+	}
+	tci := binary.BigEndian.Uint16(data[0:2])
+	v.Priority = uint8(tci >> 13)
+	v.DropElig = tci&0x1000 != 0
+	v.ID = tci & 0x0fff
+	v.EtherType = binary.BigEndian.Uint16(data[2:4])
+	v.payload = data[4:]
+	return nil
+}
+
+// SerializeTo implements Layer.
+func (v *VLAN) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	h := b.PrependBytes(4)
+	tci := uint16(v.Priority&0x7)<<13 | v.ID&0x0fff
+	if v.DropElig {
+		tci |= 0x1000
+	}
+	binary.BigEndian.PutUint16(h[0:2], tci)
+	binary.BigEndian.PutUint16(h[2:4], v.EtherType)
+	return nil
+}
+
+// ARP is an IPv4-over-Ethernet ARP packet.
+type ARP struct {
+	Operation         uint16 // 1 request, 2 reply
+	SenderMAC, TgtMAC MAC
+	SenderIP, TgtIP   IPv4Addr
+	payload           []byte
+}
+
+// ARP operations.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// LayerType implements Layer.
+func (a *ARP) LayerType() LayerType { return LayerTypeARP }
+
+// LayerPayload implements Layer.
+func (a *ARP) LayerPayload() []byte { return a.payload }
+
+// NextLayerType implements Layer.
+func (a *ARP) NextLayerType() LayerType { return LayerTypeZero }
+
+// DecodeFromBytes implements Layer.
+func (a *ARP) DecodeFromBytes(data []byte) error {
+	if len(data) < 28 {
+		return errTooShort(LayerTypeARP, 28, len(data))
+	}
+	if htype := binary.BigEndian.Uint16(data[0:2]); htype != 1 {
+		return &DecodeError{LayerTypeARP, fmt.Sprintf("unsupported hardware type %d", htype)}
+	}
+	if ptype := binary.BigEndian.Uint16(data[2:4]); ptype != EtherTypeIPv4 {
+		return &DecodeError{LayerTypeARP, fmt.Sprintf("unsupported protocol type %#x", ptype)}
+	}
+	a.Operation = binary.BigEndian.Uint16(data[6:8])
+	copy(a.SenderMAC[:], data[8:14])
+	copy(a.SenderIP[:], data[14:18])
+	copy(a.TgtMAC[:], data[18:24])
+	copy(a.TgtIP[:], data[24:28])
+	a.payload = data[28:]
+	return nil
+}
+
+// SerializeTo implements Layer.
+func (a *ARP) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	h := b.PrependBytes(28)
+	binary.BigEndian.PutUint16(h[0:2], 1)
+	binary.BigEndian.PutUint16(h[2:4], EtherTypeIPv4)
+	h[4], h[5] = 6, 4
+	binary.BigEndian.PutUint16(h[6:8], a.Operation)
+	copy(h[8:14], a.SenderMAC[:])
+	copy(h[14:18], a.SenderIP[:])
+	copy(h[18:24], a.TgtMAC[:])
+	copy(h[24:28], a.TgtIP[:])
+	return nil
+}
+
+// IPv4 is an IPv4 header (RFC 791). Options are carried verbatim.
+type IPv4 struct {
+	Version    uint8
+	IHL        uint8
+	TOS        uint8
+	Length     uint16
+	ID         uint16
+	Flags      uint8 // 3 bits
+	FragOffset uint16
+	TTL        uint8
+	Protocol   uint8
+	Checksum   uint16
+	Src, Dst   IPv4Addr
+	Options    []byte
+	payload    []byte
+}
+
+// IPv4 flag bits.
+const (
+	IPv4DontFragment  uint8 = 0b010
+	IPv4MoreFragments uint8 = 0b001
+)
+
+// LayerType implements Layer.
+func (ip *IPv4) LayerType() LayerType { return LayerTypeIPv4 }
+
+// LayerPayload implements Layer.
+func (ip *IPv4) LayerPayload() []byte { return ip.payload }
+
+// NextLayerType implements Layer.
+func (ip *IPv4) NextLayerType() LayerType {
+	switch ip.Protocol {
+	case IPProtoTCP:
+		return LayerTypeTCP
+	case IPProtoUDP:
+		return LayerTypeUDP
+	case IPProtoICMP:
+		return LayerTypeICMPv4
+	}
+	return LayerTypePayload
+}
+
+// DecodeFromBytes implements Layer.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < 20 {
+		return errTooShort(LayerTypeIPv4, 20, len(data))
+	}
+	ip.Version = data[0] >> 4
+	ip.IHL = data[0] & 0x0f
+	if ip.Version != 4 {
+		return &DecodeError{LayerTypeIPv4, fmt.Sprintf("version %d", ip.Version)}
+	}
+	if ip.IHL < 5 {
+		return &DecodeError{LayerTypeIPv4, fmt.Sprintf("IHL %d < 5", ip.IHL)}
+	}
+	hlen := int(ip.IHL) * 4
+	if len(data) < hlen {
+		return errTooShort(LayerTypeIPv4, hlen, len(data))
+	}
+	ip.TOS = data[1]
+	ip.Length = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(ff >> 13)
+	ip.FragOffset = ff & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	copy(ip.Src[:], data[12:16])
+	copy(ip.Dst[:], data[16:20])
+	ip.Options = data[20:hlen]
+	end := int(ip.Length)
+	if end < hlen || end > len(data) {
+		end = len(data)
+	}
+	ip.payload = data[hlen:end]
+	return nil
+}
+
+// HeaderBytes serializes just the header (with current fields) into dst,
+// which must be at least 20+len(Options) bytes; it returns the header
+// length used. The checksum field is written as-is.
+func (ip *IPv4) headerBytes(h []byte) int {
+	hlen := 20 + len(ip.Options)
+	h[0] = ip.Version<<4 | ip.IHL&0x0f
+	h[1] = ip.TOS
+	binary.BigEndian.PutUint16(h[2:4], ip.Length)
+	binary.BigEndian.PutUint16(h[4:6], ip.ID)
+	binary.BigEndian.PutUint16(h[6:8], uint16(ip.Flags)<<13|ip.FragOffset&0x1fff)
+	h[8] = ip.TTL
+	h[9] = ip.Protocol
+	binary.BigEndian.PutUint16(h[10:12], ip.Checksum)
+	copy(h[12:16], ip.Src[:])
+	copy(h[16:20], ip.Dst[:])
+	copy(h[20:hlen], ip.Options)
+	return hlen
+}
+
+// SerializeTo implements Layer.
+func (ip *IPv4) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	if len(ip.Options)%4 != 0 {
+		return fmt.Errorf("options length %d not a multiple of 4", len(ip.Options))
+	}
+	hlen := 20 + len(ip.Options)
+	payloadLen := b.Len()
+	h := b.PrependBytes(hlen)
+	if opts.FixLengths {
+		ip.Version = 4
+		ip.IHL = uint8(hlen / 4)
+		ip.Length = uint16(hlen + payloadLen)
+	}
+	if opts.ComputeChecksums {
+		ip.Checksum = 0
+	}
+	ip.headerBytes(h)
+	if opts.ComputeChecksums {
+		ip.Checksum = bitfield.Checksum(h[:hlen])
+		binary.BigEndian.PutUint16(h[10:12], ip.Checksum)
+	}
+	return nil
+}
+
+// Flow returns the network-level flow.
+func (ip *IPv4) Flow() Flow {
+	return NewFlow(NewEndpoint(EndpointIPv4, ip.Src[:]), NewEndpoint(EndpointIPv4, ip.Dst[:]))
+}
+
+// pseudoHeaderSum computes the ones'-complement sum of the IPv4
+// pseudo-header used by TCP and UDP checksums.
+func (ip *IPv4) pseudoHeaderSum(proto uint8, length int) uint32 {
+	var sum uint32
+	sum += uint32(binary.BigEndian.Uint16(ip.Src[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(ip.Src[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(ip.Dst[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(ip.Dst[2:4]))
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// IPv6 is the fixed IPv6 header (RFC 8200); extension headers are treated
+// as payload.
+type IPv6 struct {
+	Version      uint8
+	TrafficClass uint8
+	FlowLabel    uint32
+	Length       uint16
+	NextHeader   uint8
+	HopLimit     uint8
+	Src, Dst     IPv6Addr
+	payload      []byte
+}
+
+// LayerType implements Layer.
+func (ip *IPv6) LayerType() LayerType { return LayerTypeIPv6 }
+
+// LayerPayload implements Layer.
+func (ip *IPv6) LayerPayload() []byte { return ip.payload }
+
+// NextLayerType implements Layer.
+func (ip *IPv6) NextLayerType() LayerType {
+	switch ip.NextHeader {
+	case IPProtoTCP:
+		return LayerTypeTCP
+	case IPProtoUDP:
+		return LayerTypeUDP
+	}
+	return LayerTypePayload
+}
+
+// DecodeFromBytes implements Layer.
+func (ip *IPv6) DecodeFromBytes(data []byte) error {
+	if len(data) < 40 {
+		return errTooShort(LayerTypeIPv6, 40, len(data))
+	}
+	ip.Version = data[0] >> 4
+	if ip.Version != 6 {
+		return &DecodeError{LayerTypeIPv6, fmt.Sprintf("version %d", ip.Version)}
+	}
+	ip.TrafficClass = data[0]<<4 | data[1]>>4
+	ip.FlowLabel = uint32(data[1]&0x0f)<<16 | uint32(data[2])<<8 | uint32(data[3])
+	ip.Length = binary.BigEndian.Uint16(data[4:6])
+	ip.NextHeader = data[6]
+	ip.HopLimit = data[7]
+	copy(ip.Src[:], data[8:24])
+	copy(ip.Dst[:], data[24:40])
+	end := 40 + int(ip.Length)
+	if end > len(data) {
+		end = len(data)
+	}
+	ip.payload = data[40:end]
+	return nil
+}
+
+// SerializeTo implements Layer.
+func (ip *IPv6) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	payloadLen := b.Len()
+	h := b.PrependBytes(40)
+	if opts.FixLengths {
+		ip.Version = 6
+		ip.Length = uint16(payloadLen)
+	}
+	h[0] = ip.Version<<4 | ip.TrafficClass>>4
+	h[1] = ip.TrafficClass<<4 | uint8(ip.FlowLabel>>16)&0x0f
+	h[2] = byte(ip.FlowLabel >> 8)
+	h[3] = byte(ip.FlowLabel)
+	binary.BigEndian.PutUint16(h[4:6], ip.Length)
+	h[6] = ip.NextHeader
+	h[7] = ip.HopLimit
+	copy(h[8:24], ip.Src[:])
+	copy(h[24:40], ip.Dst[:])
+	return nil
+}
+
+// Flow returns the network-level flow.
+func (ip *IPv6) Flow() Flow {
+	return NewFlow(NewEndpoint(EndpointIPv6, ip.Src[:]), NewEndpoint(EndpointIPv6, ip.Dst[:]))
+}
+
+// ICMPv4 is an ICMP message (RFC 792).
+type ICMPv4 struct {
+	Type     uint8
+	Code     uint8
+	Checksum uint16
+	ID, Seq  uint16 // echo request/reply fields
+	payload  []byte
+}
+
+// Common ICMP types.
+const (
+	ICMPv4EchoReply    uint8 = 0
+	ICMPv4DestUnreach  uint8 = 3
+	ICMPv4EchoRequest  uint8 = 8
+	ICMPv4TimeExceeded uint8 = 11
+)
+
+// LayerType implements Layer.
+func (ic *ICMPv4) LayerType() LayerType { return LayerTypeICMPv4 }
+
+// LayerPayload implements Layer.
+func (ic *ICMPv4) LayerPayload() []byte { return ic.payload }
+
+// NextLayerType implements Layer.
+func (ic *ICMPv4) NextLayerType() LayerType { return LayerTypeZero }
+
+// DecodeFromBytes implements Layer.
+func (ic *ICMPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < 8 {
+		return errTooShort(LayerTypeICMPv4, 8, len(data))
+	}
+	ic.Type = data[0]
+	ic.Code = data[1]
+	ic.Checksum = binary.BigEndian.Uint16(data[2:4])
+	ic.ID = binary.BigEndian.Uint16(data[4:6])
+	ic.Seq = binary.BigEndian.Uint16(data[6:8])
+	ic.payload = data[8:]
+	return nil
+}
+
+// SerializeTo implements Layer.
+func (ic *ICMPv4) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	h := b.PrependBytes(8)
+	h[0] = ic.Type
+	h[1] = ic.Code
+	binary.BigEndian.PutUint16(h[4:6], ic.ID)
+	binary.BigEndian.PutUint16(h[6:8], ic.Seq)
+	if opts.ComputeChecksums {
+		ic.Checksum = bitfield.Checksum(b.Bytes())
+	}
+	binary.BigEndian.PutUint16(h[2:4], ic.Checksum)
+	return nil
+}
+
+// TCP is a TCP header (RFC 9293). Options are carried verbatim.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	DataOffset       uint8
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+	Options          []byte
+	payload          []byte
+	net              pseudoHeaderer
+}
+
+// TCP flag bits.
+const (
+	TCPFin uint8 = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+	TCPUrg
+)
+
+// LayerType implements Layer.
+func (t *TCP) LayerType() LayerType { return LayerTypeTCP }
+
+// LayerPayload implements Layer.
+func (t *TCP) LayerPayload() []byte { return t.payload }
+
+// NextLayerType implements Layer.
+func (t *TCP) NextLayerType() LayerType { return LayerTypePayload }
+
+// DecodeFromBytes implements Layer.
+func (t *TCP) DecodeFromBytes(data []byte) error {
+	if len(data) < 20 {
+		return errTooShort(LayerTypeTCP, 20, len(data))
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.DataOffset = data[12] >> 4
+	if t.DataOffset < 5 {
+		return &DecodeError{LayerTypeTCP, fmt.Sprintf("data offset %d < 5", t.DataOffset)}
+	}
+	hlen := int(t.DataOffset) * 4
+	if len(data) < hlen {
+		return errTooShort(LayerTypeTCP, hlen, len(data))
+	}
+	t.Flags = data[13]
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	t.Options = data[20:hlen]
+	t.payload = data[hlen:]
+	return nil
+}
+
+// SerializeTo implements Layer. Checksums require the enclosing IPv4 layer;
+// use Serialize with both layers present, or SetNetworkForChecksum.
+func (t *TCP) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	if len(t.Options)%4 != 0 {
+		return fmt.Errorf("options length %d not a multiple of 4", len(t.Options))
+	}
+	hlen := 20 + len(t.Options)
+	segLen := hlen + b.Len()
+	h := b.PrependBytes(hlen)
+	if opts.FixLengths {
+		t.DataOffset = uint8(hlen / 4)
+	}
+	binary.BigEndian.PutUint16(h[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(h[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(h[4:8], t.Seq)
+	binary.BigEndian.PutUint32(h[8:12], t.Ack)
+	h[12] = t.DataOffset << 4
+	h[13] = t.Flags
+	binary.BigEndian.PutUint16(h[14:16], t.Window)
+	binary.BigEndian.PutUint16(h[18:20], t.Urgent)
+	copy(h[20:hlen], t.Options)
+	if opts.ComputeChecksums && t.net != nil {
+		t.Checksum = transportChecksum(t.net, IPProtoTCP, b.Bytes()[:segLen])
+	}
+	binary.BigEndian.PutUint16(h[16:18], t.Checksum)
+	return nil
+}
+
+// net, when set via SetNetworkForChecksum, provides the pseudo-header.
+type pseudoHeaderer interface {
+	pseudoHeaderSum(proto uint8, length int) uint32
+}
+
+// SetNetworkForChecksum supplies the enclosing IPv4 header used for the
+// pseudo-header checksum during SerializeTo.
+func (t *TCP) SetNetworkForChecksum(ip *IPv4) { t.net = ip }
+
+// UDP is a UDP header (RFC 768).
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+	payload          []byte
+	net              pseudoHeaderer
+}
+
+// LayerType implements Layer.
+func (u *UDP) LayerType() LayerType { return LayerTypeUDP }
+
+// LayerPayload implements Layer.
+func (u *UDP) LayerPayload() []byte { return u.payload }
+
+// NextLayerType implements Layer.
+func (u *UDP) NextLayerType() LayerType { return LayerTypePayload }
+
+// DecodeFromBytes implements Layer.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < 8 {
+		return errTooShort(LayerTypeUDP, 8, len(data))
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	end := int(u.Length)
+	if end < 8 || end > len(data) {
+		end = len(data)
+	}
+	u.payload = data[8:end]
+	return nil
+}
+
+// SerializeTo implements Layer.
+func (u *UDP) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	dgramLen := 8 + b.Len()
+	h := b.PrependBytes(8)
+	if opts.FixLengths {
+		u.Length = uint16(dgramLen)
+	}
+	binary.BigEndian.PutUint16(h[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(h[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(h[4:6], u.Length)
+	if opts.ComputeChecksums && u.net != nil {
+		u.Checksum = transportChecksum(u.net, IPProtoUDP, b.Bytes()[:dgramLen])
+	}
+	binary.BigEndian.PutUint16(h[6:8], u.Checksum)
+	return nil
+}
+
+// SetNetworkForChecksum supplies the enclosing IPv4 header used for the
+// pseudo-header checksum during SerializeTo.
+func (u *UDP) SetNetworkForChecksum(ip *IPv4) { u.net = ip }
+
+// transportChecksum computes a TCP/UDP checksum over segment with the
+// pseudo-header from net.
+func transportChecksum(net pseudoHeaderer, proto uint8, segment []byte) uint16 {
+	sum := net.pseudoHeaderSum(proto, len(segment))
+	sum += uint32(bitfield.OnesComplementSum(segment))
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	ck := ^uint16(sum)
+	if ck == 0 && proto == IPProtoUDP {
+		ck = 0xffff // RFC 768: zero means "no checksum"
+	}
+	return ck
+}
+
+// Payload is an opaque application-layer blob.
+type Payload struct {
+	Data []byte
+}
+
+// LayerType implements Layer.
+func (p *Payload) LayerType() LayerType { return LayerTypePayload }
+
+// LayerPayload implements Layer.
+func (p *Payload) LayerPayload() []byte { return nil }
+
+// NextLayerType implements Layer.
+func (p *Payload) NextLayerType() LayerType { return LayerTypeZero }
+
+// DecodeFromBytes implements Layer.
+func (p *Payload) DecodeFromBytes(data []byte) error {
+	p.Data = data
+	return nil
+}
+
+// SerializeTo implements Layer.
+func (p *Payload) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	copy(b.PrependBytes(len(p.Data)), p.Data)
+	return nil
+}

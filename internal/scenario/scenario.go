@@ -1,0 +1,1015 @@
+// Package scenario defines the experiment suite behind Figure 2 of the
+// paper: for each of the seven use cases (§3) it builds concrete bug/
+// measurement scenarios and runs all three tools against them —
+//
+//   - NetDebug (package core): in-device generator + checker + taps,
+//   - software formal verification (package verify): p4v-style symbolic
+//     program analysis,
+//   - external network tester (package tester): OSNT-style port-attached
+//     traffic generator/capture.
+//
+// Each tool's cell in the capability matrix is scored empirically: Full
+// when it handles every scenario of the use case, Partial when some, None
+// when none. The expected shape matches the paper: NetDebug is Full
+// everywhere; formal verification covers only program-level functional
+// properties; the external tester is partial wherever internal visibility
+// or control-plane access is required and blind to resources and status.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"netdebug/internal/bitfield"
+	"netdebug/internal/core"
+	"netdebug/internal/dataplane"
+	"netdebug/internal/device"
+	"netdebug/internal/p4/compile"
+	"netdebug/internal/p4/ir"
+	"netdebug/internal/p4/p4test"
+	"netdebug/internal/packet"
+	"netdebug/internal/target"
+	"netdebug/internal/tester"
+	"netdebug/internal/verify"
+	"netdebug/internal/verify/solver"
+)
+
+// UseCase enumerates the paper's §3 use cases.
+type UseCase string
+
+// The seven use cases of Figure 2.
+const (
+	Functional   UseCase = "functional testing"
+	Performance  UseCase = "performance testing"
+	Compiler     UseCase = "compiler check"
+	Architecture UseCase = "architecture check"
+	Resources    UseCase = "resources quantification"
+	Status       UseCase = "status monitoring"
+	Comparison   UseCase = "comparison"
+)
+
+// UseCases lists the rows of Figure 2 in paper order.
+var UseCases = []UseCase{
+	Functional, Performance, Compiler, Architecture, Resources, Status, Comparison,
+}
+
+// Tool names (columns of Figure 2).
+const (
+	ToolNetDebug = "NetDebug"
+	ToolFormal   = "software formal verification"
+	ToolExternal = "external network tester"
+)
+
+// Tools lists the columns in paper order.
+var Tools = []string{ToolNetDebug, ToolFormal, ToolExternal}
+
+// Outcome is one tool's result on one scenario.
+type Outcome struct {
+	// Supported reports whether the tool can attempt the scenario at all.
+	Supported bool
+	// Detected reports whether the tool found the bug / produced the
+	// measurement the scenario demands.
+	Detected bool
+	// Detail is a one-line human-readable explanation.
+	Detail string
+}
+
+func unsupported(why string) Outcome { return Outcome{Detail: why} }
+
+func detected(format string, args ...any) Outcome {
+	return Outcome{Supported: true, Detected: true, Detail: fmt.Sprintf(format, args...)}
+}
+
+func missed(format string, args ...any) Outcome {
+	return Outcome{Supported: true, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Scenario is one concrete experiment; each tool closure builds a fresh
+// environment so scenarios are independent.
+type Scenario struct {
+	Name    string
+	UseCase UseCase
+	Run     map[string]func() Outcome
+}
+
+// --- shared fixtures ---------------------------------------------------
+
+var (
+	macA = packet.MAC{2, 0, 0, 0, 0, 0xa}
+	macB = packet.MAC{2, 0, 0, 0, 0, 0xb}
+	gw   = packet.MAC{2, 0, 0, 0, 0xff, 1}
+	ipA  = packet.IPv4Addr{10, 0, 0, 1}
+	ipB  = packet.IPv4Addr{10, 0, 1, 2}
+)
+
+func mustProg(src string) *ir.Program {
+	prog, err := compile.Compile(src)
+	if err != nil {
+		panic(fmt.Sprintf("scenario: sample program failed to compile: %v", err))
+	}
+	return prog
+}
+
+func routeEntry(port uint64) dataplane.Entry {
+	return dataplane.Entry{
+		Table:  "ipv4_lpm",
+		Keys:   []dataplane.KeyValue{{Value: bitfield.New(0x0a000000, 32), PrefixLen: 8}},
+		Action: "ipv4_forward",
+		Args:   []bitfield.Value{bitfield.FromBytes(gw[:]), bitfield.New(port, 9)},
+	}
+}
+
+// routerDevice builds a device running src on tg with one 10/8 route.
+func routerDevice(src string, tg target.Target, entries ...dataplane.Entry) *device.Device {
+	if err := tg.Load(mustProg(src)); err != nil {
+		panic(fmt.Sprintf("scenario: load: %v", err))
+	}
+	if entries == nil {
+		entries = []dataplane.Entry{routeEntry(1)}
+	}
+	for _, e := range entries {
+		if err := tg.InstallEntry(e); err != nil {
+			panic(fmt.Sprintf("scenario: install: %v", err))
+		}
+	}
+	dev, err := device.New(device.Config{Target: tg})
+	if err != nil {
+		panic(err)
+	}
+	return dev
+}
+
+// plainDevice builds a device running src with no table entries.
+func plainDevice(src string, tg target.Target) *device.Device {
+	if err := tg.Load(mustProg(src)); err != nil {
+		panic(fmt.Sprintf("scenario: load: %v", err))
+	}
+	dev, err := device.New(device.Config{Target: tg})
+	if err != nil {
+		panic(err)
+	}
+	return dev
+}
+
+func goodFrame() []byte {
+	return packet.BuildUDPv4(macA, macB, ipA, ipB, 40000, 53, make([]byte, 26))
+}
+
+func ttlZeroFrame() []byte {
+	f := goodFrame()
+	f[14+8] = 0
+	fixIPv4(f)
+	return f
+}
+
+func badVersionFrame() []byte {
+	f := goodFrame()
+	f[14] = 0x65
+	fixIPv4(f)
+	return f
+}
+
+func fixIPv4(f []byte) {
+	f[14+10], f[14+11] = 0, 0
+	ck := bitfield.Checksum(f[14 : 14+20])
+	f[14+10], f[14+11] = byte(ck>>8), byte(ck)
+}
+
+// runNetDebugDropTest runs a NetDebug test asserting stream "bad" drops
+// and returns whether the violation was detected.
+func runNetDebugDropTest(dev *device.Device, frame []byte) (*core.Report, error) {
+	ctl := core.Connect(core.NewAgent(dev))
+	defer ctl.Close()
+	return ctl.RunTest(&core.TestSpec{
+		Name: "drop-test",
+		Gen: core.GenSpec{Streams: []core.StreamSpec{{
+			Name: "bad", Template: frame, Count: 20, RatePPS: 1e6,
+		}}},
+		Check: core.CheckSpec{Rules: []core.Rule{{
+			Name: "bad-dropped", Stream: "bad", ExpectDrop: true,
+		}}},
+	})
+}
+
+// seqLocForUDPPayload returns a 32-bit sequence-tag location in the UDP
+// payload of goodFrame()-shaped packets.
+func seqLocForUDPPayload() core.FieldLoc {
+	return core.FieldLoc{BitOff: (14 + 20 + 8) * 8, Bits: 32}
+}
+
+// --- scenario suite -----------------------------------------------------
+
+// All builds the complete Figure 2 scenario suite.
+func All() []Scenario {
+	var out []Scenario
+	out = append(out, functionalScenarios()...)
+	out = append(out, performanceScenarios()...)
+	out = append(out, compilerScenarios()...)
+	out = append(out, architectureScenarios()...)
+	out = append(out, resourceScenarios()...)
+	out = append(out, statusScenarios()...)
+	out = append(out, comparisonScenarios()...)
+	return out
+}
+
+func functionalScenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:    "program bug: missing TTL=0 guard",
+			UseCase: Functional,
+			Run: map[string]func() Outcome{
+				ToolNetDebug: func() Outcome {
+					dev := routerDevice(p4test.RouterNoTTLCheck, target.NewReference())
+					rep, err := runNetDebugDropTest(dev, ttlZeroFrame())
+					if err != nil {
+						return missed("test error: %v", err)
+					}
+					if !rep.Pass {
+						return detected("checker: %d TTL=0 packets forwarded, want drop", rep.Failures())
+					}
+					return missed("ttl=0 packets were dropped")
+				},
+				ToolFormal: func() Outcome {
+					prog := mustProg(p4test.RouterNoTTLCheck)
+					prop := ttlZeroForwardProp()
+					res, err := verify.Check(prog, prop, verify.Options{})
+					if err != nil {
+						return missed("verification error: %v", err)
+					}
+					if !res.Holds {
+						return detected("property %s violated: program forwards TTL=0", prop.Name)
+					}
+					return missed("property verified; bug not found")
+				},
+				ToolExternal: func() Outcome {
+					dev := routerDevice(p4test.RouterNoTTLCheck, target.NewReference())
+					tst := tester.New(dev)
+					rep, err := tst.Run([]tester.Stream{{
+						Name: "ttl0", Frame: ttlZeroFrame(), Count: 20,
+						TxPort: 0, RxPort: 1, SeqLoc: seqLocForUDPPayload(),
+						ExpectLoss: true, // a correct router drops these
+					}})
+					if err != nil {
+						return missed("tester error: %v", err)
+					}
+					if !rep.Pass {
+						return detected("captured %d TTL=0 frames on egress, want none", rep.Received)
+					}
+					return missed("no TTL=0 frames escaped")
+				},
+			},
+		},
+		{
+			Name:    "control-plane bug: route installed to wrong port",
+			UseCase: Functional,
+			Run: map[string]func() Outcome{
+				ToolNetDebug: func() Outcome {
+					dev := routerDevice(p4test.Router, target.NewReference(), routeEntry(3)) // should be 1
+					ctl := core.Connect(core.NewAgent(dev))
+					defer ctl.Close()
+					rep, err := ctl.RunTest(&core.TestSpec{
+						Name: "egress-check",
+						Gen: core.GenSpec{Streams: []core.StreamSpec{{
+							Name: "probe", Template: goodFrame(), Count: 10, RatePPS: 1e6,
+						}}},
+						Check: core.CheckSpec{Rules: []core.Rule{{
+							Name: "to-port1", Stream: "probe", ExpectPort: 1,
+						}}},
+					})
+					if err != nil {
+						return missed("test error: %v", err)
+					}
+					if !rep.Pass {
+						return detected("checker: packets egress port 3, want 1")
+					}
+					return missed("egress port as expected")
+				},
+				ToolFormal: func() Outcome {
+					return unsupported("table contents are runtime state; program-level verification cannot see installed entries")
+				},
+				ToolExternal: func() Outcome {
+					dev := routerDevice(p4test.Router, target.NewReference(), routeEntry(3))
+					tst := tester.New(dev)
+					rep, err := tst.Run([]tester.Stream{{
+						Name: "probe", Frame: goodFrame(), Count: 10,
+						TxPort: 0, RxPort: 1, SeqLoc: seqLocForUDPPayload(),
+					}})
+					if err != nil {
+						return missed("tester error: %v", err)
+					}
+					if !rep.Pass {
+						return detected("expected frames on port 1 never arrived (loss=%d)", rep.Lost)
+					}
+					return missed("frames arrived on expected port")
+				},
+			},
+		},
+		{
+			Name:    "silent internal drop: localize the faulty stage",
+			UseCase: Functional,
+			Run: map[string]func() Outcome{
+				ToolNetDebug: func() Outcome {
+					dev := routerDevice(p4test.Router, target.NewReference())
+					dev.InjectFault(device.Fault{Kind: device.FaultQueueStuck, Port: 1})
+					diag := core.LocalizeFault(dev, goodFrame(), 0, 1)
+					if diag.Stage == "egress port 1" {
+						return detected("localized fault to %s", diag.Stage)
+					}
+					return missed("localized to %q, want egress port 1", diag.Stage)
+				},
+				ToolFormal: func() Outcome {
+					return unsupported("hardware faults are invisible to program verification")
+				},
+				ToolExternal: func() Outcome {
+					// The tester sees 100% loss but cannot name the stage:
+					// a MAC fault, parser drop, and stuck queue look identical.
+					dev := routerDevice(p4test.Router, target.NewReference())
+					dev.InjectFault(device.Fault{Kind: device.FaultQueueStuck, Port: 1})
+					tst := tester.New(dev)
+					rep, _ := tst.Run([]tester.Stream{{
+						Name: "probe", Frame: goodFrame(), Count: 10,
+						TxPort: 0, RxPort: 1, SeqLoc: seqLocForUDPPayload(),
+					}})
+					if rep != nil && rep.Lost > 0 {
+						return missed("observed %d lost frames but cannot localize the stage", rep.Lost)
+					}
+					return missed("no loss observed")
+				},
+			},
+		},
+	}
+}
+
+// ttlZeroForwardProp: packets arriving with TTL 0 must not be forwarded.
+// Encoded on the input variable (the extract-time value, before the
+// pipeline decrements it).
+func ttlZeroForwardProp() verify.Property {
+	return verify.Property{
+		Name:        "ttl-zero-input-dropped",
+		Description: "packets arriving with ipv4.ttl==0 are never forwarded",
+		Violation: func(prog *ir.Program, p *verify.Path) (bool, []solver.BV) {
+			inst := prog.Instance("ipv4")
+			if inst == nil || p.Dropped || !p.Valid[inst.Index] {
+				return false, nil
+			}
+			// The extract-time TTL is the fresh variable named
+			// "ipv4.ttl#N"; find it in the path's terms and pin it to 0.
+			v := findVar(p, "ipv4.ttl#")
+			if v == nil {
+				return false, nil
+			}
+			return true, []solver.BV{solver.Eq(v, solver.ConstUint(0, v.Width()))}
+		},
+	}
+}
+
+// findVar locates a free variable whose name starts with prefix anywhere
+// in the path's constraints or final field expressions.
+func findVar(p *verify.Path, prefix string) solver.BV {
+	var found solver.BV
+	visit := func(v solver.VarBV) {
+		if found == nil && strings.HasPrefix(v.Name, prefix) {
+			found = v
+		}
+	}
+	var walk func(t solver.BV)
+	walk = func(t solver.BV) {
+		switch t := t.(type) {
+		case solver.VarBV:
+			visit(t)
+		case solver.BinBV:
+			walk(t.A)
+			walk(t.B)
+		case solver.UnBV:
+			walk(t.X)
+		case solver.IteBV:
+			walk(t.Cond)
+			walk(t.A)
+			walk(t.B)
+		}
+	}
+	for _, c := range p.Constraints {
+		walk(c)
+	}
+	for _, inst := range p.Fields {
+		for _, f := range inst {
+			if f != nil {
+				walk(f)
+			}
+		}
+	}
+	return found
+}
+
+func performanceScenarios() []Scenario {
+	const frameBytes = 1024 - 42 // payload so the frame is 1024B
+	mkFrame := func() []byte {
+		return packet.BuildUDPv4(macA, macB, ipA, ipB, 40000, 53, make([]byte, frameBytes))
+	}
+	lineRatePPS := 10e9 / float64((1024+20)*8)
+	return []Scenario{
+		{
+			Name:    "throughput and packet rate at line rate",
+			UseCase: Performance,
+			Run: map[string]func() Outcome{
+				ToolNetDebug: func() Outcome {
+					dev := routerDevice(p4test.Router, target.NewSDNet(target.DefaultErrata()))
+					ctl := core.Connect(core.NewAgent(dev))
+					defer ctl.Close()
+					rep, err := ctl.RunTest(&core.TestSpec{
+						Name: "rate",
+						Gen: core.GenSpec{Streams: []core.StreamSpec{{
+							Name: "flood", Template: mkFrame(), Count: 2000,
+						}}},
+						Check: core.CheckSpec{Rules: []core.Rule{{Name: "fwd", Stream: "flood", ExpectPort: 1}}},
+					})
+					if err != nil || !rep.Pass {
+						return missed("rate test failed: %v %v", rep, err)
+					}
+					if rep.OutPPS > 0.95*lineRatePPS && rep.OutPPS < 1.05*lineRatePPS {
+						return detected("measured %.0f pps / %.2f Gbps at line rate", rep.OutPPS, rep.OutBPS/1e9)
+					}
+					return missed("pps %.0f outside line-rate window", rep.OutPPS)
+				},
+				ToolFormal: func() Outcome {
+					return unsupported("verification is static; it measures no rates")
+				},
+				ToolExternal: func() Outcome {
+					dev := routerDevice(p4test.Router, target.NewSDNet(target.DefaultErrata()))
+					tst := tester.New(dev)
+					pps, bps, err := tst.MeasureThroughput(mkFrame(), 2000, 0, 1)
+					if err != nil {
+						return missed("tester error: %v", err)
+					}
+					if pps > 0.9*lineRatePPS {
+						return detected("measured %.0f pps / %.2f Gbps externally", pps, bps/1e9)
+					}
+					return missed("external pps %.0f below line rate", pps)
+				},
+			},
+		},
+		{
+			Name:    "pipeline latency isolated from wire time",
+			UseCase: Performance,
+			Run: map[string]func() Outcome{
+				ToolNetDebug: func() Outcome {
+					dev := routerDevice(p4test.Router, target.NewSDNet(target.DefaultErrata()))
+					ctl := core.Connect(core.NewAgent(dev))
+					defer ctl.Close()
+					rep, err := ctl.RunTest(&core.TestSpec{
+						Name: "latency",
+						Gen: core.GenSpec{Streams: []core.StreamSpec{{
+							Name: "probe", Template: mkFrame(), Count: 200, RatePPS: 1e5,
+						}}},
+						Check: core.CheckSpec{Rules: []core.Rule{{Name: "fwd", Stream: "probe", ExpectPort: 1}}},
+					})
+					if err != nil || !rep.Pass {
+						return missed("latency test failed")
+					}
+					// Pipeline latency for a 1024B frame on the sdnet model
+					// is well under a microsecond; wire time alone is 835ns.
+					if rep.LatP50Ns > 0 && rep.LatP50Ns < 800 {
+						return detected("pipeline p50 latency %dns, isolated from wire time", rep.LatP50Ns)
+					}
+					return missed("p50 latency %dns not isolated", rep.LatP50Ns)
+				},
+				ToolFormal: func() Outcome {
+					return unsupported("verification is static; it measures no latency")
+				},
+				ToolExternal: func() Outcome {
+					dev := routerDevice(p4test.Router, target.NewSDNet(target.DefaultErrata()))
+					tst := tester.New(dev)
+					rep, err := tst.Run([]tester.Stream{{
+						Name: "probe", Frame: mkFrame(), Count: 200,
+						TxPort: 0, RxPort: 1, RatePPS: 1e5, SeqLoc: seqLocForUDPPayload(),
+					}})
+					if err != nil || !rep.Pass {
+						return missed("tester run failed")
+					}
+					// RTT includes two serialization times; the tester cannot
+					// isolate the pipeline component.
+					if rep.RTTP50Ns >= 800 {
+						return missed("RTT p50 %dns includes wire time; pipeline latency not isolable", rep.RTTP50Ns)
+					}
+					return detected("RTT %dns", rep.RTTP50Ns)
+				},
+			},
+		},
+	}
+}
+
+func compilerScenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:    "SDNet reject parser state not implemented",
+			UseCase: Compiler,
+			Run: map[string]func() Outcome{
+				ToolNetDebug: func() Outcome {
+					dev := routerDevice(p4test.Router, target.NewSDNet(target.DefaultErrata()))
+					rep, err := runNetDebugDropTest(dev, badVersionFrame())
+					if err != nil {
+						return missed("test error: %v", err)
+					}
+					if !rep.Pass {
+						return detected("malformed packets forwarded: reject state not implemented")
+					}
+					return missed("malformed packets dropped correctly")
+				},
+				ToolFormal: func() Outcome {
+					// The paper's headline: the program verifies, so the
+					// compiler bug is invisible.
+					prog := mustProg(p4test.Router)
+					res, err := verify.Check(prog, verify.PropRejectedDropped, verify.Options{})
+					if err != nil {
+						return missed("verification error: %v", err)
+					}
+					if res.Holds {
+						return missed("program verified correct; compiler defect invisible to software verification")
+					}
+					return detected("property violated (unexpected)")
+				},
+				ToolExternal: func() Outcome {
+					dev := routerDevice(p4test.Router, target.NewSDNet(target.DefaultErrata()))
+					tst := tester.New(dev)
+					rep, err := tst.Run([]tester.Stream{{
+						Name: "bad", Frame: badVersionFrame(), Count: 20,
+						TxPort: 0, RxPort: 1, SeqLoc: seqLocForUDPPayload(),
+						ExpectLoss: true,
+					}})
+					if err != nil {
+						return missed("tester error: %v", err)
+					}
+					if !rep.Pass {
+						return detected("malformed frames captured on egress: drop not enforced")
+					}
+					return missed("malformed frames were dropped")
+				},
+			},
+		},
+		{
+			Name:    "compiler rejects wide ternary keys",
+			UseCase: Compiler,
+			Run: map[string]func() Outcome{
+				ToolNetDebug: func() Outcome {
+					prog := mustProg(wideTernaryProgram)
+					sd := target.NewSDNet(target.DefaultErrata())
+					if err := sd.Load(prog); err != nil {
+						return detected("compilation failed as a limitation: %v", err)
+					}
+					return missed("wide ternary program loaded")
+				},
+				ToolFormal: func() Outcome {
+					return unsupported("verification sees the language, not the backend's limits")
+				},
+				ToolExternal: func() Outcome {
+					return unsupported("an external tester never interacts with the compiler")
+				},
+			},
+		},
+	}
+}
+
+const wideTernaryProgram = `
+header h_t { bit<128> x; } struct hs { h_t h; }
+parser P(packet_in p, out hs hdr) { state start { p.extract(hdr.h); transition accept; } }
+control I(inout hs hdr, inout standard_metadata_t sm) {
+  action fwd(bit<9> port) { sm.egress_spec = port; }
+  table t { key = { hdr.h.x: ternary; } actions = { fwd; } }
+  apply { t.apply(); }
+}
+control D(packet_out p, in hs hdr) { apply { p.emit(hdr.h); } }
+S(P(), I(), D()) main;`
+
+func architectureScenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:    "usable table capacity below declared size",
+			UseCase: Architecture,
+			Run: map[string]func() Outcome{
+				ToolNetDebug: func() Outcome {
+					dev := routerDevice(p4test.Router, target.NewSDNet(target.DefaultErrata()))
+					ctl := core.Connect(core.NewAgent(dev))
+					defer ctl.Close()
+					installed := 0
+					for i := 0; i < 1024; i++ {
+						e := dataplane.Entry{
+							Table: "ipv4_lpm",
+							Keys: []dataplane.KeyValue{{
+								Value: bitfield.New(uint64(0x0b000000+i*256), 32), PrefixLen: 24,
+							}},
+							Action: "ipv4_forward",
+							Args:   []bitfield.Value{bitfield.FromBytes(gw[:]), bitfield.New(1, 9)},
+						}
+						if err := ctl.InstallEntry(e); err != nil {
+							break
+						}
+						installed++
+					}
+					if installed < 1024 {
+						return detected("table full after %d entries; declared size 1024", installed+1)
+					}
+					return missed("all 1024 entries installed")
+				},
+				ToolFormal: func() Outcome {
+					return unsupported("resource layout is a target property; not in the program semantics")
+				},
+				ToolExternal: func() Outcome {
+					return unsupported("the tester has no control-plane access to install entries")
+				},
+			},
+		},
+		{
+			Name:    "output queue depth limit under 2:1 oversubscription",
+			UseCase: Architecture,
+			Run: map[string]func() Outcome{
+				ToolNetDebug: func() Outcome {
+					dev := routerDevice(p4test.Router, target.NewReference())
+					floodTwoToOne(dev)
+					drops := dev.Status()["port1.tx.queue_drops"]
+					if drops > 0 {
+						return detected("status registers report %d queue tail-drops", drops)
+					}
+					return missed("no queue drops recorded")
+				},
+				ToolFormal: func() Outcome {
+					return unsupported("queueing is not part of the program semantics")
+				},
+				ToolExternal: func() Outcome {
+					dev := routerDevice(p4test.Router, target.NewReference())
+					sent, got := floodTwoToOne(dev)
+					if got < sent {
+						return detected("received %d of %d frames: loss implies a queue limit", got, sent)
+					}
+					return missed("no loss under oversubscription")
+				},
+			},
+		},
+	}
+}
+
+// floodTwoToOne sends line-rate streams from ports 0 and 2 both destined
+// to port 1 and returns (sent, received).
+func floodTwoToOne(dev *device.Device) (sent, received int) {
+	frame := goodFrame()
+	wire := time.Duration(float64(len(frame)+20) * 8 / 10e9 * 1e9)
+	for i := 0; i < 400; i++ {
+		at := time.Duration(i) * wire
+		dev.SendExternal(0, frame, at)
+		dev.SendExternal(2, frame, at)
+		sent += 2
+	}
+	received = len(dev.Captures(1))
+	return sent, received
+}
+
+func resourceScenarios() []Scenario {
+	return []Scenario{{
+		Name:    "hardware resource usage per program",
+		UseCase: Resources,
+		Run: map[string]func() Outcome{
+			ToolNetDebug: func() Outcome {
+				dev := routerDevice(p4test.Router, target.NewSDNet(target.DefaultErrata()))
+				ctl := core.Connect(core.NewAgent(dev))
+				defer ctl.Close()
+				small, err := ctl.Resources()
+				if err != nil || small.LUTs <= 0 {
+					return missed("no resource report: %v", err)
+				}
+				big := target.NewSDNet(target.DefaultErrata())
+				if err := big.Load(mustProg(p4test.Firewall)); err != nil {
+					return missed("firewall load: %v", err)
+				}
+				if big.Resources().LUTs > small.LUTs {
+					return detected("router %.1f%% LUT vs firewall %.1f%% LUT: consumption quantified",
+						small.LUTPct, big.Resources().LUTPct)
+				}
+				return missed("resource model not discriminating")
+			},
+			ToolFormal: func() Outcome {
+				return unsupported("verification has no view of hardware resources")
+			},
+			ToolExternal: func() Outcome {
+				return unsupported("resource usage is invisible at the network interfaces")
+			},
+		},
+	}}
+}
+
+func statusScenarios() []Scenario {
+	return []Scenario{{
+		Name:    "periodic internal status registers",
+		UseCase: Status,
+		Run: map[string]func() Outcome{
+			ToolNetDebug: func() Outcome {
+				dev := routerDevice(p4test.Router, target.NewReference())
+				ctl := core.Connect(core.NewAgent(dev))
+				defer ctl.Close()
+				dev.SendExternal(0, goodFrame(), 0)
+				st, err := ctl.Status()
+				if err != nil {
+					return missed("status read: %v", err)
+				}
+				if st["target.parser.accept"] == 1 && st["port1.tx.frames"] == 1 {
+					return detected("per-stage counters and queue state readable over the control channel")
+				}
+				return missed("status registers incomplete: %v", st)
+			},
+			ToolFormal: func() Outcome {
+				return unsupported("no runtime status in a static analysis")
+			},
+			ToolExternal: func() Outcome {
+				return unsupported("internal registers are not observable at the interfaces")
+			},
+		},
+	}}
+}
+
+func comparisonScenarios() []Scenario {
+	probes := func() [][]byte {
+		var out [][]byte
+		for i := 0; i < 20; i++ {
+			out = append(out, packet.BuildUDPv4(macA, macB, ipA,
+				packet.IPv4Addr{10, 0, byte(i), 9}, uint16(4000+i), 53, []byte{byte(i)}))
+		}
+		return out
+	}
+	splitEntries := []dataplane.Entry{
+		{
+			Table:  "lpm_nexthop",
+			Keys:   []dataplane.KeyValue{{Value: bitfield.New(0x0a000000, 32), PrefixLen: 8}},
+			Action: "set_nexthop",
+			Args:   []bitfield.Value{bitfield.New(7, 16)},
+		},
+		{
+			Table:  "nexthop_egress",
+			Keys:   []dataplane.KeyValue{{Value: bitfield.New(7, 16)}},
+			Action: "set_egress",
+			Args:   []bitfield.Value{bitfield.FromBytes(gw[:]), bitfield.New(1, 9)},
+		},
+	}
+	return []Scenario{
+		{
+			Name:    "two specifications compute the same function",
+			UseCase: Comparison,
+			Run: map[string]func() Outcome{
+				ToolNetDebug: func() Outcome {
+					devA := routerDevice(p4test.Router, target.NewReference())
+					devB := routerDevice(p4test.RouterSplit, target.NewReference(), splitEntries...)
+					diff := 0
+					for _, p := range probes() {
+						ra := devA.InjectInternal(p, 0, devA.Now(), false)
+						rb := devB.InjectInternal(p, 0, devB.Now(), false)
+						if !sameResult(ra, rb) {
+							diff++
+						}
+					}
+					if diff == 0 {
+						return detected("differential injection: specifications agree on all %d probes", len(probes()))
+					}
+					return missed("%d probes diverged", diff)
+				},
+				ToolFormal: func() Outcome {
+					// Compare verification verdicts property-by-property.
+					pa := mustProg(p4test.Router)
+					pb := mustProg(p4test.RouterSplit)
+					props := []verify.Property{verify.PropRejectedDropped, ttlZeroForwardProp()}
+					for _, prop := range props {
+						ra, err := verify.Check(pa, prop, verify.Options{})
+						if err != nil {
+							return missed("verify error: %v", err)
+						}
+						rb, err := verify.Check(pb, prop, verify.Options{})
+						if err != nil {
+							return missed("verify error: %v", err)
+						}
+						if ra.Holds != rb.Holds {
+							return missed("specifications differ on %s", prop.Name)
+						}
+					}
+					return detected("both specifications verify the same %d properties", len(props))
+				},
+				ToolExternal: func() Outcome {
+					devA := routerDevice(p4test.Router, target.NewReference())
+					devB := routerDevice(p4test.RouterSplit, target.NewReference(), splitEntries...)
+					mismatch := 0
+					for i, p := range probes() {
+						devA.SendExternal(0, p, time.Duration(i)*10*time.Microsecond)
+						devB.SendExternal(0, p, time.Duration(i)*10*time.Microsecond)
+					}
+					ca, cb := devA.Captures(1), devB.Captures(1)
+					if len(ca) != len(cb) {
+						mismatch++
+					}
+					if mismatch == 0 {
+						return detected("external differential run: %d captures on both devices", len(ca))
+					}
+					return missed("capture counts diverge")
+				},
+			},
+		},
+		{
+			Name:    "specifications differ only in internal drop stage",
+			UseCase: Comparison,
+			Run: map[string]func() Outcome{
+				ToolNetDebug: func() Outcome {
+					// Router drops bad-version packets in the parser;
+					// RouterNoTTLCheck also rejects them in the parser, but a
+					// variant that accepts-then-drops differs internally.
+					devA := routerDevice(p4test.Router, target.NewReference())
+					devB := plainDevice(acceptThenDropProgram, target.NewReference())
+					ra := devA.InjectInternal(badVersionFrame(), 0, 0, true)
+					rb := devB.InjectInternal(badVersionFrame(), 0, 0, true)
+					if ra.Dropped() && rb.Dropped() && ra.Trace.DropStage != rb.Trace.DropStage {
+						return detected("both drop, but at %q vs %q — distinguishable only internally",
+							ra.Trace.DropStage, rb.Trace.DropStage)
+					}
+					return missed("drop stages identical: %q vs %q", ra.Trace.DropStage, rb.Trace.DropStage)
+				},
+				ToolFormal: func() Outcome {
+					return unsupported("both programs satisfy identical I/O properties; stage is not expressible")
+				},
+				ToolExternal: func() Outcome {
+					devA := routerDevice(p4test.Router, target.NewReference())
+					devB := plainDevice(acceptThenDropProgram, target.NewReference())
+					devA.SendExternal(0, badVersionFrame(), 0)
+					devB.SendExternal(0, badVersionFrame(), 0)
+					if len(devA.Captures(1)) == 0 && len(devB.Captures(1)) == 0 {
+						return missed("externally identical: both devices emit nothing")
+					}
+					return detected("external outputs differ")
+				},
+			},
+		},
+	}
+}
+
+// acceptThenDropProgram drops malformed IPv4 in the ingress control rather
+// than the parser — externally identical to Router on malformed input,
+// internally different.
+const acceptThenDropProgram = `
+const bit<16> TYPE_IPV4 = 0x0800;
+header ethernet_t { bit<48> dstAddr; bit<48> srcAddr; bit<16> etherType; }
+header ipv4_t {
+  bit<4> version; bit<4> ihl; bit<8> diffserv; bit<16> totalLen;
+  bit<16> identification; bit<3> flags; bit<13> fragOffset;
+  bit<8> ttl; bit<8> protocol; bit<16> hdrChecksum;
+  bit<32> srcAddr; bit<32> dstAddr;
+}
+struct headers_t { ethernet_t ethernet; ipv4_t ipv4; }
+parser AParser(packet_in pkt, out headers_t hdr, inout standard_metadata_t sm) {
+  state start {
+    pkt.extract(hdr.ethernet);
+    transition select(hdr.ethernet.etherType) {
+      TYPE_IPV4: parse_ipv4;
+      default: accept;
+    }
+  }
+  state parse_ipv4 { pkt.extract(hdr.ipv4); transition accept; }
+}
+control AIngress(inout headers_t hdr, inout standard_metadata_t sm) {
+  apply {
+    if (hdr.ipv4.isValid()) {
+      if (hdr.ipv4.version != 4w4) {
+        mark_to_drop();
+      } else {
+        sm.egress_spec = 9w1;
+      }
+    } else {
+      mark_to_drop();
+    }
+  }
+}
+control ADeparser(packet_out pkt, in headers_t hdr) {
+  apply { pkt.emit(hdr.ethernet); pkt.emit(hdr.ipv4); }
+}
+V1Switch(AParser(), AIngress(), ADeparser()) main;
+`
+
+func sameResult(a, b target.Result) bool {
+	if a.Dropped() != b.Dropped() {
+		return false
+	}
+	if a.Dropped() {
+		return true
+	}
+	if len(a.Outputs) != len(b.Outputs) {
+		return false
+	}
+	for i := range a.Outputs {
+		if a.Outputs[i].Port != b.Outputs[i].Port ||
+			string(a.Outputs[i].Data) != string(b.Outputs[i].Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- matrix -------------------------------------------------------------
+
+// Cell is one Figure 2 entry.
+type Cell int
+
+// Cells.
+const (
+	None Cell = iota
+	Partial
+	Full
+)
+
+// String renders the cell as in the paper's figure.
+func (c Cell) String() string {
+	switch c {
+	case Full:
+		return "Full"
+	case Partial:
+		return "Partial"
+	}
+	return "None"
+}
+
+// Matrix is the computed Figure 2: use case -> tool -> cell.
+type Matrix struct {
+	Cells   map[UseCase]map[string]Cell
+	Details []string // per-scenario outcome lines
+}
+
+// BuildMatrix runs every scenario under every tool and scores the cells.
+func BuildMatrix(scenarios []Scenario) *Matrix {
+	m := &Matrix{Cells: make(map[UseCase]map[string]Cell)}
+	type tally struct{ attempted, detected, total int }
+	counts := map[UseCase]map[string]*tally{}
+	for _, uc := range UseCases {
+		counts[uc] = map[string]*tally{}
+		for _, tool := range Tools {
+			counts[uc][tool] = &tally{}
+		}
+	}
+	for _, sc := range scenarios {
+		for _, tool := range Tools {
+			run, ok := sc.Run[tool]
+			t := counts[sc.UseCase][tool]
+			t.total++
+			if !ok {
+				m.Details = append(m.Details, fmt.Sprintf("[%s] %s / %s: not implemented", sc.UseCase, sc.Name, tool))
+				continue
+			}
+			out := run()
+			if out.Supported {
+				t.attempted++
+			}
+			if out.Detected {
+				t.detected++
+			}
+			mark := "✗"
+			if out.Detected {
+				mark = "✓"
+			}
+			m.Details = append(m.Details,
+				fmt.Sprintf("[%s] %s / %s: %s %s", sc.UseCase, sc.Name, tool, mark, out.Detail))
+		}
+	}
+	for _, uc := range UseCases {
+		m.Cells[uc] = map[string]Cell{}
+		for _, tool := range Tools {
+			t := counts[uc][tool]
+			switch {
+			case t.detected == t.total && t.total > 0:
+				m.Cells[uc][tool] = Full
+			case t.detected > 0:
+				m.Cells[uc][tool] = Partial
+			default:
+				m.Cells[uc][tool] = None
+			}
+		}
+	}
+	return m
+}
+
+// Render prints the matrix as the paper's Figure 2 table.
+func (m *Matrix) Render() string {
+	var b strings.Builder
+	w := 28
+	fmt.Fprintf(&b, "%-*s", w, "use case")
+	for _, tool := range Tools {
+		fmt.Fprintf(&b, "| %-30s", tool)
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", w+3*33) + "\n")
+	for _, uc := range UseCases {
+		fmt.Fprintf(&b, "%-*s", w, string(uc))
+		for _, tool := range Tools {
+			fmt.Fprintf(&b, "| %-30s", m.Cells[uc][tool].String())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// SortedDetails returns detail lines sorted for stable output.
+func (m *Matrix) SortedDetails() []string {
+	out := append([]string(nil), m.Details...)
+	sort.Strings(out)
+	return out
+}

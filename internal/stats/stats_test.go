@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+}
+
+func TestMeterRates(t *testing.T) {
+	var m Meter
+	// 1000 packets of 1250 bytes, one every microsecond: 1e6 pps, 10 Gbps.
+	for i := 0; i < 1000; i++ {
+		m.Record(time.Duration(i)*time.Microsecond, 1250)
+	}
+	s := m.Snapshot()
+	if s.Events != 1000 || s.Bytes != 1250000 {
+		t.Fatalf("events=%d bytes=%d", s.Events, s.Bytes)
+	}
+	if s.PPS < 0.99e6 || s.PPS > 1.01e6 {
+		t.Errorf("pps = %v, want ~1e6", s.PPS)
+	}
+	// bytes*8/window: window is 999us, so ~10.01 Gbps
+	if s.BPS < 9.9e9 || s.BPS > 10.2e9 {
+		t.Errorf("bps = %v, want ~10e9", s.BPS)
+	}
+}
+
+func TestMeterDegenerate(t *testing.T) {
+	var m Meter
+	if s := m.Snapshot(); s.PPS != 0 || s.Events != 0 {
+		t.Fatal("empty meter should report zeros")
+	}
+	m.Record(time.Millisecond, 64)
+	if s := m.Snapshot(); s.PPS != 0 {
+		t.Fatal("single event has no rate")
+	}
+	m.Reset()
+	if s := m.Snapshot(); s.Events != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestHistogramExactSmall(t *testing.T) {
+	h := NewHistogram()
+	// Values below histSubBuckets are exact.
+	for v := 1; v <= 10; v++ {
+		h.Observe(time.Duration(v))
+	}
+	if h.Count() != 10 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 10 {
+		t.Fatalf("min=%v max=%v", h.Min(), h.Max())
+	}
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("p50 = %v, want 5ns", got)
+	}
+	if got := h.Quantile(1.0); got != 10 {
+		t.Errorf("p100 = %v, want 10ns", got)
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]int64, 50000)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(10_000_000)) + 1 // up to 10ms in ns
+		h.Observe(time.Duration(vals[i]))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)-1))]
+		got := h.Quantile(q).Nanoseconds()
+		relErr := float64(got-exact) / float64(exact)
+		if relErr < -0.07 || relErr > 0.07 {
+			t.Errorf("q=%v: got %d exact %d relErr %.3f", q, got, exact, relErr)
+		}
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(300 * time.Nanosecond)
+	if m := h.Mean(); m != 200*time.Nanosecond {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Min() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for j := 0; j < 10000; j++ {
+				h.Observe(time.Duration(rng.Intn(1e6)))
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	if h.Count() != 40000 {
+		t.Fatalf("count = %d, want 40000", h.Count())
+	}
+}
+
+func TestBucketMonotonicity(t *testing.T) {
+	// bucketLow must be non-decreasing and bucketIndex(bucketLow(i)) == i.
+	prev := int64(-1)
+	for i := 0; i < histMagnitudes*histSubBuckets; i++ {
+		low := bucketLow(i)
+		if low < prev {
+			t.Fatalf("bucketLow(%d)=%d < bucketLow(%d)=%d", i, low, i-1, prev)
+		}
+		prev = low
+		if got := bucketIndex(low); got != i && i < histMagnitudes*histSubBuckets-1 {
+			t.Fatalf("bucketIndex(bucketLow(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet()
+	s.Counter("parser.pkts").Add(5)
+	s.Counter("parser.pkts").Add(2)
+	s.Counter("deparser.pkts").Inc()
+	vals := s.Values()
+	if vals["parser.pkts"] != 7 || vals["deparser.pkts"] != 1 {
+		t.Fatalf("values = %v", vals)
+	}
+	want := "deparser.pkts=1\nparser.pkts=7\n"
+	if got := s.String(); got != want {
+		t.Fatalf("String = %q", got)
+	}
+	s.Reset()
+	if s.Counter("parser.pkts").Value() != 0 {
+		t.Fatal("set reset failed")
+	}
+}
+
+func TestSetConcurrent(t *testing.T) {
+	s := NewSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				s.Counter("shared").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Counter("shared").Value(); got != 4000 {
+		t.Fatalf("shared = %d", got)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i % 1e6))
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}

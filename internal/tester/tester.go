@@ -1,0 +1,206 @@
+// Package tester implements the external network tester baseline (in the
+// style of OSNT): a traffic generator and capture engine attached to the
+// device's external ports only.
+//
+// Its limitation is the paper's point of comparison: the tester sees the
+// device strictly through its network interfaces. It can send and capture
+// frames, measure throughput and latency from the outside, and observe
+// that packets did not come back — but it cannot inject below the MACs,
+// cannot read internal status registers, and cannot tell a parser drop
+// from an interface fault from a stuck queue: everything is "packet lost".
+package tester
+
+import (
+	"fmt"
+	"time"
+
+	"netdebug/internal/bitfield"
+	"netdebug/internal/core"
+	"netdebug/internal/device"
+	"netdebug/internal/stats"
+)
+
+// Stream describes one external traffic stream.
+type Stream struct {
+	Name string
+	// Frame is the template frame; the sequence tag (SeqLoc) is stamped
+	// per packet when valid.
+	Frame  []byte
+	Count  int
+	TxPort int
+	// RxPort is where the stream is expected to emerge.
+	RxPort int
+	// RatePPS paces transmission; zero means line rate.
+	RatePPS float64
+	// SeqLoc is the field used to match captures to transmissions.
+	SeqLoc core.FieldLoc
+	// ExpectLoss marks streams that should NOT come back.
+	ExpectLoss bool
+}
+
+// Report is the tester's external view of a run.
+type Report struct {
+	Sent     uint64
+	Received uint64
+	// Lost counts sent-but-never-captured frames. The tester cannot say
+	// why they were lost.
+	Lost uint64
+	// Unexpected counts captures that matched no outstanding transmission.
+	Unexpected uint64
+	// RTT statistics (nanoseconds) over matched frames: measured from TX
+	// start to RX capture — necessarily including wire and queueing time
+	// the internal checker does not charge.
+	RTTMeanNs, RTTP50Ns, RTTP99Ns, RTTMaxNs int64
+	RxPPS, RxBPS                            float64
+	// PerStream holds per-stream verdicts.
+	PerStream map[string]StreamResult
+	Pass      bool
+}
+
+// StreamResult is one stream's outcome.
+type StreamResult struct {
+	Sent, Received, Lost uint64
+	Pass                 bool
+}
+
+// String renders a summary.
+func (r *Report) String() string {
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%s: sent=%d received=%d lost=%d p99rtt=%dns",
+		verdict, r.Sent, r.Received, r.Lost, r.RTTP99Ns)
+}
+
+// Tester drives streams against a device from outside.
+type Tester struct {
+	dev *device.Device
+}
+
+// New attaches a tester to the device's external ports.
+func New(dev *device.Device) *Tester { return &Tester{dev: dev} }
+
+type sentFrame struct {
+	stream string
+	at     time.Duration
+}
+
+// Run transmits every stream and scores the captures. Frames are sent in
+// virtual time; captures are drained from each stream's RxPort afterwards.
+func (t *Tester) Run(streams []Stream) (*Report, error) {
+	rep := &Report{PerStream: make(map[string]StreamResult)}
+	lat := stats.NewHistogram()
+	var meter stats.Meter
+
+	outstanding := map[uint64]sentFrame{}
+	gid := uint64(0)
+	start := t.dev.Now()
+	rxPorts := map[int]bool{}
+
+	for _, s := range streams {
+		if len(s.Frame) == 0 || s.Count <= 0 {
+			return nil, fmt.Errorf("tester: stream %q is empty", s.Name)
+		}
+		rate := s.RatePPS
+		if rate <= 0 {
+			rate = 10e9 / (float64(len(s.Frame)+20) * 8)
+		}
+		interval := time.Duration(1e9 / rate)
+		rxPorts[s.RxPort] = true
+		for i := 0; i < s.Count; i++ {
+			frame := append([]byte(nil), s.Frame...)
+			if s.SeqLoc.Valid() {
+				if err := bitfield.Inject(frame, s.SeqLoc.BitOff, s.SeqLoc.Bits,
+					bitfield.New(gid, s.SeqLoc.Bits)); err != nil {
+					return nil, fmt.Errorf("tester: stream %q seq tag: %w", s.Name, err)
+				}
+				outstanding[gid] = sentFrame{stream: s.Name, at: start + time.Duration(i)*interval}
+			}
+			gid++
+			if err := t.dev.SendExternal(s.TxPort, frame, start+time.Duration(i)*interval); err != nil {
+				return nil, err
+			}
+			rep.Sent++
+			sr := rep.PerStream[s.Name]
+			sr.Sent++
+			rep.PerStream[s.Name] = sr
+		}
+	}
+
+	// Drain captures on every RX port and match sequence tags.
+	for port := range rxPorts {
+		for _, cap := range t.dev.Captures(port) {
+			rep.Received++
+			meter.Record(cap.At, len(cap.Data))
+			matched := false
+			for _, s := range streams {
+				if s.RxPort != port || !s.SeqLoc.Valid() {
+					continue
+				}
+				v, err := bitfield.Extract(cap.Data, s.SeqLoc.BitOff, s.SeqLoc.Bits)
+				if err != nil {
+					continue
+				}
+				sf, ok := outstanding[v.Uint64()]
+				if !ok || sf.stream != s.Name {
+					continue
+				}
+				delete(outstanding, v.Uint64())
+				lat.Observe(cap.At - sf.at)
+				sr := rep.PerStream[s.Name]
+				sr.Received++
+				rep.PerStream[s.Name] = sr
+				matched = true
+				break
+			}
+			if !matched {
+				rep.Unexpected++
+			}
+		}
+	}
+
+	for _, sf := range outstanding {
+		rep.Lost++
+		sr := rep.PerStream[sf.stream]
+		sr.Lost++
+		rep.PerStream[sf.stream] = sr
+	}
+
+	rep.Pass = true
+	for _, s := range streams {
+		sr := rep.PerStream[s.Name]
+		if s.ExpectLoss {
+			sr.Pass = sr.Received == 0
+		} else {
+			sr.Pass = sr.Lost == 0 && sr.Received == sr.Sent
+		}
+		if !sr.Pass {
+			rep.Pass = false
+		}
+		rep.PerStream[s.Name] = sr
+	}
+
+	rep.RTTMeanNs = lat.Mean().Nanoseconds()
+	rep.RTTP50Ns = lat.Quantile(0.5).Nanoseconds()
+	rep.RTTP99Ns = lat.Quantile(0.99).Nanoseconds()
+	rep.RTTMaxNs = lat.Max().Nanoseconds()
+	snap := meter.Snapshot()
+	rep.RxPPS = snap.PPS
+	rep.RxBPS = snap.BPS
+	return rep, nil
+}
+
+// MeasureThroughput floods the device at line rate from txPort and
+// reports the received rate on rxPort — the performance test an external
+// tester can run.
+func (t *Tester) MeasureThroughput(frame []byte, count, txPort, rxPort int) (pps, bps float64, err error) {
+	rep, err := t.Run([]Stream{{
+		Name:  "throughput",
+		Frame: frame, Count: count, TxPort: txPort, RxPort: rxPort,
+	}})
+	if err != nil {
+		return 0, 0, err
+	}
+	return rep.RxPPS, rep.RxBPS, nil
+}

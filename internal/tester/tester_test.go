@@ -1,0 +1,144 @@
+package tester
+
+import (
+	"testing"
+
+	"netdebug/internal/bitfield"
+	"netdebug/internal/core"
+	"netdebug/internal/dataplane"
+	"netdebug/internal/device"
+	"netdebug/internal/p4/compile"
+	"netdebug/internal/p4/p4test"
+	"netdebug/internal/packet"
+	"netdebug/internal/target"
+)
+
+var (
+	macA = packet.MAC{2, 0, 0, 0, 0, 0xa}
+	macB = packet.MAC{2, 0, 0, 0, 0, 0xb}
+	gw   = packet.MAC{2, 0, 0, 0, 0xff, 1}
+	ipA  = packet.IPv4Addr{10, 0, 0, 1}
+	ipB  = packet.IPv4Addr{10, 0, 1, 2}
+)
+
+func newDevice(t testing.TB) *device.Device {
+	t.Helper()
+	prog, err := compile.Compile(p4test.Router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := target.NewReference()
+	if err := tg.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := tg.InstallEntry(dataplane.Entry{
+		Table:  "ipv4_lpm",
+		Keys:   []dataplane.KeyValue{{Value: bitfield.New(0x0a000000, 32), PrefixLen: 8}},
+		Action: "ipv4_forward",
+		Args:   []bitfield.Value{bitfield.FromBytes(gw[:]), bitfield.New(1, 9)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := device.New(device.Config{Target: tg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func frame(payload int) []byte {
+	return packet.BuildUDPv4(macA, macB, ipA, ipB, 40000, 53, make([]byte, payload))
+}
+
+func seqLoc() core.FieldLoc { return core.FieldLoc{BitOff: (14 + 20 + 8) * 8, Bits: 32} }
+
+func TestRunMatchesSequences(t *testing.T) {
+	tst := New(newDevice(t))
+	rep, err := tst.Run([]Stream{{
+		Name: "s", Frame: frame(16), Count: 50,
+		TxPort: 0, RxPort: 1, RatePPS: 1e6, SeqLoc: seqLoc(),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || rep.Sent != 50 || rep.Received != 50 || rep.Lost != 0 {
+		t.Fatalf("report: %v", rep)
+	}
+	if rep.RTTP50Ns <= 0 || rep.RTTMaxNs < rep.RTTP50Ns {
+		t.Fatalf("rtt stats: %+v", rep)
+	}
+	if rep.PerStream["s"].Received != 50 {
+		t.Fatalf("per-stream: %+v", rep.PerStream["s"])
+	}
+}
+
+func TestRunDetectsLoss(t *testing.T) {
+	dev := newDevice(t)
+	dev.InjectFault(device.Fault{Kind: device.FaultQueueStuck, Port: 1})
+	tst := New(dev)
+	rep, err := tst.Run([]Stream{{
+		Name: "s", Frame: frame(16), Count: 20,
+		TxPort: 0, RxPort: 1, RatePPS: 1e6, SeqLoc: seqLoc(),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass || rep.Lost != 20 {
+		t.Fatalf("report: %v", rep)
+	}
+}
+
+func TestExpectLossStreams(t *testing.T) {
+	tst := New(newDevice(t))
+	bad := frame(16)
+	bad[14] = 0x65 // parser reject on the reference target
+	rep, err := tst.Run([]Stream{{
+		Name: "bad", Frame: bad, Count: 10,
+		TxPort: 0, RxPort: 1, RatePPS: 1e6, SeqLoc: seqLoc(),
+		ExpectLoss: true,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("expect-loss stream should pass when dropped: %v", rep)
+	}
+}
+
+func TestThroughputMeasurement(t *testing.T) {
+	tst := New(newDevice(t))
+	f := frame(1024 - 42)
+	pps, bps, err := tst.MeasureThroughput(f, 1000, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := 10e9 / float64((len(f)+20)*8)
+	if pps < 0.9*line || pps > 1.1*line {
+		t.Fatalf("pps = %.0f, line rate %.0f", pps, line)
+	}
+	if bps < 9e9 || bps > 11e9 {
+		t.Fatalf("bps = %.3g", bps)
+	}
+}
+
+func TestUnexpectedCaptures(t *testing.T) {
+	// A stream without sequence tags: every capture is "unexpected".
+	tst := New(newDevice(t))
+	rep, err := tst.Run([]Stream{{
+		Name: "untagged", Frame: frame(16), Count: 5,
+		TxPort: 0, RxPort: 1, RatePPS: 1e6,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unexpected != 5 {
+		t.Fatalf("unexpected = %d", rep.Unexpected)
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	tst := New(newDevice(t))
+	if _, err := tst.Run([]Stream{{Name: "x", Count: 0}}); err == nil {
+		t.Fatal("empty stream should fail")
+	}
+}

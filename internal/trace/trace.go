@@ -1,0 +1,145 @@
+// Package trace implements NetDebug's packet trace file format, used for
+// golden files, capture archiving, and replay.
+//
+// The format is pcap-inspired but self-contained: a 16-byte header (magic,
+// version, port-count hint) followed by length-prefixed records, each
+// carrying a virtual-time timestamp in nanoseconds, the port, a direction
+// flag, and the frame bytes. All integers are big-endian.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Magic identifies trace files ("NDTR").
+const Magic = 0x4e445452
+
+// Version is the current format version.
+const Version = 1
+
+// Direction of a recorded frame.
+type Direction uint8
+
+// Directions.
+const (
+	DirRx Direction = 0
+	DirTx Direction = 1
+)
+
+// Record is one captured frame.
+type Record struct {
+	At   time.Duration
+	Port uint16
+	Dir  Direction
+	Data []byte
+}
+
+// Writer streams records to a file.
+type Writer struct {
+	w     *bufio.Writer
+	count int
+}
+
+// NewWriter writes the file header and returns a writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	var hdr [16]byte
+	binary.BigEndian.PutUint32(hdr[0:4], Magic)
+	binary.BigEndian.PutUint16(hdr[4:6], Version)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	if len(r.Data) > 1<<20 {
+		return fmt.Errorf("trace: frame of %d bytes exceeds 1MiB limit", len(r.Data))
+	}
+	var hdr [15]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(r.At.Nanoseconds()))
+	binary.BigEndian.PutUint16(hdr[8:10], r.Port)
+	hdr[10] = byte(r.Dir)
+	binary.BigEndian.PutUint32(hdr[11:15], uint32(len(r.Data)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("trace: writing record: %w", err)
+	}
+	if _, err := w.w.Write(r.Data); err != nil {
+		return fmt.Errorf("trace: writing frame: %w", err)
+	}
+	w.count++
+	return nil
+}
+
+// Flush commits buffered records.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Count returns the number of records written.
+func (w *Writer) Count() int { return w.count }
+
+// Reader streams records from a file.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader validates the header and returns a reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != Magic {
+		return nil, errors.New("trace: bad magic; not a NetDebug trace file")
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v != Version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next record, or io.EOF at the end of the file.
+func (r *Reader) Next() (Record, error) {
+	var hdr [15]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: reading record header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[11:15])
+	if n > 1<<20 {
+		return Record{}, fmt.Errorf("trace: frame length %d exceeds 1MiB limit", n)
+	}
+	rec := Record{
+		At:   time.Duration(binary.BigEndian.Uint64(hdr[0:8])),
+		Port: binary.BigEndian.Uint16(hdr[8:10]),
+		Dir:  Direction(hdr[10]),
+		Data: make([]byte, n),
+	}
+	if _, err := io.ReadFull(r.r, rec.Data); err != nil {
+		return Record{}, fmt.Errorf("trace: reading frame: %w", err)
+	}
+	return rec, nil
+}
+
+// ReadAll drains the reader.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{At: 0, Port: 0, Dir: DirRx, Data: []byte{1, 2, 3}},
+		{At: time.Microsecond, Port: 3, Dir: DirTx, Data: make([]byte, 1500)},
+		{At: time.Hour, Port: 65535, Dir: DirRx, Data: []byte{}},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("records = %d", len(got))
+	}
+	for i := range recs {
+		if got[i].At != recs[i].At || got[i].Port != recs[i].Port ||
+			got[i].Dir != recs[i].Dir || !bytes.Equal(got[i].Data, recs[i].Data) {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestRejectsBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 16))); err == nil {
+		t.Fatal("zero header should fail")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Fatal("short header should fail")
+	}
+}
+
+func TestRejectsOversizeFrame(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.Write(Record{Data: make([]byte, 1<<20+1)}); err == nil {
+		t.Fatal("oversize frame should be rejected")
+	}
+}
+
+func TestTruncatedFile(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Record{Data: []byte{1, 2, 3, 4}})
+	w.Flush()
+	full := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(full[:len(full)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("truncated record should fail")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Flush()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	var want []Record
+	for i := 0; i < 200; i++ {
+		data := make([]byte, rng.Intn(256))
+		rng.Read(data)
+		rec := Record{
+			At:   time.Duration(rng.Int63n(1e15)),
+			Port: uint16(rng.Intn(65536)),
+			Dir:  Direction(rng.Intn(2)),
+			Data: data,
+		}
+		want = append(want, rec)
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	r, _ := NewReader(&buf)
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].At != want[i].At || !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"netdebug/internal/p4/ir"
+	"netdebug/internal/verify/solver"
+)
+
+// Property is a universally-quantified claim about a program: it must hold
+// on every feasible path.
+type Property struct {
+	Name        string
+	Description string
+	// Violation inspects one completed path and returns (violated,
+	// extraConstraints): when violated is true the path is a candidate
+	// counterexample, feasible iff its constraints plus the extras are
+	// satisfiable.
+	Violation func(prog *ir.Program, p *Path) (bool, []solver.BV)
+}
+
+// Result is the outcome of checking one property.
+type Result struct {
+	Property string
+	// Holds is true when no feasible violating path exists.
+	Holds bool
+	// Inconclusive is set when the solver returned Unknown on some
+	// candidate path; Holds is then false.
+	Inconclusive bool
+	// Counterexample is a satisfying model of a violating path.
+	Counterexample solver.Model
+	// Path is the violating path (nil when the property holds).
+	Path *Path
+	// PathsChecked and Truncated report exploration coverage.
+	PathsChecked int
+	Truncated    int
+}
+
+// String renders a verdict line.
+func (r Result) String() string {
+	switch {
+	case r.Holds:
+		return fmt.Sprintf("VERIFIED %s (%d paths)", r.Property, r.PathsChecked)
+	case r.Inconclusive:
+		return fmt.Sprintf("UNKNOWN  %s", r.Property)
+	default:
+		return fmt.Sprintf("VIOLATED %s: %s", r.Property, r.counterexampleString())
+	}
+}
+
+func (r Result) counterexampleString() string {
+	if r.Path == nil {
+		return "no path"
+	}
+	var parts []string
+	parts = append(parts, "parser path "+strings.Join(r.Path.ParserPath, "->"))
+	for name, v := range r.Counterexample {
+		parts = append(parts, fmt.Sprintf("%s=%s", name, v))
+	}
+	if len(parts) > 6 {
+		parts = parts[:6]
+	}
+	return strings.Join(parts, " ")
+}
+
+// Check verifies one property over every explored path.
+func Check(prog *ir.Program, prop Property, opts Options) (Result, error) {
+	paths, truncated, err := Explore(prog, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Property: prop.Name, Holds: true, PathsChecked: len(paths), Truncated: truncated}
+	for _, p := range paths {
+		violated, extra := prop.Violation(prog, p)
+		if !violated {
+			continue
+		}
+		cons := append(append([]solver.BV(nil), p.Constraints...), extra...)
+		model, status := solver.Solve(cons)
+		switch status {
+		case solver.Sat:
+			res.Holds = false
+			res.Counterexample = model
+			res.Path = p
+			return res, nil
+		case solver.Unknown:
+			res.Holds = false
+			res.Inconclusive = true
+			res.Path = p
+			return res, nil
+		}
+		// Unsat: the violating path is infeasible; keep looking.
+	}
+	return res, nil
+}
+
+// PropRejectedDropped asserts every parser-rejected packet is dropped.
+// Under the specification semantics this package implements it holds for
+// every program — which is precisely why program-level verification
+// cannot find the SDNet reject erratum: the defect is in the target, not
+// the program. Running the same check on the target-compiled IR (e.g.
+// target.SDNet's transformed program) exposes the bug.
+var PropRejectedDropped = Property{
+	Name:        "rejected-implies-dropped",
+	Description: "packets rejected by the parser never reach the output",
+	Violation: func(prog *ir.Program, p *Path) (bool, []solver.BV) {
+		return p.Verdict == "reject" && !p.Dropped, nil
+	},
+}
+
+// PropForwardedHasEgress asserts every forwarded packet was assigned an
+// egress port — catching paths that fall through to port 0 accidentally.
+var PropForwardedHasEgress = Property{
+	Name:        "forwarded-implies-egress-assigned",
+	Description: "no packet is forwarded without an explicit egress port",
+	Violation: func(prog *ir.Program, p *Path) (bool, []solver.BV) {
+		return !p.Dropped && !p.EgressAssigned, nil
+	},
+}
+
+// PropMalformedIPv4Dropped asserts packets whose IPv4 version differs
+// from 4 never leave the device with the IPv4 header considered valid.
+// inst names the IPv4 instance ("ipv4"), field the version field.
+func PropMalformedIPv4Dropped(instName string) Property {
+	return Property{
+		Name:        "malformed-ipv4-dropped",
+		Description: "packets with ipv4.version != 4 are not forwarded",
+		Violation: func(prog *ir.Program, p *Path) (bool, []solver.BV) {
+			inst := prog.Instance(instName)
+			if inst == nil {
+				return false, nil
+			}
+			fi := inst.Type.FieldIndex("version")
+			if fi < 0 {
+				return false, nil
+			}
+			if p.Dropped || !p.Valid[inst.Index] {
+				return false, nil
+			}
+			version := p.Fields[inst.Index][fi]
+			return true, []solver.BV{solver.Neq(version, solver.ConstUint(4, version.Width()))}
+		},
+	}
+}
+
+// PropFieldNonZeroOnForward asserts a field is never zero on forwarded
+// packets (e.g. TTL after decrement).
+func PropFieldNonZeroOnForward(instName, fieldName string) Property {
+	return Property{
+		Name:        fmt.Sprintf("forwarded-%s.%s-nonzero", instName, fieldName),
+		Description: fmt.Sprintf("%s.%s is never zero on forwarded packets", instName, fieldName),
+		Violation: func(prog *ir.Program, p *Path) (bool, []solver.BV) {
+			inst := prog.Instance(instName)
+			if inst == nil {
+				return false, nil
+			}
+			fi := inst.Type.FieldIndex(fieldName)
+			if fi < 0 {
+				return false, nil
+			}
+			if p.Dropped || !p.Valid[inst.Index] {
+				return false, nil
+			}
+			f := p.Fields[inst.Index][fi]
+			return true, []solver.BV{solver.Eq(f, solver.ConstUint(0, f.Width()))}
+		},
+	}
+}
+
+// RejectReachable reports whether any feasible path reaches the parser's
+// reject state — parser coverage information.
+func RejectReachable(prog *ir.Program, opts Options) (bool, error) {
+	paths, _, err := Explore(prog, opts)
+	if err != nil {
+		return false, err
+	}
+	for _, p := range paths {
+		if p.Verdict != "reject" {
+			continue
+		}
+		if _, status := solver.Solve(p.Constraints); status == solver.Sat {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,463 @@
+// Package verify is NetDebug's software formal-verification baseline, a
+// stand-in for tools like p4v: it symbolically executes a compiled P4
+// program (package ir) and checks properties over all feasible paths with
+// the bit-vector solver (package solver).
+//
+// Crucially — and this is the paper's comparison point — verification
+// operates on the program under the language's specification semantics. It
+// proves or refutes properties of the *software specification*, and is
+// blind to defects in the *hardware implementation*: a program whose
+// parser rejects malformed packets verifies as correct even when the
+// deployed compiler never implemented reject. NetDebug catches exactly the
+// bugs this tool cannot.
+package verify
+
+import (
+	"fmt"
+
+	"netdebug/internal/bitfield"
+	"netdebug/internal/p4/ir"
+	"netdebug/internal/verify/solver"
+)
+
+// Options bounds exploration.
+type Options struct {
+	// MaxPaths caps the number of explored paths (default 4096).
+	MaxPaths int
+	// MaxStateVisits bounds repeated visits to the same parser state on a
+	// single path, so cyclic parse graphs terminate (default 2).
+	MaxStateVisits int
+}
+
+func (o *Options) fill() {
+	if o.MaxPaths == 0 {
+		o.MaxPaths = 4096
+	}
+	if o.MaxStateVisits == 0 {
+		o.MaxStateVisits = 2
+	}
+}
+
+// Path is one fully-explored execution path.
+type Path struct {
+	// Constraints is the path condition: width-1 terms all true.
+	Constraints []solver.BV
+	// Verdict is the parser outcome on this path.
+	Verdict string // "accept" or "reject"
+	// Dropped reports whether the pipeline dropped the packet (under
+	// specification semantics a rejected packet is always dropped).
+	Dropped bool
+	// DropStage names the element that dropped, "" if forwarded.
+	DropStage string
+	// EgressAssigned reports whether any statement wrote egress_spec.
+	EgressAssigned bool
+	// ParserPath lists visited parser state names.
+	ParserPath []string
+	// Actions lists "table:action" choices made on this path.
+	Actions []string
+	// Fields exposes the symbolic final state: fields[inst][field].
+	Fields [][]solver.BV
+	// Valid exposes final header validity.
+	Valid []bool
+}
+
+// state is the mutable symbolic machine state during exploration.
+type state struct {
+	fields     [][]solver.BV
+	valid      []bool
+	locals     []solver.BV
+	args       [][]solver.BV
+	cons       []solver.BV
+	dropped    bool
+	dropStage  string
+	egressSet  bool
+	parserPath []string
+	actions    []string
+	visits     map[int]int
+}
+
+func (s *state) clone() *state {
+	ns := &state{
+		dropped: s.dropped, dropStage: s.dropStage, egressSet: s.egressSet,
+	}
+	ns.fields = make([][]solver.BV, len(s.fields))
+	for i := range s.fields {
+		ns.fields[i] = append([]solver.BV(nil), s.fields[i]...)
+	}
+	ns.valid = append([]bool(nil), s.valid...)
+	ns.locals = append([]solver.BV(nil), s.locals...)
+	ns.args = make([][]solver.BV, len(s.args))
+	for i := range s.args {
+		ns.args[i] = append([]solver.BV(nil), s.args[i]...)
+	}
+	ns.cons = append([]solver.BV(nil), s.cons...)
+	ns.parserPath = append([]string(nil), s.parserPath...)
+	ns.actions = append([]string(nil), s.actions...)
+	ns.visits = make(map[int]int, len(s.visits))
+	for k, v := range s.visits {
+		ns.visits[k] = v
+	}
+	return ns
+}
+
+// explorer drives symbolic execution.
+type explorer struct {
+	prog  *ir.Program
+	opts  Options
+	paths []*Path
+	fresh int
+	// truncated counts paths cut off by bounds (reported, not silently
+	// dropped).
+	truncated int
+}
+
+// Explore symbolically executes the program and returns every completed
+// path. The error reports unsupported constructs.
+func Explore(prog *ir.Program, opts Options) ([]*Path, int, error) {
+	opts.fill()
+	ex := &explorer{prog: prog, opts: opts}
+	st := &state{visits: map[int]int{}}
+	st.fields = make([][]solver.BV, len(prog.Instances))
+	st.valid = make([]bool, len(prog.Instances))
+	for i, inst := range prog.Instances {
+		st.fields[i] = make([]solver.BV, len(inst.Type.Fields))
+		for j, f := range inst.Type.Fields {
+			// Metadata starts at zero; header fields are assigned fresh
+			// variables at extract time.
+			st.fields[i][j] = solver.ConstUint(0, f.Width)
+		}
+		st.valid[i] = inst.Metadata
+	}
+	if err := ex.runParser(st, prog.Parser.Start); err != nil {
+		return nil, ex.truncated, err
+	}
+	return ex.paths, ex.truncated, nil
+}
+
+func (ex *explorer) freshVar(name string, w int) solver.BV {
+	ex.fresh++
+	return solver.Var(fmt.Sprintf("%s#%d", name, ex.fresh), w)
+}
+
+var errTooManyPaths = fmt.Errorf("verify: path budget exhausted")
+
+func (ex *explorer) runParser(st *state, stateIdx int) error {
+	if len(ex.paths) >= ex.opts.MaxPaths {
+		return errTooManyPaths
+	}
+	switch stateIdx {
+	case ir.StateAccept:
+		return ex.runPipeline(st)
+	case ir.StateReject:
+		// Specification semantics: reject drops the packet.
+		st.dropped = true
+		st.dropStage = "parser"
+		ex.finish(st, "reject")
+		return nil
+	}
+	ps := ex.prog.Parser.States[stateIdx]
+	if st.visits[stateIdx] >= ex.opts.MaxStateVisits {
+		ex.truncated++
+		return nil
+	}
+	st.visits[stateIdx]++
+	st.parserPath = append(st.parserPath, ps.Name)
+	for _, op := range ps.Ops {
+		switch op := op.(type) {
+		case *ir.Extract:
+			inst := ex.prog.Instances[op.Inst]
+			for j, f := range inst.Type.Fields {
+				st.fields[op.Inst][j] = ex.freshVar(inst.Name+"."+f.Name, f.Width)
+			}
+			st.valid[op.Inst] = true
+		case *ir.AssignField:
+			v, err := ex.eval(st, op.RHS)
+			if err != nil {
+				return err
+			}
+			st.fields[op.Inst][op.Field] = v
+		default:
+			return fmt.Errorf("verify: unsupported parser op %T", op)
+		}
+	}
+	return ex.runTransition(st, ps.Trans)
+}
+
+func (ex *explorer) runTransition(st *state, tr ir.Transition) error {
+	if len(tr.Keys) == 0 {
+		return ex.runParser(st, tr.Default)
+	}
+	keys := make([]solver.BV, len(tr.Keys))
+	for i, k := range tr.Keys {
+		v, err := ex.eval(st, k)
+		if err != nil {
+			return err
+		}
+		keys[i] = v
+	}
+	// Each case forks a path constrained to match it and to mismatch all
+	// earlier cases; the default path mismatches everything.
+	negated := []solver.BV{}
+	for _, c := range tr.Cases {
+		branch := st.clone()
+		branch.cons = append(branch.cons, negated...)
+		for i := range keys {
+			branch.cons = append(branch.cons, maskEq(keys[i], c.Values[i], c.Masks[i]))
+		}
+		if err := ex.runParser(branch, c.Next); err != nil {
+			return err
+		}
+		// Build the negation of this case for subsequent branches: the
+		// conjunction of per-key matches must be false.
+		negated = append(negated, solver.Not(conj(matchTerms(keys, c))))
+	}
+	def := st.clone()
+	def.cons = append(def.cons, negated...)
+	return ex.runParser(def, tr.Default)
+}
+
+func matchTerms(keys []solver.BV, c ir.TransCase) []solver.BV {
+	out := make([]solver.BV, len(keys))
+	for i := range keys {
+		out[i] = maskEq(keys[i], c.Values[i], c.Masks[i])
+	}
+	return out
+}
+
+// conj ANDs width-1 terms.
+func conj(terms []solver.BV) solver.BV {
+	if len(terms) == 0 {
+		return solver.True()
+	}
+	acc := terms[0]
+	for _, t := range terms[1:] {
+		acc = solver.And(acc, t)
+	}
+	return acc
+}
+
+// maskEq builds key&mask == value&mask.
+func maskEq(key solver.BV, value, mask bitfield.Value) solver.BV {
+	mk := solver.And(key, solver.Const(mask))
+	return solver.Eq(mk, solver.Const(value.And(mask)))
+}
+
+func (ex *explorer) runPipeline(st *state) error {
+	return ex.runControls(st, 0)
+}
+
+// runControls executes controls[idx:]; forking statements recurse with a
+// continuation-style walker.
+func (ex *explorer) runControls(st *state, idx int) error {
+	if idx >= len(ex.prog.Controls) {
+		ex.finish(st, "accept")
+		return nil
+	}
+	c := ex.prog.Controls[idx]
+	return ex.runStmts(st, c.Apply, c.Name, func(st *state) error {
+		return ex.runControls(st, idx+1)
+	})
+}
+
+// runStmts symbolically executes stmts then calls k with each resulting
+// path state.
+func (ex *explorer) runStmts(st *state, stmts []ir.Stmt, stage string, k func(*state) error) error {
+	if len(stmts) == 0 {
+		return k(st)
+	}
+	s, rest := stmts[0], stmts[1:]
+	next := func(st *state) error { return ex.runStmts(st, rest, stage, k) }
+	switch s := s.(type) {
+	case *ir.AssignField:
+		v, err := ex.eval(st, s.RHS)
+		if err != nil {
+			return err
+		}
+		st.fields[s.Inst][s.Field] = v
+		if s.Inst == ex.prog.StdMeta && s.Field == ir.StdMetaEgressSpec {
+			st.egressSet = true
+		}
+		return next(st)
+	case *ir.AssignLocal:
+		v, err := ex.eval(st, s.RHS)
+		if err != nil {
+			return err
+		}
+		for len(st.locals) <= s.Idx {
+			st.locals = append(st.locals, nil)
+		}
+		st.locals[s.Idx] = v
+		return next(st)
+	case *ir.SetValid:
+		st.valid[s.Inst] = s.Valid
+		return next(st)
+	case *ir.MarkToDrop:
+		if !st.dropped {
+			st.dropped = true
+			st.dropStage = stage
+		}
+		return next(st)
+	case *ir.If:
+		cond, err := ex.eval(st, s.Cond)
+		if err != nil {
+			return err
+		}
+		thenSt := st.clone()
+		thenSt.cons = append(thenSt.cons, cond)
+		if err := ex.runStmts(thenSt, s.Then, stage, next); err != nil {
+			return err
+		}
+		elseSt := st
+		elseSt.cons = append(elseSt.cons, solver.Not(cond))
+		return ex.runStmts(elseSt, s.Else, stage, next)
+	case *ir.ApplyTable:
+		return ex.applyTable(st, s.Table, stage, next)
+	case *ir.CallAction:
+		args := make([]solver.BV, len(s.Args))
+		for i, a := range s.Args {
+			v, err := ex.eval(st, a)
+			if err != nil {
+				return err
+			}
+			args[i] = v
+		}
+		st.args = append(st.args, args)
+		return ex.runStmts(st, s.Action.Body, stage, func(st *state) error {
+			st.args = st.args[:len(st.args)-1]
+			return next(st)
+		})
+	case *ir.Return:
+		// Return exits the enclosing body: skip the rest of stmts.
+		return k(st)
+	}
+	return fmt.Errorf("verify: unsupported statement %T", s)
+}
+
+// applyTable forks one path per allowed action (table contents are
+// unknown, so any row may match — the standard havoc model) plus the
+// default action for a miss.
+func (ex *explorer) applyTable(st *state, t *ir.Table, stage string, k func(*state) error) error {
+	run := func(base *state, a *ir.Action, args []solver.BV, label string) error {
+		base.actions = append(base.actions, t.Name+":"+label)
+		base.args = append(base.args, args)
+		return ex.runStmts(base, a.Body, stage, func(st *state) error {
+			st.args = st.args[:len(st.args)-1]
+			return k(st)
+		})
+	}
+	for _, a := range t.Actions {
+		branch := st.clone()
+		args := make([]solver.BV, len(a.Params))
+		for i, p := range a.Params {
+			args[i] = ex.freshVar(t.Name+"."+a.Name+"."+p.Name, p.Width)
+		}
+		if err := run(branch, a, args, a.Name); err != nil {
+			return err
+		}
+	}
+	// Miss: default action with its bound constant arguments.
+	miss := st.clone()
+	args := make([]solver.BV, len(t.Default.Args))
+	for i, v := range t.Default.Args {
+		args[i] = solver.Const(v)
+	}
+	return run(miss, t.Default.Action, args, t.Default.Action.Name+"(default)")
+}
+
+func (ex *explorer) finish(st *state, verdict string) {
+	if len(ex.paths) >= ex.opts.MaxPaths {
+		ex.truncated++
+		return
+	}
+	ex.paths = append(ex.paths, &Path{
+		Constraints:    st.cons,
+		Verdict:        verdict,
+		Dropped:        st.dropped,
+		DropStage:      st.dropStage,
+		EgressAssigned: st.egressSet,
+		ParserPath:     st.parserPath,
+		Actions:        st.actions,
+		Fields:         st.fields,
+		Valid:          st.valid,
+	})
+}
+
+// eval translates an IR expression to a solver term under the current
+// symbolic state.
+func (ex *explorer) eval(st *state, e ir.Expr) (solver.BV, error) {
+	switch e := e.(type) {
+	case ir.Const:
+		return solver.Const(e.Val), nil
+	case ir.FieldRef:
+		return st.fields[e.Inst][e.Field], nil
+	case ir.LocalRef:
+		if e.Idx < len(st.locals) && st.locals[e.Idx] != nil {
+			return st.locals[e.Idx], nil
+		}
+		return solver.ConstUint(0, e.W), nil
+	case ir.ParamRef:
+		return st.args[len(st.args)-1][e.Idx], nil
+	case ir.IsValid:
+		if st.valid[e.Inst] {
+			return solver.True(), nil
+		}
+		return solver.False(), nil
+	case ir.Unary:
+		x, err := ex.eval(st, e.X)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case ir.OpNot:
+			return solver.Un(solver.OpNot, x), nil
+		case ir.OpBitNot:
+			return solver.Un(solver.OpBitNot, x), nil
+		case ir.OpNeg:
+			return solver.Un(solver.OpNeg, x), nil
+		}
+		return nil, fmt.Errorf("verify: bad unary op")
+	case ir.Binary:
+		a, err := ex.eval(st, e.X)
+		if err != nil {
+			return nil, err
+		}
+		b, err := ex.eval(st, e.Y)
+		if err != nil {
+			return nil, err
+		}
+		opMap := map[ir.BinOp]solver.Op{
+			ir.OpAdd: solver.OpAdd, ir.OpSub: solver.OpSub, ir.OpMul: solver.OpMul,
+			ir.OpAnd: solver.OpAnd, ir.OpOr: solver.OpOr, ir.OpXor: solver.OpXor,
+			ir.OpShl: solver.OpShl, ir.OpShr: solver.OpShr,
+			ir.OpEq: solver.OpEq, ir.OpNeq: solver.OpNeq,
+			ir.OpLt: solver.OpUlt, ir.OpLe: solver.OpUle,
+			ir.OpGt: solver.OpUgt, ir.OpGe: solver.OpUge,
+		}
+		if e.Op == ir.OpLAnd {
+			return solver.And(a, b), nil
+		}
+		if e.Op == ir.OpLOr {
+			return solver.Bin(solver.OpOr, a, b), nil
+		}
+		op, ok := opMap[e.Op]
+		if !ok {
+			return nil, fmt.Errorf("verify: bad binary op %v", e.Op)
+		}
+		return solver.Bin(op, a, b), nil
+	case ir.Ternary:
+		c, err := ex.eval(st, e.Cond)
+		if err != nil {
+			return nil, err
+		}
+		a, err := ex.eval(st, e.A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := ex.eval(st, e.B)
+		if err != nil {
+			return nil, err
+		}
+		return solver.Ite(c, a, b), nil
+	}
+	return nil, fmt.Errorf("verify: unsupported expression %T", e)
+}

@@ -1,0 +1,286 @@
+// Package netdebug is the public API of the NetDebug framework — a
+// programmable hardware/software system for validating and real-time
+// debugging of programmable data planes, reproducing Bressana, Zilberman,
+// and Soulé, "A Programmable Framework for Validating Data Planes"
+// (SIGCOMM 2018).
+//
+// A System bundles the simulated network device (a NetFPGA-SUME-like
+// platform), a P4 data plane compiled onto a selectable target backend,
+// and the NetDebug instrumentation: an in-device test packet generator and
+// output packet checker managed by a host-side controller over a dedicated
+// control channel.
+//
+// The one-minute tour:
+//
+//	sys, err := netdebug.Open(mySource, netdebug.Options{Target: netdebug.TargetSDNet})
+//	...
+//	sys.InstallEntry(netdebug.Entry{Table: "ipv4_lpm", ...})
+//	report, err := sys.Validate(&netdebug.TestSpec{
+//	    Gen:   netdebug.GenSpec{Streams: []netdebug.StreamSpec{{Name: "probe", Template: pkt, Count: 100}}},
+//	    Check: netdebug.CheckSpec{Rules: []netdebug.Rule{{Name: "fwd", Stream: "probe", ExpectPort: 1}}},
+//	})
+//
+// Baselines from the paper's comparison are exposed too: VerifyProgram
+// runs p4v-style software formal verification, and NewExternalTester
+// attaches an OSNT-style tester to the device's external ports.
+package netdebug
+
+import (
+	"fmt"
+
+	"netdebug/internal/bitfield"
+	"netdebug/internal/core"
+	"netdebug/internal/dataplane"
+	"netdebug/internal/device"
+	"netdebug/internal/p4/compile"
+	"netdebug/internal/p4/ir"
+	"netdebug/internal/target"
+	"netdebug/internal/tester"
+	"netdebug/internal/verify"
+)
+
+// Re-exported types: the vocabulary of the public API.
+type (
+	// TestSpec bundles generator and checker programs for one run.
+	TestSpec = core.TestSpec
+	// GenSpec programs the test packet generator.
+	GenSpec = core.GenSpec
+	// StreamSpec is one generated packet stream.
+	StreamSpec = core.StreamSpec
+	// FieldSweep varies a packet field deterministically.
+	FieldSweep = core.FieldSweep
+	// FieldFuzz randomizes a packet field reproducibly.
+	FieldFuzz = core.FieldFuzz
+	// CheckSpec programs the output packet checker.
+	CheckSpec = core.CheckSpec
+	// Rule is one checker rule.
+	Rule = core.Rule
+	// FieldExpect is a field post-condition on output packets.
+	FieldExpect = core.FieldExpect
+	// FieldLoc addresses a packet field by bit offset and width.
+	FieldLoc = core.FieldLoc
+	// Report is a checker run's results.
+	Report = core.Report
+	// Diagnosis is the fault localizer's conclusion.
+	Diagnosis = core.Diagnosis
+	// Entry is a match-action table entry.
+	Entry = dataplane.Entry
+	// KeyValue is one key component of an Entry.
+	KeyValue = dataplane.KeyValue
+	// Value is an arbitrary-width bit-vector value.
+	Value = bitfield.Value
+	// Fault is an injectable hardware fault.
+	Fault = device.Fault
+	// ExternalReport is the external tester's view of a run.
+	ExternalReport = tester.Report
+	// ExternalStream describes an externally-injected stream.
+	ExternalStream = tester.Stream
+)
+
+// Fault kinds, re-exported from the device model.
+const (
+	FaultPortDown   = device.FaultPortDown
+	FaultBitFlip    = device.FaultBitFlip
+	FaultQueueStuck = device.FaultQueueStuck
+)
+
+// NewValue builds a Value of the given width from v.
+func NewValue(v uint64, width int) Value { return bitfield.New(v, width) }
+
+// ValueFromBytes builds a Value from big-endian bytes.
+func ValueFromBytes(b []byte) Value { return bitfield.FromBytes(b) }
+
+// TargetKind selects the hardware backend.
+type TargetKind string
+
+// Available targets.
+const (
+	// TargetReference runs the program with exact P4₁₆ semantics.
+	TargetReference TargetKind = "reference"
+	// TargetSDNet models the Xilinx SDNet flow with its documented
+	// errata, including the unimplemented reject parser state.
+	TargetSDNet TargetKind = "sdnet"
+	// TargetSDNetFixed is SDNet with every known erratum repaired.
+	TargetSDNetFixed TargetKind = "sdnet-fixed"
+)
+
+// Options configures Open.
+type Options struct {
+	// Target selects the backend (default TargetReference).
+	Target TargetKind
+	// NumPorts and QueueDepth size the device (defaults: 4 ports, 128).
+	NumPorts   int
+	QueueDepth int
+}
+
+// System is a booted device with NetDebug attached.
+type System struct {
+	dev  *device.Device
+	tgt  target.Target
+	agt  *core.Agent
+	ctl  *core.Controller
+	prog *ir.Program
+}
+
+// Open compiles P4 source, loads it onto the selected target, boots a
+// device around it, and attaches the NetDebug agent and controller.
+func Open(p4src string, opts Options) (*System, error) {
+	prog, err := compile.Compile(p4src)
+	if err != nil {
+		return nil, fmt.Errorf("netdebug: compiling program: %w", err)
+	}
+	var tgt target.Target
+	switch opts.Target {
+	case "", TargetReference:
+		tgt = target.NewReference()
+	case TargetSDNet:
+		tgt = target.NewSDNet(target.DefaultErrata())
+	case TargetSDNetFixed:
+		tgt = target.NewSDNet(target.FixedErrata())
+	default:
+		return nil, fmt.Errorf("netdebug: unknown target %q", opts.Target)
+	}
+	if err := tgt.Load(prog); err != nil {
+		return nil, fmt.Errorf("netdebug: loading onto %s: %w", tgt.Name(), err)
+	}
+	dev, err := device.New(device.Config{
+		Target:     tgt,
+		NumPorts:   opts.NumPorts,
+		QueueDepth: opts.QueueDepth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	agt := core.NewAgent(dev)
+	return &System{dev: dev, tgt: tgt, agt: agt, ctl: core.Connect(agt), prog: prog}, nil
+}
+
+// Close releases the control channel.
+func (s *System) Close() error { return s.ctl.Close() }
+
+// TargetName reports which backend is loaded.
+func (s *System) TargetName() string { return s.tgt.Name() }
+
+// Device exposes the underlying device model for advanced harnesses
+// (external traffic, taps, faults).
+func (s *System) Device() *device.Device { return s.dev }
+
+// InstallEntry installs a table entry through the control channel.
+func (s *System) InstallEntry(e Entry) error { return s.ctl.InstallEntry(e) }
+
+// InstallEntries installs entries, stopping at the first error.
+func (s *System) InstallEntries(entries []Entry) error { return s.ctl.InstallEntries(entries) }
+
+// ClearTable empties a table.
+func (s *System) ClearTable(name string) error { return s.ctl.ClearTable(name) }
+
+// Validate ships the test spec to the in-device agent, runs the generator
+// and checker, and returns the collected report.
+func (s *System) Validate(spec *TestSpec) (*Report, error) { return s.ctl.RunTest(spec) }
+
+// Status reads the device's internal status registers.
+func (s *System) Status() (map[string]uint64, error) { return s.ctl.Status() }
+
+// Resources reports the target's estimated hardware resource usage.
+func (s *System) Resources() (ResourceReport, error) {
+	r, err := s.ctl.Resources()
+	if err != nil {
+		return ResourceReport{}, err
+	}
+	return ResourceReport{
+		LUTs: r.LUTs, FFs: r.FFs, BRAMs: r.BRAMs,
+		LUTPct: r.LUTPct, FFPct: r.FFPct, BRAMPct: r.BRAMPct,
+	}, nil
+}
+
+// ResourceReport estimates FPGA resource consumption.
+type ResourceReport struct {
+	LUTs, FFs, BRAMs       int
+	LUTPct, FFPct, BRAMPct float64
+}
+
+// InjectFault injects a hardware fault into the device.
+func (s *System) InjectFault(f Fault) error { return s.dev.InjectFault(f) }
+
+// ClearFaults restores healthy hardware.
+func (s *System) ClearFaults() { s.dev.ClearFaults() }
+
+// Localize determines which pipeline element loses the probe packet,
+// using NetDebug's internal injection and tap visibility.
+func (s *System) Localize(probe []byte, ingressPort, expectPort int) Diagnosis {
+	return core.LocalizeFault(s.dev, probe, ingressPort, expectPort)
+}
+
+// Layout computes field locations for a stack of header instances (by
+// instance name, e.g. "ethernet", "ipv4") so generator sweeps and checker
+// expectations can address fields by P4 name.
+func (s *System) Layout(stack ...string) (*Layout, error) {
+	l, err := core.LayoutFor(s.prog, stack...)
+	if err != nil {
+		return nil, err
+	}
+	return &Layout{l: l}, nil
+}
+
+// Layout maps "instance.field" names to packet bit locations.
+type Layout struct {
+	l *core.Layout
+}
+
+// Field returns the location of "instance.field".
+func (l *Layout) Field(name string) (FieldLoc, error) { return l.l.Field(name) }
+
+// MustField is Field for statically-known names.
+func (l *Layout) MustField(name string) FieldLoc { return l.l.MustField(name) }
+
+// NewExternalTester attaches an OSNT-style external tester to the
+// system's device — the baseline that sees the device only through its
+// network interfaces.
+func (s *System) NewExternalTester() *ExternalTester {
+	return &ExternalTester{t: tester.New(s.dev)}
+}
+
+// ExternalTester is the external network tester baseline.
+type ExternalTester struct {
+	t *tester.Tester
+}
+
+// Run transmits streams through the external ports and scores captures.
+func (e *ExternalTester) Run(streams []ExternalStream) (*ExternalReport, error) {
+	return e.t.Run(streams)
+}
+
+// VerifyResult is a formal-verification verdict.
+type VerifyResult struct {
+	Property string
+	Holds    bool
+	Detail   string
+}
+
+// VerifyProgram runs the software formal-verification baseline (p4v
+// style) over the program source: standard properties are checked by
+// symbolic execution against the P4 specification semantics. It sees the
+// program, not the hardware — programs whose deployed target is buggy
+// still verify.
+func VerifyProgram(p4src string) ([]VerifyResult, error) {
+	prog, err := compile.Compile(p4src)
+	if err != nil {
+		return nil, fmt.Errorf("netdebug: compiling program: %w", err)
+	}
+	props := []verify.Property{
+		verify.PropRejectedDropped,
+		verify.PropForwardedHasEgress,
+	}
+	if prog.Instance("ipv4") != nil {
+		props = append(props, verify.PropMalformedIPv4Dropped("ipv4"))
+	}
+	var out []VerifyResult
+	for _, p := range props {
+		res, err := verify.Check(prog, p, verify.Options{})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, VerifyResult{Property: p.Name, Holds: res.Holds, Detail: res.String()})
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package netdebug_test
+
+import (
+	"strings"
+	"testing"
+
+	"netdebug"
+	"netdebug/internal/p4/p4test"
+	"netdebug/internal/packet"
+)
+
+func openRouterT(t *testing.T, kind netdebug.TargetKind) *netdebug.System {
+	t.Helper()
+	sys, err := netdebug.Open(p4test.Router, netdebug.Options{Target: kind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	if err := sys.InstallEntry(netdebug.Entry{
+		Table:  "ipv4_lpm",
+		Keys:   []netdebug.KeyValue{{Value: netdebug.NewValue(0x0a000000, 32), PrefixLen: 8}},
+		Action: "ipv4_forward",
+		Args:   []netdebug.Value{netdebug.ValueFromBytes(gwMAC[:]), netdebug.NewValue(1, 9)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := netdebug.Open("not p4 at all {", netdebug.Options{}); err == nil {
+		t.Fatal("garbage source should fail")
+	}
+	if _, err := netdebug.Open(p4test.Router, netdebug.Options{Target: "fpga9000"}); err == nil {
+		t.Fatal("unknown target should fail")
+	}
+	sys, err := netdebug.Open(p4test.Router, netdebug.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if sys.TargetName() != "reference" {
+		t.Fatalf("default target = %q", sys.TargetName())
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	sys := openRouterT(t, netdebug.TargetSDNet)
+	layout, err := sys.Layout("ethernet", "ipv4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttl := layout.MustField("ipv4.ttl")
+
+	frame := packet.BuildUDPv4(srcMAC, gwMAC, srcIP, dstIP, 4000, 53, make([]byte, 26))
+	rep, err := sys.Validate(&netdebug.TestSpec{
+		Name: "facade",
+		Gen: netdebug.GenSpec{Streams: []netdebug.StreamSpec{{
+			Name: "probe", Template: frame, Count: 50, RatePPS: 1e6,
+		}}},
+		Check: netdebug.CheckSpec{Rules: []netdebug.Rule{{
+			Name:       "ttl-decremented",
+			Stream:     "probe",
+			ExpectPort: 1,
+			Expect:     []netdebug.FieldExpect{{Name: "ipv4.ttl", Loc: ttl, Value: 63}},
+		}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("validation failed: %v", rep)
+	}
+
+	st, err := sys.Status()
+	if err != nil || st["netdebug.injected"] != 50 {
+		t.Fatalf("status: %v %v", st, err)
+	}
+	res, err := sys.Resources()
+	if err != nil || res.LUTs <= 0 {
+		t.Fatalf("resources: %+v %v", res, err)
+	}
+}
+
+func TestFacadeLocalize(t *testing.T) {
+	sys := openRouterT(t, netdebug.TargetReference)
+	sys.InjectFault(netdebug.Fault{Kind: netdebug.FaultPortDown, Port: 0})
+	probe := packet.BuildUDPv4(srcMAC, gwMAC, srcIP, dstIP, 4000, 53, nil)
+	diag := sys.Localize(probe, 0, 1)
+	if diag.Stage != "mac-in port 0" {
+		t.Fatalf("diagnosis = %q", diag.Stage)
+	}
+	sys.ClearFaults()
+	if diag := sys.Localize(probe, 0, 1); diag.Stage != "none" {
+		t.Fatalf("after clear: %q", diag.Stage)
+	}
+}
+
+func TestFacadeExternalTester(t *testing.T) {
+	sys := openRouterT(t, netdebug.TargetReference)
+	ext := sys.NewExternalTester()
+	frame := packet.BuildUDPv4(srcMAC, gwMAC, srcIP, dstIP, 4000, 53, make([]byte, 26))
+	rep, err := ext.Run([]netdebug.ExternalStream{{
+		Name: "probe", Frame: frame, Count: 20, TxPort: 0, RxPort: 1,
+		RatePPS: 1e6, SeqLoc: netdebug.FieldLoc{BitOff: (14 + 20 + 8) * 8, Bits: 32},
+	}})
+	if err != nil || !rep.Pass {
+		t.Fatalf("external run: %v %v", rep, err)
+	}
+}
+
+func TestVerifyProgramFacade(t *testing.T) {
+	results, err := netdebug.VerifyProgram(p4test.Router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]netdebug.VerifyResult{}
+	for _, r := range results {
+		byName[r.Property] = r
+	}
+	if !byName["rejected-implies-dropped"].Holds {
+		t.Fatal("rejected-implies-dropped should verify on the program")
+	}
+	if !byName["malformed-ipv4-dropped"].Holds {
+		t.Fatal("malformed-ipv4-dropped should verify on the program")
+	}
+	if !strings.Contains(byName["rejected-implies-dropped"].Detail, "VERIFIED") {
+		t.Fatalf("detail: %q", byName["rejected-implies-dropped"].Detail)
+	}
+}
+
+// TestPaperHeadline is the one-test summary of the reproduction: formal
+// verification passes the program, NetDebug on the sdnet target finds the
+// deployed bug.
+func TestPaperHeadline(t *testing.T) {
+	results, err := netdebug.VerifyProgram(p4test.Router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Property == "rejected-implies-dropped" && !r.Holds {
+			t.Fatal("verification should pass the program")
+		}
+	}
+	sys := openRouterT(t, netdebug.TargetSDNet)
+	bad := packet.BuildUDPv4(srcMAC, gwMAC, srcIP, dstIP, 4000, 53, nil)
+	bad[14] = 0x65
+	rep, err := sys.Validate(&netdebug.TestSpec{
+		Name: "headline",
+		Gen: netdebug.GenSpec{Streams: []netdebug.StreamSpec{{
+			Name: "malformed", Template: bad, Count: 10, RatePPS: 1e6,
+		}}},
+		Check: netdebug.CheckSpec{Rules: []netdebug.Rule{{
+			Name: "dropped", Stream: "malformed", ExpectDrop: true,
+		}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("NetDebug must detect the reject erratum on sdnet")
+	}
+}
