@@ -1,0 +1,29 @@
+# NetDebug build/test/bench entry points.
+
+GO ?= go
+BENCH_OUT ?= BENCH_1.json
+
+.PHONY: all build vet test bench bench-smoke bench-json
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark sweep, human-readable.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Quick CI smoke: every benchmark runs, but only a few iterations.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 2x ./...
+
+# Machine-readable results for the perf trajectory (BENCH_<PR>.json).
+bench-json:
+	$(GO) run ./cmd/benchjson -benchtime 200x -out $(BENCH_OUT)

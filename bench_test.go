@@ -13,6 +13,7 @@ package netdebug_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -63,6 +64,52 @@ func BenchmarkFigure2CapabilityMatrix(b *testing.B) {
 		if m.Cells[scenario.Compiler][scenario.ToolNetDebug] != scenario.Full {
 			b.Fatal("matrix shape changed")
 		}
+	}
+}
+
+// BenchmarkFigure2CapabilityMatrixParallel regenerates the Figure 2
+// suite on the sharded worker pool (one device set per worker). On an
+// N-core machine this scales close to Nx over the sequential benchmark
+// above; compare the two entries in BENCH_1.json.
+func BenchmarkFigure2CapabilityMatrixParallel(b *testing.B) {
+	scenarios := scenario.All()
+	for _, workers := range []int{2, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := scenario.BuildMatrixParallel(scenarios, workers)
+				if m.Cells[scenario.Compiler][scenario.ToolNetDebug] != scenario.Full {
+					b.Fatal("matrix shape changed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSuiteValidation runs a T1-style 16-spec validation suite
+// through netdebug.RunSuite sequentially and across workers, one System
+// (device + target + engine) per worker. Factory and specs are shared
+// with the RunSuite correctness tests (suite_test.go).
+func BenchmarkSuiteValidation(b *testing.B) {
+	factory := routerSuiteFactory
+	specs := suiteSpecs(16, 500)
+	workerCounts := []int{1, 8}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 8 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reps, err := netdebug.RunSuite(factory, specs, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, rep := range reps {
+					if !rep.Pass {
+						b.Fatalf("suite run failed: %v", rep)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,142 @@
+// Benchjson runs the repository benchmark suite and writes the results
+// as machine-readable JSON, so successive PRs accumulate a comparable
+// performance trajectory (BENCH_1.json, BENCH_2.json, ...).
+//
+//	benchjson -out BENCH_1.json                    # full suite
+//	benchjson -bench 'Process|Suite' -benchtime 100x -out -   # subset to stdout
+//
+// Each record carries ns/op, B/op, allocs/op, and MB/s (when reported)
+// per benchmark, plus the Go version, CPU count, and command line used,
+// since scaling numbers are only comparable at like core counts.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+var (
+	out       = flag.String("out", "BENCH_1.json", "output file ('-' for stdout)")
+	benchRe   = flag.String("bench", ".", "benchmark selection regex (go test -bench)")
+	benchtime = flag.String("benchtime", "1s", "per-benchmark budget (go test -benchtime)")
+	count     = flag.Int("count", 1, "repetitions per benchmark (go test -count)")
+	pkgs      = flag.String("pkgs", "./...", "comma-separated package patterns to benchmark")
+)
+
+// Record is one benchmark measurement.
+type Record struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
+	// (sub-benchmark path preserved).
+	Name       string  `json:"name"`
+	Package    string  `json:"package"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp *int64  `json:"b_per_op,omitempty"`
+	AllocsOp   *int64  `json:"allocs_per_op,omitempty"`
+	MBPerSec   float64 `json:"mb_per_s,omitempty"`
+}
+
+// File is the JSON document layout.
+type File struct {
+	Schema     string   `json:"schema"`
+	GoVersion  string   `json:"go"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Generated  string   `json:"generated"`
+	Command    string   `json:"command"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *benchRe, "-benchmem",
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count)}
+	args = append(args, strings.Split(*pkgs, ",")...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	doc := File{
+		Schema:     "netdebug-bench/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Command:    "go " + strings.Join(args, " "),
+	}
+
+	pkg := ""
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line) // echo the run for the operator
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		rec := Record{Name: m[1], Package: pkg, Iterations: iters, NsPerOp: ns}
+		for _, part := range strings.Split(strings.TrimSpace(m[4]), "\t") {
+			part = strings.TrimSpace(part)
+			switch {
+			case strings.HasSuffix(part, " MB/s"):
+				rec.MBPerSec, _ = strconv.ParseFloat(strings.TrimSuffix(part, " MB/s"), 64)
+			case strings.HasSuffix(part, " B/op"):
+				v, _ := strconv.ParseInt(strings.TrimSuffix(part, " B/op"), 10, 64)
+				rec.BytesPerOp = &v
+			case strings.HasSuffix(part, " allocs/op"):
+				v, _ := strconv.ParseInt(strings.TrimSuffix(part, " allocs/op"), 10, 64)
+				rec.AllocsOp = &v
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, rec)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		log.Fatalf("benchmark run failed: %v", err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("no benchmark results parsed")
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d benchmark records to %s", len(doc.Benchmarks), *out)
+}

@@ -1,0 +1,3 @@
+module netdebug
+
+go 1.24

@@ -243,13 +243,29 @@ func (v Value) String() string {
 // ceil(W/8) bytes.
 func (v Value) Bytes() []byte {
 	n := (v.W + 7) / 8
-	out := make([]byte, n)
-	tmp := v
-	for i := n - 1; i >= 0; i-- {
-		out[i] = byte(tmp.Lo)
-		tmp = tmp.shiftRightRaw(8)
+	return v.AppendBytes(make([]byte, 0, n))
+}
+
+// AppendBytes appends the big-endian byte representation of v (exactly
+// ceil(W/8) bytes, as Bytes) to buf and returns the extended slice. It
+// allocates only when buf lacks capacity, which makes it the hot-path
+// form used by table-key serialization.
+func (v Value) AppendBytes(buf []byte) []byte {
+	n := (v.W + 7) / 8
+	for i := 0; i < n; i++ {
+		shift := 8 * (n - 1 - i)
+		var b byte
+		switch {
+		case shift >= 64:
+			b = byte(v.Hi >> uint(shift-64))
+		case shift+8 <= 64:
+			b = byte(v.Lo >> uint(shift))
+		default:
+			b = byte(v.Lo>>uint(shift) | v.Hi<<uint(64-shift))
+		}
+		buf = append(buf, b)
 	}
-	return out
+	return buf
 }
 
 // Extract reads a w-bit big-endian field starting at bit offset off within

@@ -1,0 +1,86 @@
+package bitfield
+
+// Regression tests for the allocation-free byte serialization and for
+// masked matching at widths above 64 bits (the Hi word of Value).
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestAppendBytesMatchesBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for w := 0; w <= MaxWidth; w++ {
+		v := New128(rng.Uint64(), rng.Uint64(), w)
+		want := v.Bytes()
+		got := v.AppendBytes(nil)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("w=%d: AppendBytes=%x Bytes=%x", w, got, want)
+		}
+		// Appending must extend, not overwrite.
+		pre := []byte{0xde, 0xad}
+		got = v.AppendBytes(pre)
+		if !bytes.Equal(got[:2], []byte{0xde, 0xad}) || !bytes.Equal(got[2:], want) {
+			t.Fatalf("w=%d: append with prefix = %x", w, got)
+		}
+	}
+}
+
+func TestAppendBytesDoesNotAllocateWithCapacity(t *testing.T) {
+	v := New128(0x0123456789abcdef, 0xfedcba9876543210, 128)
+	buf := make([]byte, 0, 32)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = v.AppendBytes(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendBytes with capacity allocated %v times", allocs)
+	}
+}
+
+func TestAppendBytesRoundTripsThroughFromBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, w := range []int{8, 48, 64, 72, 96, 128} {
+		v := New128(rng.Uint64(), rng.Uint64(), w)
+		back := FromBytes(v.AppendBytes(nil))
+		if !back.Equal(v) {
+			t.Fatalf("w=%d: round trip %v -> %v", w, v, back)
+		}
+	}
+}
+
+func TestMatchesMaskedHiWord(t *testing.T) {
+	a := New128(0xaaaa000000000000, 0x1, 128)
+	b := New128(0xbbbb000000000000, 0x1, 128)
+	if a.MatchesMasked(b, Mask(128)) {
+		t.Fatal("full mask must distinguish Hi words")
+	}
+	if !a.MatchesMasked(b, Mask(64).WithWidth(128)) {
+		t.Fatal("lo-half mask must ignore Hi words")
+	}
+	topMask := Mask(128).Shl(112).WithWidth(128) // top 16 bits
+	if a.MatchesMasked(b, topMask) {
+		t.Fatal("top-16 mask must see the 0xaaaa/0xbbbb difference")
+	}
+	if !a.MatchesMasked(New128(0xaaaa111111111111, 0x9, 128), topMask) {
+		t.Fatal("top-16 mask must ignore all lower bits")
+	}
+}
+
+func TestMaskWideWidths(t *testing.T) {
+	for _, c := range []struct {
+		w      int
+		hi, lo uint64
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{64, 0, ^uint64(0)},
+		{65, 1, ^uint64(0)},
+		{128, ^uint64(0), ^uint64(0)},
+	} {
+		m := Mask(c.w)
+		if m.Hi != c.hi || m.Lo != c.lo {
+			t.Errorf("Mask(%d) = hi=%#x lo=%#x, want hi=%#x lo=%#x", c.w, m.Hi, m.Lo, c.hi, c.lo)
+		}
+	}
+}

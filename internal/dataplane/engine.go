@@ -5,11 +5,20 @@
 // The Engine implements the P4₁₆ reference semantics exactly; hardware
 // targets (package target) compose Engine phases and may transform the IR
 // first to model compiler or architecture errata. An Engine is not safe
-// for concurrent use; the device model serializes packets through it.
+// for concurrent use; the device model serializes packets through it, and
+// parallel harnesses shard work across one Engine per worker.
+//
+// The packet hot path (Process with CollectTrace off) performs no heap
+// allocations in steady state: per-packet scratch lives in the Context
+// (reusable, poolable via AcquireContext/ReleaseContext), table lookups
+// serialize keys into per-table scratch buffers, ternary masks are
+// precomputed at install time, and all counters are resolved to pointers
+// when the engine is built.
 package dataplane
 
 import (
 	"fmt"
+	"sync"
 
 	"netdebug/internal/bitfield"
 	"netdebug/internal/p4/ir"
@@ -65,7 +74,8 @@ type Trace struct {
 }
 
 // Context is the per-packet execution state. Obtain one from
-// Engine.NewContext and reuse it across packets.
+// Engine.NewContext (or the pooled AcquireContext) and reuse it across
+// packets.
 type Context struct {
 	fields  [][]bitfield.Value
 	valid   []bool
@@ -77,8 +87,37 @@ type Context struct {
 	payload []byte
 	out     []byte
 	Trace   Trace
-	// CollectTrace enables per-packet trace recording.
+	// CollectTrace enables per-packet trace recording. When off, trace
+	// recording costs nothing beyond zeroing the Trace scalars.
 	CollectTrace bool
+	// keyScratch is reused for table-key and parser-select evaluation.
+	keyScratch []bitfield.Value
+	// argScratch holds one reusable argument buffer per action-call
+	// depth, so direct action calls evaluate arguments without
+	// allocating.
+	argScratch [][]bitfield.Value
+}
+
+// scratchVals returns a reusable value slice of length n. The slice is
+// only valid until the next scratchVals call on the same context; callers
+// must finish consuming it (or copy it) before triggering nested use.
+func (ctx *Context) scratchVals(n int) []bitfield.Value {
+	if cap(ctx.keyScratch) < n {
+		ctx.keyScratch = make([]bitfield.Value, n)
+	}
+	return ctx.keyScratch[:n]
+}
+
+// callArgs returns the reusable argument buffer for an action call at the
+// given stack depth.
+func (ctx *Context) callArgs(depth, n int) []bitfield.Value {
+	for len(ctx.argScratch) <= depth {
+		ctx.argScratch = append(ctx.argScratch, nil)
+	}
+	if cap(ctx.argScratch[depth]) < n {
+		ctx.argScratch[depth] = make([]bitfield.Value, n)
+	}
+	return ctx.argScratch[depth][:n]
 }
 
 // Engine executes one compiled program.
@@ -86,6 +125,14 @@ type Engine struct {
 	prog     *ir.Program
 	tables   map[string]*tableState
 	Counters *stats.Set
+
+	// Hot-path counters, resolved once at construction so Process never
+	// concatenates counter names.
+	cAccept, cReject, cTooShort, cLoop *stats.Counter
+	stateCtr                           []*stats.Counter // per parser state
+	emitCtr                            []*stats.Counter // per header instance
+
+	ctxPool sync.Pool
 }
 
 // New builds an engine for prog.
@@ -96,13 +143,46 @@ func New(prog *ir.Program) *Engine {
 		Counters: stats.NewSet(),
 	}
 	for _, t := range prog.Tables() {
-		e.tables[t.Name] = newTableState(t)
+		ts := newTableState(t)
+		ts.hit = e.Counters.Counter("table." + t.Name + ".hit")
+		ts.miss = e.Counters.Counter("table." + t.Name + ".miss")
+		e.tables[t.Name] = ts
+	}
+	e.cAccept = e.Counters.Counter("parser.accept")
+	e.cReject = e.Counters.Counter("parser.reject")
+	e.cTooShort = e.Counters.Counter("parser.too_short")
+	e.cLoop = e.Counters.Counter("parser.loop")
+	if prog.Parser != nil {
+		e.stateCtr = make([]*stats.Counter, len(prog.Parser.States))
+		for i, st := range prog.Parser.States {
+			e.stateCtr[i] = e.Counters.Counter("parser.state." + st.Name)
+		}
+	}
+	e.emitCtr = make([]*stats.Counter, len(prog.Instances))
+	for i, inst := range prog.Instances {
+		e.emitCtr[i] = e.Counters.Counter("deparser.emit." + inst.Name)
 	}
 	return e
 }
 
 // Program returns the loaded program.
 func (e *Engine) Program() *ir.Program { return e.prog }
+
+// SetTableCapacity lowers the usable capacity of a table below its
+// declared size — targets use this to model architectural limits (e.g.
+// BRAM packing overhead). Entries already installed are kept even if
+// they exceed the new capacity.
+func (e *Engine) SetTableCapacity(name string, capacity int) error {
+	ts, ok := e.tables[name]
+	if !ok {
+		return fmt.Errorf("dataplane: no table %q", name)
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+	ts.capacity = capacity
+	return nil
+}
 
 // NewContext allocates a context sized for the program.
 func (e *Engine) NewContext() *Context {
@@ -122,6 +202,20 @@ func (e *Engine) NewContext() *Context {
 	return ctx
 }
 
+// AcquireContext returns a pooled context (allocating one only when the
+// pool is empty). Pair with ReleaseContext for allocation-free
+// steady-state processing.
+func (e *Engine) AcquireContext() *Context {
+	if c, ok := e.ctxPool.Get().(*Context); ok {
+		return c
+	}
+	return e.NewContext()
+}
+
+// ReleaseContext returns a context to the pool. The context (and any
+// Trace or output bytes borrowed from it) must not be used afterwards.
+func (e *Engine) ReleaseContext(ctx *Context) { e.ctxPool.Put(ctx) }
+
 // Reset prepares the context for a new packet.
 func (e *Engine) Reset(ctx *Context, pkt []byte, ingressPort uint64) {
 	for i, inst := range e.prog.Instances {
@@ -140,6 +234,9 @@ func (e *Engine) Reset(ctx *Context, pkt []byte, ingressPort uint64) {
 	ctx.packet = pkt
 	ctx.payload = nil
 	ctx.out = ctx.out[:0]
+	// A fresh Trace struct: with CollectTrace off the old slices are nil
+	// and this costs nothing; with it on, any previously returned Trace
+	// keeps sole ownership of its slices.
 	ctx.Trace = Trace{}
 	if e.prog.StdMeta >= 0 {
 		ctx.fields[e.prog.StdMeta][ir.StdMetaIngressPort] = bitfield.New(ingressPort, 9)
@@ -193,7 +290,7 @@ func (e *Engine) Parse(ctx *Context) Verdict {
 	for state >= 0 {
 		if steps++; steps > maxParserStates {
 			e.setParserError(ctx, ParseErrLoop)
-			e.Counters.Counter("parser.loop").Inc()
+			e.cLoop.Inc()
 			ctx.Trace.Verdict = VerdictReject
 			return VerdictReject
 		}
@@ -201,11 +298,11 @@ func (e *Engine) Parse(ctx *Context) Verdict {
 		if ctx.CollectTrace {
 			ctx.Trace.ParserPath = append(ctx.Trace.ParserPath, st.Name)
 		}
-		e.Counters.Counter("parser.state." + st.Name).Inc()
+		e.stateCtr[state].Inc()
 		for _, op := range st.Ops {
 			if !e.execParserOp(ctx, op) {
 				e.setParserError(ctx, ParseErrPacketTooShort)
-				e.Counters.Counter("parser.too_short").Inc()
+				e.cTooShort.Inc()
 				ctx.Trace.Verdict = VerdictReject
 				return VerdictReject
 			}
@@ -215,11 +312,11 @@ func (e *Engine) Parse(ctx *Context) Verdict {
 	ctx.payload = ctx.packet[ctx.cursor/8:]
 	if state == ir.StateReject {
 		e.setParserError(ctx, ParseErrReject)
-		e.Counters.Counter("parser.reject").Inc()
+		e.cReject.Inc()
 		ctx.Trace.Verdict = VerdictReject
 		return VerdictReject
 	}
-	e.Counters.Counter("parser.accept").Inc()
+	e.cAccept.Inc()
 	ctx.Trace.Verdict = VerdictAccept
 	return VerdictAccept
 }
@@ -250,7 +347,7 @@ func (e *Engine) nextState(ctx *Context, tr ir.Transition) int {
 	if len(tr.Keys) == 0 {
 		return tr.Default
 	}
-	vals := make([]bitfield.Value, len(tr.Keys))
+	vals := ctx.scratchVals(len(tr.Keys))
 	for i, k := range tr.Keys {
 		vals[i] = e.eval(ctx, k)
 	}
@@ -305,7 +402,7 @@ func (e *Engine) execStmts(ctx *Context, stmts []ir.Stmt, stage string) bool {
 		case *ir.ApplyTable:
 			e.applyTable(ctx, s.Table, stage)
 		case *ir.CallAction:
-			args := make([]bitfield.Value, len(s.Args))
+			args := ctx.callArgs(len(ctx.args), len(s.Args))
 			for i, a := range s.Args {
 				args[i] = e.eval(ctx, a)
 			}
@@ -321,27 +418,27 @@ func (e *Engine) execStmts(ctx *Context, stmts []ir.Stmt, stage string) bool {
 
 func (e *Engine) applyTable(ctx *Context, t *ir.Table, stage string) {
 	ts := e.tables[t.Name]
-	vals := make([]bitfield.Value, len(t.Keys))
+	vals := ctx.scratchVals(len(t.Keys))
 	for i, k := range t.Keys {
 		vals[i] = e.eval(ctx, k.Expr)
 	}
 	be := ts.lookup(vals)
-	ev := TableEvent{Table: t.Name}
 	if ctx.CollectTrace {
-		ev.Keys = vals
+		ev := TableEvent{Table: t.Name, Keys: append([]bitfield.Value(nil), vals...)}
+		if be != nil {
+			ev.Hit = true
+			ev.Action = be.action.Name
+		} else {
+			ev.Action = t.Default.Action.Name
+		}
+		ctx.Trace.Tables = append(ctx.Trace.Tables, ev)
 	}
 	if be != nil {
-		ev.Hit = true
-		ev.Action = be.action.Name
-		e.Counters.Counter("table." + t.Name + ".hit").Inc()
+		ts.hit.Inc()
 		e.runAction(ctx, be.action, be.Args, stage)
 	} else {
-		ev.Action = t.Default.Action.Name
-		e.Counters.Counter("table." + t.Name + ".miss").Inc()
+		ts.miss.Inc()
 		e.runAction(ctx, t.Default.Action, t.Default.Args, stage)
-	}
-	if ctx.CollectTrace {
-		ctx.Trace.Tables = append(ctx.Trace.Tables, ev)
 	}
 }
 
@@ -349,6 +446,19 @@ func (e *Engine) runAction(ctx *Context, a *ir.Action, args []bitfield.Value, st
 	ctx.args = append(ctx.args, args)
 	e.execStmts(ctx, a.Body, stage)
 	ctx.args = ctx.args[:len(ctx.args)-1]
+}
+
+// zeroBytes is the source for zero-filling emitted headers without
+// allocating a temporary per emit.
+var zeroBytes [64]byte
+
+// appendZeros extends b with n zero bytes.
+func appendZeros(b []byte, n int) []byte {
+	for n > len(zeroBytes) {
+		b = append(b, zeroBytes[:]...)
+		n -= len(zeroBytes)
+	}
+	return append(b, zeroBytes[:n]...)
 }
 
 // Deparse reassembles the output packet: valid headers in emit order, then
@@ -369,12 +479,12 @@ func (e *Engine) execDeparse(ctx *Context, stmts []ir.Stmt) {
 			}
 			inst := e.prog.Instances[s.Inst]
 			start := len(ctx.out)
-			ctx.out = append(ctx.out, make([]byte, (inst.Type.Bits+7)/8)...)
+			ctx.out = appendZeros(ctx.out, (inst.Type.Bits+7)/8)
 			buf := ctx.out[start:]
 			for j, f := range inst.Type.Fields {
 				bitfield.MustInject(buf, f.Offset, f.Width, ctx.fields[s.Inst][j])
 			}
-			e.Counters.Counter("deparser.emit." + inst.Name).Inc()
+			e.emitCtr[s.Inst].Inc()
 		case *ir.If:
 			branch := s.Else
 			if e.eval(ctx, s.Cond).Uint64() != 0 {

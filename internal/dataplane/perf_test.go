@@ -1,0 +1,143 @@
+package dataplane
+
+import (
+	"testing"
+
+	"netdebug/internal/bitfield"
+	"netdebug/internal/p4/p4test"
+	"netdebug/internal/packet"
+)
+
+// maxProcessAllocs is the allocation floor asserted for the packet hot
+// path (PR 1 acceptance criterion: <= 2 allocs/packet steady state; the
+// implementation currently reaches 0).
+const maxProcessAllocs = 2
+
+// l2Engine returns an engine loaded with the exact-match L2 switch and
+// one MAC entry.
+func l2Engine(t testing.TB) *Engine {
+	e := mustEngine(t, p4test.L2Switch)
+	if err := e.InstallEntry(Entry{
+		Table:  "mac_table",
+		Keys:   []KeyValue{{Value: bitfield.FromBytes(macB[:])}},
+		Action: "forward",
+		Args:   []bitfield.Value{bitfield.New(2, 9)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func assertProcessAllocs(t *testing.T, name string, e *Engine, frame []byte, wantForward bool) {
+	t.Helper()
+	ctx := e.NewContext()
+	out, _ := e.Process(ctx, frame, 0)
+	if wantForward && out == nil {
+		t.Fatalf("%s: packet dropped, fixture broken", name)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		e.Process(ctx, frame, 0)
+	})
+	if allocs > maxProcessAllocs {
+		t.Errorf("%s: %v allocs/packet, want <= %d", name, allocs, maxProcessAllocs)
+	}
+	t.Logf("%s: %v allocs/packet", name, allocs)
+}
+
+// TestProcessAllocsExact pins the steady-state allocation floor for an
+// exact-match table program.
+func TestProcessAllocsExact(t *testing.T) {
+	frame := packet.BuildUDPv4(macA, macB, ipA, ipB, 100, 200, []byte("data"))
+	assertProcessAllocs(t, "exact/hit", l2Engine(t), frame, true)
+	miss := packet.BuildUDPv4(macA, packet.MAC{9, 9, 9, 9, 9, 9}, ipA, ipB, 1, 2, nil)
+	assertProcessAllocs(t, "exact/miss", l2Engine(t), miss, false)
+}
+
+// TestProcessAllocsLPM pins the floor for an LPM table program.
+func TestProcessAllocsLPM(t *testing.T) {
+	frame := packet.BuildUDPv4(macA, macB, ipA, ipB, 100, 200, []byte("data"))
+	assertProcessAllocs(t, "lpm/hit", routerEngine(t), frame, true)
+}
+
+// TestProcessAllocsTernary pins the floor for a ternary table program
+// (which also exercises the LPM routing stage behind it).
+func TestProcessAllocsTernary(t *testing.T) {
+	frame := packet.BuildTCPv4(macA, macB, ipA, ipB, 1234, 443, packet.TCPSyn, nil)
+	assertProcessAllocs(t, "ternary/allow", firewallEngine(t), frame, true)
+	denied := packet.BuildTCPv4(macA, macB, ipA, ipB, 1234, 80, packet.TCPSyn, nil)
+	assertProcessAllocs(t, "ternary/deny", firewallEngine(t), denied, false)
+}
+
+// TestProcessAllocsRejectPath pins the floor for parser-rejected packets.
+func TestProcessAllocsRejectPath(t *testing.T) {
+	bad := packet.BuildUDPv4(macA, macB, ipA, ipB, 1, 2, nil)
+	bad[14] = 0x65
+	assertProcessAllocs(t, "reject", routerEngine(t), bad, false)
+}
+
+// TestContextPoolReuse verifies Acquire/Release recycle contexts without
+// allocating in steady state.
+func TestContextPoolReuse(t *testing.T) {
+	e := routerEngine(t)
+	frame := packet.BuildUDPv4(macA, macB, ipA, ipB, 100, 200, nil)
+	ctx := e.AcquireContext()
+	e.Process(ctx, frame, 0)
+	e.ReleaseContext(ctx)
+	allocs := testing.AllocsPerRun(500, func() {
+		c := e.AcquireContext()
+		e.Process(c, frame, 0)
+		e.ReleaseContext(c)
+	})
+	if allocs > maxProcessAllocs {
+		t.Errorf("pooled process: %v allocs, want <= %d", allocs, maxProcessAllocs)
+	}
+}
+
+// TestTraceStillRecordedWhenEnabled guards against the zero-cost-trace
+// optimization silencing tracing entirely.
+func TestTraceStillRecordedWhenEnabled(t *testing.T) {
+	e := routerEngine(t)
+	ctx := e.NewContext()
+	ctx.CollectTrace = true
+	frame := packet.BuildUDPv4(macA, macB, ipA, ipB, 100, 200, nil)
+	e.Process(ctx, frame, 0)
+	if len(ctx.Trace.ParserPath) == 0 || len(ctx.Trace.Tables) == 0 {
+		t.Fatalf("trace empty with CollectTrace on: %+v", ctx.Trace)
+	}
+	if len(ctx.Trace.Tables[0].Keys) == 0 {
+		t.Fatal("table event lost its key values")
+	}
+	// Retained traces must survive subsequent packets.
+	first := ctx.Trace
+	firstKey := first.Tables[0].Keys[0]
+	e.Process(ctx, packet.BuildUDPv4(macA, macB, ipA, packet.IPv4Addr{10, 7, 7, 7}, 1, 2, nil), 0)
+	if !first.Tables[0].Keys[0].Equal(firstKey) {
+		t.Fatal("retained trace mutated by a later packet")
+	}
+}
+
+func BenchmarkProcessRouter(b *testing.B) {
+	e := routerEngine(b)
+	ctx := e.NewContext()
+	frame := packet.BuildUDPv4(macA, macB, ipA, ipB, 100, 200, make([]byte, 26))
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out, _ := e.Process(ctx, frame, 0); out == nil {
+			b.Fatal("dropped")
+		}
+	}
+}
+
+func BenchmarkProcessFirewallTernary(b *testing.B) {
+	e := firewallEngine(b)
+	ctx := e.NewContext()
+	frame := packet.BuildTCPv4(macA, macB, ipA, ipB, 1234, 443, packet.TCPSyn, make([]byte, 26))
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Process(ctx, frame, 0)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"netdebug/internal/bitfield"
 	"netdebug/internal/p4/ir"
+	"netdebug/internal/stats"
 )
 
 // KeyValue is one key component of a table entry.
@@ -43,6 +44,11 @@ type boundEntry struct {
 	// order is the install sequence number, used to break priority ties
 	// deterministically (first installed wins).
 	order int
+	// masks/want are the per-key match masks and pre-masked match values
+	// for ternary tables, precomputed at install time so lookups perform
+	// no mask construction.
+	masks []bitfield.Value
+	want  []bitfield.Value
 }
 
 // tableState is the runtime state of one table.
@@ -54,11 +60,21 @@ type tableState struct {
 	tries   map[string]*lpmTrie // keyed by the exact portion of the key
 	ternary []*boundEntry       // sorted by (priority desc, order asc)
 	count   int
-	nextOrd int
+	// capacity is the usable entry count; defaults to def.Size, targets
+	// may lower it to model architectural limits.
+	capacity int
+	nextOrd  int
+	// keyBuf is the scratch buffer lookups serialize key bytes into; the
+	// map index converts it with string(keyBuf), which the compiler
+	// performs without allocating.
+	keyBuf []byte
+	// hit/miss are this table's counters, precomputed by the engine so
+	// the hot path never builds counter-name strings.
+	hit, miss *stats.Counter
 }
 
 func newTableState(def *ir.Table) *tableState {
-	ts := &tableState{def: def, lpmIdx: -1}
+	ts := &tableState{def: def, lpmIdx: -1, capacity: def.Size}
 	for i, k := range def.Keys {
 		switch k.Kind {
 		case ir.MatchTernary:
@@ -79,16 +95,17 @@ func newTableState(def *ir.Table) *tableState {
 	return ts
 }
 
-// exactKeyBytes concatenates the byte representation of each non-lpm key.
-func (ts *tableState) exactKeyBytes(vals []bitfield.Value, skip int) string {
-	var buf []byte
-	for i, v := range vals {
+// appendKeyBytes appends the byte representation of each non-skipped key
+// value to buf and returns the extended buffer. It is the allocation-free
+// core of exact and LPM-group key construction.
+func appendKeyBytes(buf []byte, vals []bitfield.Value, skip int) []byte {
+	for i := range vals {
 		if i == skip {
 			continue
 		}
-		buf = append(buf, v.Bytes()...)
+		buf = vals[i].AppendBytes(buf)
 	}
-	return string(buf)
+	return buf
 }
 
 // install validates and inserts an entry.
@@ -97,8 +114,8 @@ func (ts *tableState) install(e Entry, action *ir.Action) error {
 		return fmt.Errorf("table %s: entry has %d keys, table has %d",
 			ts.def.Name, len(e.Keys), len(ts.def.Keys))
 	}
-	if ts.count >= ts.def.Size {
-		return &CapacityError{Table: ts.def.Name, Size: ts.def.Size}
+	if ts.count >= ts.capacity {
+		return &CapacityError{Table: ts.def.Name, Size: ts.capacity}
 	}
 	for i, k := range e.Keys {
 		w := ts.def.Keys[i].Expr.Width()
@@ -129,7 +146,7 @@ func (ts *tableState) install(e Entry, action *ir.Action) error {
 		for i := range e.Keys {
 			vals[i] = e.Keys[i].Value
 		}
-		k := ts.exactKeyBytes(vals, -1)
+		k := string(appendKeyBytes(nil, vals, -1))
 		if _, dup := ts.exact[k]; dup {
 			return fmt.Errorf("table %s: duplicate entry", ts.def.Name)
 		}
@@ -139,7 +156,7 @@ func (ts *tableState) install(e Entry, action *ir.Action) error {
 		for i := range e.Keys {
 			vals[i] = e.Keys[i].Value
 		}
-		group := ts.exactKeyBytes(vals, ts.lpmIdx)
+		group := string(appendKeyBytes(nil, vals, ts.lpmIdx))
 		trie := ts.tries[group]
 		if trie == nil {
 			trie = &lpmTrie{}
@@ -150,6 +167,25 @@ func (ts *tableState) install(e Entry, action *ir.Action) error {
 			return fmt.Errorf("table %s: duplicate prefix %s/%d", ts.def.Name, lk.Value, lk.PrefixLen)
 		}
 	case kindTernary:
+		be.masks = make([]bitfield.Value, len(e.Keys))
+		be.want = make([]bitfield.Value, len(e.Keys))
+		for i, kv := range e.Keys {
+			w := ts.def.Keys[i].Expr.Width()
+			var mask bitfield.Value
+			switch ts.def.Keys[i].Kind {
+			case ir.MatchExact:
+				mask = bitfield.Mask(w)
+			case ir.MatchLPM:
+				mask = prefixMask(w, kv.PrefixLen)
+			case ir.MatchTernary:
+				mask = kv.Mask
+				if mask.Width() == 0 {
+					mask = bitfield.Mask(w)
+				}
+			}
+			be.masks[i] = mask
+			be.want[i] = kv.Value.And(mask)
+		}
 		ts.ternary = append(ts.ternary, be)
 		sort.SliceStable(ts.ternary, func(i, j int) bool {
 			if ts.ternary[i].Priority != ts.ternary[j].Priority {
@@ -162,20 +198,23 @@ func (ts *tableState) install(e Entry, action *ir.Action) error {
 	return nil
 }
 
-// lookup matches the evaluated key values against installed entries.
+// lookup matches the evaluated key values against installed entries. It
+// performs no heap allocations.
 func (ts *tableState) lookup(vals []bitfield.Value) *boundEntry {
 	switch ts.kind {
 	case kindExact:
-		return ts.exact[ts.exactKeyBytes(vals, -1)]
+		ts.keyBuf = appendKeyBytes(ts.keyBuf[:0], vals, -1)
+		return ts.exact[string(ts.keyBuf)]
 	case kindLPM:
-		trie := ts.tries[ts.exactKeyBytes(vals, ts.lpmIdx)]
+		ts.keyBuf = appendKeyBytes(ts.keyBuf[:0], vals, ts.lpmIdx)
+		trie := ts.tries[string(ts.keyBuf)]
 		if trie == nil {
 			return nil
 		}
 		return trie.lookup(vals[ts.lpmIdx])
 	case kindTernary:
 		for _, be := range ts.ternary {
-			if ts.ternaryMatches(be, vals) {
+			if ternaryMatches(be, vals) {
 				return be
 			}
 		}
@@ -183,27 +222,11 @@ func (ts *tableState) lookup(vals []bitfield.Value) *boundEntry {
 	return nil
 }
 
-func (ts *tableState) ternaryMatches(be *boundEntry, vals []bitfield.Value) bool {
-	for i, kv := range be.Keys {
-		switch ts.def.Keys[i].Kind {
-		case ir.MatchExact:
-			if !vals[i].Equal(kv.Value) {
-				return false
-			}
-		case ir.MatchLPM:
-			w := vals[i].Width()
-			mask := prefixMask(w, kv.PrefixLen)
-			if !vals[i].MatchesMasked(kv.Value, mask) {
-				return false
-			}
-		case ir.MatchTernary:
-			mask := kv.Mask
-			if mask.Width() == 0 {
-				mask = bitfield.Mask(vals[i].Width())
-			}
-			if !vals[i].MatchesMasked(kv.Value, mask) {
-				return false
-			}
+// ternaryMatches tests vals against an entry's precomputed masks.
+func ternaryMatches(be *boundEntry, vals []bitfield.Value) bool {
+	for i := range be.masks {
+		if !vals[i].And(be.masks[i]).Equal(be.want[i]) {
+			return false
 		}
 	}
 	return true

@@ -1,0 +1,233 @@
+package dataplane
+
+// Regression tests for IPv6-width (>64-bit) keys — these exercise the Hi
+// word of bitfield.Value through prefixMask, masked matching, the LPM
+// trie, and key serialization — plus ternary priority tie-breaking under
+// the stable install sort.
+
+import (
+	"testing"
+
+	"netdebug/internal/bitfield"
+	"netdebug/internal/p4/p4test"
+	"netdebug/internal/packet"
+)
+
+func TestPrefixMaskWideWidths(t *testing.T) {
+	cases := []struct {
+		w, n   int
+		hi, lo uint64
+	}{
+		{128, 0, 0, 0},
+		{128, 1, 1 << 63, 0},
+		{128, 63, ^uint64(0) &^ 1, 0},
+		{128, 64, ^uint64(0), 0},
+		{128, 65, ^uint64(0), 1 << 63},
+		{128, 127, ^uint64(0), ^uint64(0) &^ 1},
+		{128, 128, ^uint64(0), ^uint64(0)},
+		{96, 24, 0xFFFFFF00, 0},
+		{96, 96, 0xFFFFFFFF, ^uint64(0)},
+		{65, 1, 1, 0},
+		{64, 64, 0, ^uint64(0)},
+		{32, 8, 0, 0xFF000000},
+	}
+	for _, c := range cases {
+		m := prefixMask(c.w, c.n)
+		if m.Hi != c.hi || m.Lo != c.lo || m.Width() != c.w {
+			t.Errorf("prefixMask(%d, %d) = hi=%#x lo=%#x w=%d, want hi=%#x lo=%#x",
+				c.w, c.n, m.Hi, m.Lo, m.Width(), c.hi, c.lo)
+		}
+	}
+}
+
+func TestMatchesMaskedWideWidths(t *testing.T) {
+	// Two values differing ONLY in the Hi word: a /56 mask must
+	// distinguish them, a /8-on-low-bits mask must not.
+	a := bitfield.New128(0x20010db800000000, 0x0000000000000001, 128)
+	b := bitfield.New128(0x20010db900000000, 0x0000000000000001, 128)
+	wide := prefixMask(128, 56)
+	if a.MatchesMasked(b, wide) {
+		t.Fatal("values differing in Hi word matched under a /56 mask")
+	}
+	if !a.MatchesMasked(b, prefixMask(128, 23)) {
+		t.Fatal("values agreeing in the top 23 bits must match under /23")
+	}
+	// Mask confined to the Hi word, covering the byte where a and b
+	// differ (0xb8 vs 0xb9 → Hi bits 32..39).
+	hiOnly := bitfield.New128(0x000000ff00000000, 0, 128)
+	if a.MatchesMasked(b, hiOnly) {
+		t.Fatal("hi-word-only mask must see the difference")
+	}
+	// Mask confined to the Lo word ignores the Hi difference.
+	loOnly := bitfield.New128(0, ^uint64(0), 128)
+	if !a.MatchesMasked(b, loOnly) {
+		t.Fatal("lo-word-only mask must ignore the Hi difference")
+	}
+}
+
+// ipv6ish is a program with a 128-bit LPM table and a 128-bit exact
+// table, IPv6-router style.
+const ipv6ish = `
+header h6_t { bit<48> dmac; bit<48> smac; bit<128> dst; }
+struct hs { h6_t h; }
+parser P(packet_in p, out hs hdr) { state start { p.extract(hdr.h); transition accept; } }
+control I(inout hs hdr, inout standard_metadata_t sm) {
+  action fwd(bit<9> port) { sm.egress_spec = port; }
+  action drop() { mark_to_drop(); }
+  table lpm6 {
+    key = { hdr.h.dst: lpm; }
+    actions = { fwd; drop; }
+    size = 64;
+    default_action = drop();
+  }
+  table exact6 {
+    key = { hdr.h.dst: exact; }
+    actions = { fwd; NoAction; }
+    size = 64;
+  }
+  apply { lpm6.apply(); exact6.apply(); }
+}
+control D(packet_out p, in hs hdr) { apply { p.emit(hdr.h); } }
+S(P(), I(), D()) main;`
+
+// frame6 builds a frame for ipv6ish with the given 128-bit destination.
+func frame6(dst bitfield.Value) []byte {
+	f := make([]byte, 12+16)
+	copy(f[12:], dst.Bytes())
+	return f
+}
+
+func TestLPMWideKeys(t *testing.T) {
+	e := mustEngine(t, ipv6ish)
+	// Prefixes that differ only within the Hi word: /32 vs /56.
+	routes := []struct {
+		hi, lo uint64
+		plen   int
+		port   uint64
+	}{
+		{0x2001_0db8_0000_0000, 0, 32, 1},
+		{0x2001_0db8_0011_2200, 0, 56, 2},
+	}
+	for _, r := range routes {
+		err := e.InstallEntry(Entry{
+			Table:  "lpm6",
+			Keys:   []KeyValue{{Value: bitfield.New128(r.hi, r.lo, 128), PrefixLen: r.plen}},
+			Action: "fwd",
+			Args:   []bitfield.Value{bitfield.New(r.port, 9)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := e.NewContext()
+	// Matches the /56 (longer) prefix.
+	_, egress := e.Process(ctx, frame6(bitfield.New128(0x20010db800112233, 0x42, 128)), 0)
+	if egress != 2 {
+		t.Fatalf("egress = %d, want 2 (/56 route)", egress)
+	}
+	// Matches only the /32.
+	_, egress = e.Process(ctx, frame6(bitfield.New128(0x20010db8ffff0000, 0x42, 128)), 0)
+	if egress != 1 {
+		t.Fatalf("egress = %d, want 1 (/32 route)", egress)
+	}
+	// Matches nothing.
+	out, _ := e.Process(ctx, frame6(bitfield.New128(0x20020db800000000, 0, 128)), 0)
+	if out != nil {
+		t.Fatal("unrouted destination must drop")
+	}
+}
+
+func TestExactWideKeys(t *testing.T) {
+	e := mustEngine(t, ipv6ish)
+	// lpm6 route so the packet survives to exact6.
+	if err := e.InstallEntry(Entry{
+		Table:  "lpm6",
+		Keys:   []KeyValue{{Value: bitfield.New128(0, 0, 128), PrefixLen: 0}},
+		Action: "fwd",
+		Args:   []bitfield.Value{bitfield.New(1, 9)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dst := bitfield.New128(0x20010db8aabbccdd, 0x1122334455667788, 128)
+	if err := e.InstallEntry(Entry{
+		Table:  "exact6",
+		Keys:   []KeyValue{{Value: dst}},
+		Action: "fwd",
+		Args:   []bitfield.Value{bitfield.New(3, 9)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := e.NewContext()
+	_, egress := e.Process(ctx, frame6(dst), 0)
+	if egress != 3 {
+		t.Fatalf("exact6 hit egress = %d, want 3", egress)
+	}
+	// Same Lo word, different Hi word: must MISS the exact table.
+	other := bitfield.New128(0x20010db8aabbccde, 0x1122334455667788, 128)
+	_, egress = e.Process(ctx, frame6(other), 0)
+	if egress != 1 {
+		t.Fatalf("hi-word-different key hit the exact table (egress %d)", egress)
+	}
+	if e.Counters.Counter("table.exact6.miss").Value() != 1 {
+		t.Fatal("expected one exact6 miss")
+	}
+}
+
+// TestTernaryPriorityTieBreak pins the documented tie rule: equal
+// priority resolves to the first-installed entry, stably, regardless of
+// how many entries the stable sort has shuffled around them.
+func TestTernaryPriorityTieBreak(t *testing.T) {
+	matchAll := func(action string, prio int) Entry {
+		return Entry{
+			Table: "acl",
+			Keys: []KeyValue{
+				{Value: bitfield.New(0, 32), Mask: bitfield.New(0, 32)},
+				{Value: bitfield.New(0, 32), Mask: bitfield.New(0, 32)},
+				{Value: bitfield.New(0, 16), Mask: bitfield.New(0, 16)},
+			},
+			Action:   action,
+			Priority: prio,
+		}
+	}
+	probe := packet.BuildTCPv4(macA, macB, ipA, ipB, 1234, 443, packet.TCPSyn, nil)
+
+	run := func(entries []Entry) (forwarded bool) {
+		e := mustEngine(t, p4test.Firewall)
+		for _, en := range entries {
+			if err := e.InstallEntry(en); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.InstallEntry(Entry{
+			Table:  "routing",
+			Keys:   []KeyValue{{Value: bitfield.New(0x0a000000, 32), PrefixLen: 8}},
+			Action: "route",
+			Args:   []bitfield.Value{bitfield.New(1, 9)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		ctx := e.NewContext()
+		out, _ := e.Process(ctx, probe, 0)
+		return out != nil
+	}
+
+	// allow first at priority 5 → allow wins the tie.
+	if !run([]Entry{matchAll("allow", 5), matchAll("drop", 5)}) {
+		t.Fatal("first-installed (allow) must win an equal-priority tie")
+	}
+	// drop first at priority 5 → drop wins the tie.
+	if run([]Entry{matchAll("drop", 5), matchAll("allow", 5)}) {
+		t.Fatal("first-installed (drop) must win an equal-priority tie")
+	}
+	// Ties keep install order even with higher- and lower-priority
+	// entries interleaved around them (they don't match or sort between).
+	entries := []Entry{
+		matchAll("drop", 1),
+		matchAll("allow", 5),
+		matchAll("drop", 5),
+		matchAll("drop", 3),
+	}
+	if !run(entries) {
+		t.Fatal("highest priority band must resolve to its first-installed entry")
+	}
+}

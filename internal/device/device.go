@@ -147,6 +147,10 @@ type portState struct {
 	// queued is the current output queue occupancy in frames.
 	queued   int
 	captures []CapturedFrame
+	// Per-port counters, resolved once at boot so the packet path never
+	// formats counter names.
+	cRxFrames, cRxLinkDown, cRxBitFlips   *stats.Counter
+	cTxFrames, cTxLinkDown, cTxQueueDrops *stats.Counter
 }
 
 // Device is one simulated network platform.
@@ -156,6 +160,18 @@ type Device struct {
 	ports    []*portState
 	taps     map[TapPoint][]TapFunc
 	Counters *stats.Set
+	// resScratch stages per-packet results so taking their address for
+	// tap events does not heap-allocate per packet. It is indexed by
+	// packet-path reentrancy depth (a tap callback that injects a
+	// follow-up packet gets its own slot), so an outer call's returned
+	// Result struct is never clobbered by a nested one. Note the target
+	// layer still reuses its output buffers per Process call, so nested
+	// injection into the same device invalidates the outer result's
+	// Outputs data — see the target.Result contract.
+	resScratch []target.Result
+	procDepth  int
+
+	cDropped, cInjected, cFaults, cBadPort *stats.Counter
 }
 
 // New boots a device around the given (already loaded) target.
@@ -172,8 +188,19 @@ func New(cfg Config) (*Device, error) {
 		taps:     make(map[TapPoint][]TapFunc),
 		Counters: stats.NewSet(),
 	}
+	d.cDropped = d.Counters.Counter("dataplane.dropped")
+	d.cInjected = d.Counters.Counter("netdebug.injected")
+	d.cFaults = d.Counters.Counter("faults.injected")
+	d.cBadPort = d.Counters.Counter("tx.bad_port")
 	for i := 0; i < cfg.NumPorts; i++ {
-		d.ports = append(d.ports, &portState{up: true})
+		p := &portState{up: true}
+		p.cRxFrames = d.Counters.Counter(fmt.Sprintf("port%d.rx.frames", i))
+		p.cRxLinkDown = d.Counters.Counter(fmt.Sprintf("port%d.rx.link_down", i))
+		p.cRxBitFlips = d.Counters.Counter(fmt.Sprintf("port%d.rx.bit_flips", i))
+		p.cTxFrames = d.Counters.Counter(fmt.Sprintf("port%d.tx.frames", i))
+		p.cTxLinkDown = d.Counters.Counter(fmt.Sprintf("port%d.tx.link_down", i))
+		p.cTxQueueDrops = d.Counters.Counter(fmt.Sprintf("port%d.tx.queue_drops", i))
+		d.ports = append(d.ports, p)
 	}
 	return d, nil
 }
@@ -222,7 +249,7 @@ func (d *Device) InjectFault(f Fault) error {
 	default:
 		return fmt.Errorf("device: unknown fault %v", f.Kind)
 	}
-	d.Counters.Counter("faults.injected").Inc()
+	d.cFaults.Inc()
 	return nil
 }
 
@@ -252,9 +279,9 @@ func (d *Device) SendExternal(port int, frame []byte, at time.Duration) error {
 	}
 	d.AdvanceTo(at)
 	p := d.ports[port]
-	d.Counters.Counter(fmt.Sprintf("port%d.rx.frames", port)).Inc()
+	p.cRxFrames.Inc()
 	if !p.up {
-		d.Counters.Counter(fmt.Sprintf("port%d.rx.link_down", port)).Inc()
+		p.cRxLinkDown.Inc()
 		return nil // silently lost, as on real hardware
 	}
 	data := frame
@@ -262,7 +289,7 @@ func (d *Device) SendExternal(port int, frame []byte, at time.Duration) error {
 		data = append([]byte(nil), frame...)
 		bit := p.bitFlip.Intn(len(data) * 8)
 		data[bit/8] ^= 1 << uint(7-bit%8)
-		d.Counters.Counter(fmt.Sprintf("port%d.rx.bit_flips", port)).Inc()
+		p.cRxBitFlips.Inc()
 	}
 	rxDone := at + d.wireTime(len(frame))
 	d.fire(TapEvent{Point: TapMACIn, Port: port, Data: data, At: rxDone})
@@ -275,25 +302,35 @@ func (d *Device) SendExternal(port int, frame []byte, at time.Duration) error {
 // returned result carries the full internal trace.
 func (d *Device) InjectInternal(frame []byte, ingressPort uint64, at time.Duration, trace bool) target.Result {
 	d.AdvanceTo(at)
-	d.Counters.Counter("netdebug.injected").Inc()
+	d.cInjected.Inc()
 	return d.process(frame, ingressPort, at, trace)
 }
 
 // process runs the data plane and fires dataplane taps; it returns the
-// result without queueing outputs.
+// result without queueing outputs. The result is staged in a
+// depth-indexed scratch slot so tap events can carry a pointer without
+// a per-packet heap allocation; like target results, it is valid until
+// the next packet at the same depth.
 func (d *Device) process(frame []byte, ingressPort uint64, at time.Duration, trace bool) target.Result {
+	depth := d.procDepth
+	d.procDepth++
+	defer func() { d.procDepth-- }()
+	if depth >= len(d.resScratch) {
+		d.resScratch = append(d.resScratch, target.Result{})
+	}
 	d.fire(TapEvent{Point: TapDataplaneIn, Port: int(ingressPort), Data: frame, At: at})
-	res := d.cfg.Target.Process(frame, ingressPort, trace)
+	d.resScratch[depth] = d.cfg.Target.Process(frame, ingressPort, trace)
+	res := &d.resScratch[depth]
 	done := at + res.Latency
 	if res.Dropped() {
-		d.Counters.Counter("dataplane.dropped").Inc()
-		d.fire(TapEvent{Point: TapDataplaneOut, Port: -1, Data: nil, At: done, Result: &res})
-		return res
+		d.cDropped.Inc()
+		d.fire(TapEvent{Point: TapDataplaneOut, Port: -1, Data: nil, At: done, Result: res})
+		return *res
 	}
 	for _, out := range res.Outputs {
-		d.fire(TapEvent{Point: TapDataplaneOut, Port: int(out.Port), Data: out.Data, At: done, Result: &res})
+		d.fire(TapEvent{Point: TapDataplaneOut, Port: int(out.Port), Data: out.Data, At: done, Result: res})
 	}
-	return res
+	return *res
 }
 
 // processAndQueue runs the data plane and forwards outputs through the
@@ -309,19 +346,19 @@ func (d *Device) processAndQueue(frame []byte, ingressPort uint64, at time.Durat
 // enqueue models the output queue and TX serialization of one port.
 func (d *Device) enqueue(port int, data []byte, ready time.Duration) {
 	if port < 0 || port >= len(d.ports) {
-		d.Counters.Counter("tx.bad_port").Inc()
+		d.cBadPort.Inc()
 		return
 	}
 	p := d.ports[port]
 	if !p.up {
-		d.Counters.Counter(fmt.Sprintf("port%d.tx.link_down", port)).Inc()
+		p.cTxLinkDown.Inc()
 		return
 	}
 	if p.queueStuck {
 		if p.queued < d.cfg.QueueDepth {
 			p.queued++ // enqueued, never drained
 		} else {
-			d.Counters.Counter(fmt.Sprintf("port%d.tx.queue_drops", port)).Inc()
+			p.cTxQueueDrops.Inc()
 		}
 		return
 	}
@@ -334,13 +371,13 @@ func (d *Device) enqueue(port int, data []byte, ready time.Duration) {
 	wire := d.wireTime(len(data))
 	backlog := int((txStart - ready) / wire)
 	if wire > 0 && backlog >= d.cfg.QueueDepth {
-		d.Counters.Counter(fmt.Sprintf("port%d.tx.queue_drops", port)).Inc()
+		p.cTxQueueDrops.Inc()
 		return
 	}
 	txDone := txStart + wire
 	p.nextTxFree = txDone
 	d.AdvanceTo(txDone)
-	d.Counters.Counter(fmt.Sprintf("port%d.tx.frames", port)).Inc()
+	p.cTxFrames.Inc()
 	d.fire(TapEvent{Point: TapMACOut, Port: port, Data: data, At: txDone})
 	p.captures = append(p.captures, CapturedFrame{
 		Data: append([]byte(nil), data...),

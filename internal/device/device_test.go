@@ -325,3 +325,33 @@ func BenchmarkDeviceForward(b *testing.B) {
 		}
 	}
 }
+
+// TestTapReentrantInjection guards the result-staging path: a tap
+// callback that synchronously injects a follow-up packet must not
+// clobber the Result struct the outer injection returns. (The nested
+// packet here is parser-rejected, so without depth-indexed staging the
+// outer result would flip to Dropped.)
+func TestTapReentrantInjection(t *testing.T) {
+	d := newRouterDevice(t, target.NewReference())
+	bad := testFrame(64)
+	bad[14] = 0x65 // parser reject
+	reentered := false
+	d.Tap(TapDataplaneOut, func(ev TapEvent) {
+		if !reentered {
+			reentered = true
+			if nested := d.InjectInternal(bad, 0, 0, false); !nested.Dropped() {
+				t.Error("nested bad frame should drop")
+			}
+		}
+	})
+	res := d.InjectInternal(testFrame(64), 0, 0, false)
+	if !reentered {
+		t.Fatal("tap never fired")
+	}
+	if res.Dropped() {
+		t.Fatal("outer result clobbered by nested injection")
+	}
+	if res.Outputs[0].Port != 1 {
+		t.Fatalf("outer egress = %d, want 1", res.Outputs[0].Port)
+	}
+}

@@ -935,8 +935,22 @@ type Matrix struct {
 	Details []string // per-scenario outcome lines
 }
 
-// BuildMatrix runs every scenario under every tool and scores the cells.
+// BuildMatrix runs every scenario under every tool sequentially and
+// scores the cells.
 func BuildMatrix(scenarios []Scenario) *Matrix {
+	return matrixFromCells(RunCells(scenarios, 1))
+}
+
+// BuildMatrixParallel runs the suite across a worker pool (workers <= 0
+// selects one worker per CPU) and scores the cells. Every cell builds
+// its own devices, so the result — including the order of the detail
+// lines — is identical to BuildMatrix.
+func BuildMatrixParallel(scenarios []Scenario, workers int) *Matrix {
+	return matrixFromCells(RunCells(scenarios, workers))
+}
+
+// matrixFromCells tallies executed cells into the Figure 2 matrix.
+func matrixFromCells(cells []CellOutcome) *Matrix {
 	m := &Matrix{Cells: make(map[UseCase]map[string]Cell)}
 	type tally struct{ attempted, detected, total int }
 	counts := map[UseCase]map[string]*tally{}
@@ -946,29 +960,26 @@ func BuildMatrix(scenarios []Scenario) *Matrix {
 			counts[uc][tool] = &tally{}
 		}
 	}
-	for _, sc := range scenarios {
-		for _, tool := range Tools {
-			run, ok := sc.Run[tool]
-			t := counts[sc.UseCase][tool]
-			t.total++
-			if !ok {
-				m.Details = append(m.Details, fmt.Sprintf("[%s] %s / %s: not implemented", sc.UseCase, sc.Name, tool))
-				continue
-			}
-			out := run()
-			if out.Supported {
-				t.attempted++
-			}
-			if out.Detected {
-				t.detected++
-			}
-			mark := "✗"
-			if out.Detected {
-				mark = "✓"
-			}
-			m.Details = append(m.Details,
-				fmt.Sprintf("[%s] %s / %s: %s %s", sc.UseCase, sc.Name, tool, mark, out.Detail))
+	for _, cell := range cells {
+		t := counts[cell.UseCase][cell.Tool]
+		t.total++
+		if !cell.Implemented {
+			m.Details = append(m.Details, fmt.Sprintf("[%s] %s / %s: not implemented", cell.UseCase, cell.Scenario, cell.Tool))
+			continue
 		}
+		out := cell.Outcome
+		if out.Supported {
+			t.attempted++
+		}
+		if out.Detected {
+			t.detected++
+		}
+		mark := "✗"
+		if out.Detected {
+			mark = "✓"
+		}
+		m.Details = append(m.Details,
+			fmt.Sprintf("[%s] %s / %s: %s %s", cell.UseCase, cell.Scenario, cell.Tool, mark, out.Detail))
 	}
 	for _, uc := range UseCases {
 		m.Cells[uc] = map[string]Cell{}

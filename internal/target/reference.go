@@ -1,0 +1,100 @@
+package target
+
+import (
+	"fmt"
+	"time"
+
+	"netdebug/internal/dataplane"
+	"netdebug/internal/p4/ir"
+)
+
+// pipeline is the shared execution core of the software-modelled targets:
+// a dataplane.Engine plus the per-target scratch that keeps the packet
+// hot path allocation-free (contexts come from the engine's pool, the
+// single-output slice is reused across packets).
+type pipeline struct {
+	prog    *ir.Program
+	eng     *dataplane.Engine
+	outBuf  [1]Output
+	latency time.Duration
+}
+
+func (p *pipeline) load(prog *ir.Program) {
+	p.prog = prog
+	p.eng = dataplane.New(prog)
+}
+
+func (p *pipeline) process(frame []byte, ingressPort uint64, trace bool) Result {
+	ctx := p.eng.AcquireContext()
+	ctx.CollectTrace = trace
+	out, egress := p.eng.Process(ctx, frame, ingressPort)
+	res := Result{Latency: p.latency, Trace: ctx.Trace}
+	if out != nil {
+		p.outBuf[0] = Output{Port: egress, Data: out}
+		res.Outputs = p.outBuf[:1]
+	}
+	p.eng.ReleaseContext(ctx)
+	return res
+}
+
+func (p *pipeline) installEntry(e dataplane.Entry) error {
+	if p.eng == nil {
+		return fmt.Errorf("target: no program loaded")
+	}
+	return p.eng.InstallEntry(e)
+}
+
+func (p *pipeline) clearTable(name string) error {
+	if p.eng == nil {
+		return fmt.Errorf("target: no program loaded")
+	}
+	return p.eng.ClearTable(name)
+}
+
+func (p *pipeline) status() map[string]uint64 {
+	if p.eng == nil {
+		return nil
+	}
+	return p.eng.Counters.Values()
+}
+
+// referenceLatency is the fixed pipeline delay of the reference model:
+// it stands in for an idealized single-cycle-per-stage pipeline and is
+// deliberately constant so measurements are exactly reproducible.
+const referenceLatency = 50 * time.Nanosecond
+
+// reference executes the program with exact P4₁₆ semantics.
+type reference struct {
+	pipeline
+}
+
+// NewReference returns the reference target: the program runs unchanged
+// under the P4₁₆ specification semantics (parser reject drops, exact
+// table capacity, no architectural limits).
+func NewReference() Target {
+	return &reference{pipeline{latency: referenceLatency}}
+}
+
+func (r *reference) Name() string { return "reference" }
+
+func (r *reference) Load(prog *ir.Program) error {
+	if prog == nil {
+		return fmt.Errorf("target: reference: nil program")
+	}
+	r.load(prog)
+	return nil
+}
+
+func (r *reference) Program() *ir.Program { return r.prog }
+
+func (r *reference) Process(frame []byte, ingressPort uint64, trace bool) Result {
+	return r.process(frame, ingressPort, trace)
+}
+
+func (r *reference) InstallEntry(e dataplane.Entry) error { return r.installEntry(e) }
+func (r *reference) ClearTable(name string) error         { return r.clearTable(name) }
+func (r *reference) Status() map[string]uint64            { return r.status() }
+
+// Resources reports zero: the reference is a software model with no
+// hardware footprint.
+func (r *reference) Resources() ResourceReport { return ResourceReport{} }

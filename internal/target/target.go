@@ -1,0 +1,128 @@
+// Package target models the hardware backends a P4 program can be
+// deployed onto: the data plane under test, as distinct from the device
+// platform around it (package device) and the P4 reference semantics
+// (package dataplane).
+//
+// # Interface contract
+//
+// A Target is a loadable data-plane backend. The lifecycle is:
+//
+//	tgt := target.NewReference()          // or NewSDNet(errata)
+//	err := tgt.Load(prog)                 // compile/transform + allocate state
+//	tgt.InstallEntry(e)                   // control-plane writes, any time after Load
+//	res := tgt.Process(frame, port, trace)
+//
+// Load may be called again to load a different program; it resets all
+// table state. Targets that transform the program (SDNet) expose the
+// transformed IR through Program — callers such as package verify analyze
+// that IR to see the deployed (rather than the specified) semantics.
+//
+// Process runs one packet through the loaded pipeline and returns a
+// Result. Results and the buffers they reference (output frame bytes,
+// trace slices) are only valid until the next Process call on the same
+// target: the hot path reuses per-target scratch state so that a
+// steady-state Process performs no heap allocations. Callers that need to
+// retain output bytes must copy them (the device model does this when it
+// captures frames).
+//
+// A Target is NOT safe for concurrent use. Parallel harnesses (package
+// scenario's worker pool, package tester's Fleet, netdebug.RunSuite)
+// shard work by building one target/device per worker, never by sharing
+// one behind a lock.
+//
+// Status exposes the target's internal counters (per parser state, per
+// table hit/miss, per deparser emit) — the registers NetDebug reads over
+// its dedicated control interface. Resources reports the estimated FPGA
+// footprint of the loaded program; the software reference reports zero.
+package target
+
+import (
+	"fmt"
+	"time"
+
+	"netdebug/internal/dataplane"
+	"netdebug/internal/p4/ir"
+)
+
+// Output is one output frame of a processed packet.
+type Output struct {
+	// Port is the egress port (standard_metadata.egress_spec).
+	Port uint64
+	// Data is the deparsed frame. Valid until the next Process call on
+	// the originating target.
+	Data []byte
+}
+
+// Result is the outcome of processing one packet through a target.
+type Result struct {
+	// Outputs holds the emitted frames (empty when dropped). The current
+	// targets emit at most one frame per packet.
+	Outputs []Output
+	// Latency is the pipeline delay from the target's latency model,
+	// excluding any wire/serialization time (the device adds that).
+	Latency time.Duration
+	// Trace is the internal execution record. Parser path and table
+	// events are populated only when Process was called with trace=true;
+	// the verdict, drop flag, and drop stage are always set.
+	Trace dataplane.Trace
+}
+
+// Dropped reports whether the packet produced no output.
+func (r Result) Dropped() bool { return len(r.Outputs) == 0 }
+
+// Target is a loadable data-plane backend. See the package comment for
+// the full interface contract.
+type Target interface {
+	// Name identifies the backend ("reference", "sdnet", ...).
+	Name() string
+	// Load compiles/transforms prog onto the target, replacing any
+	// previously loaded program and clearing all tables.
+	Load(prog *ir.Program) error
+	// Program returns the IR the target actually executes (after any
+	// errata transforms), or nil before Load.
+	Program() *ir.Program
+	// Process runs one frame through the pipeline. The Result is valid
+	// until the next Process call.
+	Process(frame []byte, ingressPort uint64, trace bool) Result
+	// InstallEntry installs a match-action table entry.
+	InstallEntry(e dataplane.Entry) error
+	// ClearTable removes every entry from a table.
+	ClearTable(name string) error
+	// Status reads the target's internal counters.
+	Status() map[string]uint64
+	// Resources estimates the FPGA footprint of the loaded program.
+	Resources() ResourceReport
+}
+
+// ResourceReport estimates FPGA resource consumption of a loaded
+// program, in absolute element counts and as a percentage of the
+// NetFPGA-SUME-class part (Virtex-7 690T) the paper targets.
+type ResourceReport struct {
+	LUTs, FFs, BRAMs       int
+	LUTPct, FFPct, BRAMPct float64
+}
+
+// String renders the estimate.
+func (r ResourceReport) String() string {
+	if r.LUTs == 0 && r.FFs == 0 && r.BRAMs == 0 {
+		return "no hardware cost (software target)"
+	}
+	return fmt.Sprintf("LUTs %d (%.1f%%), FFs %d (%.1f%%), BRAMs %d (%.1f%%)",
+		r.LUTs, r.LUTPct, r.FFs, r.FFPct, r.BRAMs, r.BRAMPct)
+}
+
+// Virtex-7 690T capacity, the FPGA on the NetFPGA SUME.
+const (
+	sumeLUTs  = 433200
+	sumeFFs   = 866400
+	sumeBRAMs = 1470
+)
+
+// pct caps a utilization percentage at 100.
+func pct(n, capacity int) float64 {
+	p := float64(n) / float64(capacity) * 100
+	if p > 100 {
+		p = 100
+	}
+	return p
+}

@@ -1,0 +1,144 @@
+package tester
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"netdebug/internal/device"
+)
+
+// Fleet runs an external-tester workload sharded across several device
+// instances in parallel — the scale-out form of the baseline: each
+// worker gets its own device (built by New) and a slice of every
+// stream's packet budget, because a Device and its target are not safe
+// for concurrent use. Shard by device, never by lock.
+type Fleet struct {
+	// New builds one device per worker. It must return independent
+	// devices (each with its own target) configured identically, and it
+	// may be called concurrently from the shard goroutines.
+	New func() (*device.Device, error)
+	// Workers is the shard count; <= 0 means one per CPU.
+	Workers int
+}
+
+// Run splits every stream's Count across the shards, runs the shards
+// concurrently, and merges the per-shard reports deterministically.
+//
+// Counters (sent/received/lost/unexpected, per-stream tallies) and
+// throughput (RxPPS/RxBPS) are summed across shards — the fleet's
+// aggregate rate. RTT statistics are conservative: mean is weighted by
+// received frames; p50/p99/max take the worst shard. Pass requires
+// every shard to pass.
+func (f *Fleet) Run(streams []Stream) (*Report, error) {
+	if f.New == nil {
+		return nil, fmt.Errorf("tester: fleet has no device factory")
+	}
+	workers := f.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxCount := 0
+	for _, s := range streams {
+		// Match the sequential Tester.Run contract: empty streams are an
+		// error, not a silently passing no-op.
+		if len(s.Frame) == 0 || s.Count <= 0 {
+			return nil, fmt.Errorf("tester: stream %q is empty", s.Name)
+		}
+		if s.Count > maxCount {
+			maxCount = s.Count
+		}
+	}
+	if workers > maxCount {
+		workers = maxCount
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	shards := make([][]Stream, workers)
+	for w := 0; w < workers; w++ {
+		for _, s := range streams {
+			// Spread Count as evenly as possible; early shards take the
+			// remainder.
+			c := s.Count / workers
+			if w < s.Count%workers {
+				c++
+			}
+			if c == 0 {
+				continue
+			}
+			s.Count = c
+			shards[w] = append(shards[w], s)
+		}
+	}
+
+	reports := make([]*Report, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		if len(shards[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dev, err := f.New()
+			if err != nil {
+				errs[w] = fmt.Errorf("tester: fleet shard %d: %w", w, err)
+				return
+			}
+			reports[w], errs[w] = New(dev).Run(shards[w])
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergeReports(reports), nil
+}
+
+// mergeReports aggregates per-shard reports (nil entries are skipped).
+func mergeReports(reports []*Report) *Report {
+	agg := &Report{PerStream: make(map[string]StreamResult), Pass: true}
+	var rttWeighted float64
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		agg.Sent += r.Sent
+		agg.Received += r.Received
+		agg.Lost += r.Lost
+		agg.Unexpected += r.Unexpected
+		agg.RxPPS += r.RxPPS
+		agg.RxBPS += r.RxBPS
+		rttWeighted += float64(r.RTTMeanNs) * float64(r.Received)
+		if r.RTTP50Ns > agg.RTTP50Ns {
+			agg.RTTP50Ns = r.RTTP50Ns
+		}
+		if r.RTTP99Ns > agg.RTTP99Ns {
+			agg.RTTP99Ns = r.RTTP99Ns
+		}
+		if r.RTTMaxNs > agg.RTTMaxNs {
+			agg.RTTMaxNs = r.RTTMaxNs
+		}
+		for name, sr := range r.PerStream {
+			cur, seen := agg.PerStream[name]
+			if !seen {
+				cur.Pass = true
+			}
+			cur.Sent += sr.Sent
+			cur.Received += sr.Received
+			cur.Lost += sr.Lost
+			cur.Pass = cur.Pass && sr.Pass
+			agg.PerStream[name] = cur
+		}
+		agg.Pass = agg.Pass && r.Pass
+	}
+	if agg.Received > 0 {
+		agg.RTTMeanNs = int64(rttWeighted / float64(agg.Received))
+	}
+	return agg
+}

@@ -1,0 +1,98 @@
+package tester
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"netdebug/internal/device"
+)
+
+func TestFleetAggregatesShards(t *testing.T) {
+	fleet := &Fleet{
+		New:     func() (*device.Device, error) { return newDevice(t), nil },
+		Workers: 4,
+	}
+	rep, err := fleet.Run([]Stream{{
+		Name: "s", Frame: frame(16), Count: 50,
+		TxPort: 0, RxPort: 1, RatePPS: 1e6, SeqLoc: seqLoc(),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || rep.Sent != 50 || rep.Received != 50 || rep.Lost != 0 {
+		t.Fatalf("aggregate: %v", rep)
+	}
+	if sr := rep.PerStream["s"]; sr.Sent != 50 || sr.Received != 50 || !sr.Pass {
+		t.Fatalf("per-stream: %+v", sr)
+	}
+	if rep.RTTP50Ns <= 0 || rep.RTTMeanNs <= 0 {
+		t.Fatalf("rtt stats: %+v", rep)
+	}
+	// Four independent 10G devices: aggregate rate is the sum, so it can
+	// exceed a single wire's packet rate.
+	single := New(newDevice(t))
+	srep, err := single.Run([]Stream{{
+		Name: "s", Frame: frame(16), Count: 50,
+		TxPort: 0, RxPort: 1, RatePPS: 1e6, SeqLoc: seqLoc(),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RxPPS <= srep.RxPPS {
+		t.Fatalf("fleet rate %.0f pps should exceed single-device %.0f pps", rep.RxPPS, srep.RxPPS)
+	}
+}
+
+func TestFleetDetectsFailuresInAnyShard(t *testing.T) {
+	var built atomic.Int32 // the factory runs concurrently, one call per shard
+	fleet := &Fleet{
+		New: func() (*device.Device, error) {
+			d := newDevice(t)
+			// Break the egress queue on every shard device: total loss.
+			d.InjectFault(device.Fault{Kind: device.FaultQueueStuck, Port: 1})
+			built.Add(1)
+			return d, nil
+		},
+		Workers: 3,
+	}
+	rep, err := fleet.Run([]Stream{{
+		Name: "s", Frame: frame(16), Count: 9,
+		TxPort: 0, RxPort: 1, RatePPS: 1e6, SeqLoc: seqLoc(),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass || rep.Lost != 9 {
+		t.Fatalf("aggregate: %v", rep)
+	}
+	if built.Load() != 3 {
+		t.Fatalf("device factory called %d times, want 3", built.Load())
+	}
+}
+
+func TestFleetRejectsEmptyStreams(t *testing.T) {
+	fleet := &Fleet{New: func() (*device.Device, error) { return newDevice(t), nil }, Workers: 2}
+	if _, err := fleet.Run([]Stream{{Name: "x", Frame: frame(16), Count: 0}}); err == nil {
+		t.Fatal("zero-count stream must error, as in Tester.Run")
+	}
+	if _, err := fleet.Run([]Stream{{Name: "x", Count: 5}}); err == nil {
+		t.Fatal("empty frame must error")
+	}
+}
+
+func TestFleetMoreWorkersThanPackets(t *testing.T) {
+	fleet := &Fleet{
+		New:     func() (*device.Device, error) { return newDevice(t), nil },
+		Workers: 64,
+	}
+	rep, err := fleet.Run([]Stream{{
+		Name: "tiny", Frame: frame(16), Count: 3,
+		TxPort: 0, RxPort: 1, RatePPS: 1e6, SeqLoc: seqLoc(),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || rep.Sent != 3 || rep.Received != 3 {
+		t.Fatalf("aggregate: %v", rep)
+	}
+}

@@ -27,6 +27,8 @@ package netdebug
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"netdebug/internal/bitfield"
 	"netdebug/internal/core"
@@ -248,6 +250,64 @@ type ExternalTester struct {
 // Run transmits streams through the external ports and scores captures.
 func (e *ExternalTester) Run(streams []ExternalStream) (*ExternalReport, error) {
 	return e.t.Run(streams)
+}
+
+// RunSuite executes a validation suite — one Validate call per spec —
+// across a pool of workers, each with its own freshly opened System.
+// A System (its device, target, and engine) is not safe for concurrent
+// use, so the suite shards by System: newSystem is called once per
+// worker and must return an independently opened and configured system
+// (program loaded, table entries installed). workers <= 0 selects one
+// worker per CPU.
+//
+// Reports are returned indexed like specs regardless of scheduling. The
+// first error (by spec order) aborts the suite result; every worker's
+// System is closed before RunSuite returns.
+func RunSuite(newSystem func() (*System, error), specs []*TestSpec, workers int) ([]*Report, error) {
+	if newSystem == nil {
+		return nil, fmt.Errorf("netdebug: RunSuite needs a system factory")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	reports := make([]*Report, len(specs))
+	errs := make([]error, len(specs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sys, err := newSystem()
+			if err != nil {
+				for idx := range jobs {
+					errs[idx] = fmt.Errorf("netdebug: opening suite system: %w", err)
+				}
+				return
+			}
+			defer sys.Close()
+			for idx := range jobs {
+				reports[idx], errs[idx] = sys.Validate(specs[idx])
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return reports, err
+		}
+	}
+	return reports, nil
 }
 
 // VerifyResult is a formal-verification verdict.

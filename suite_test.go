@@ -1,0 +1,87 @@
+package netdebug_test
+
+import (
+	"fmt"
+	"testing"
+
+	"netdebug"
+	"netdebug/internal/p4/p4test"
+	"netdebug/internal/packet"
+)
+
+// suiteSpecs builds n independent ExpectPort specs with count packets
+// each — shared by the RunSuite tests and BenchmarkSuiteValidation.
+func suiteSpecs(n, count int) []*netdebug.TestSpec {
+	specs := make([]*netdebug.TestSpec, n)
+	for i := range specs {
+		frame := packet.BuildUDPv4(srcMAC, gwMAC, srcIP,
+			packet.IPv4Addr{10, 0, byte(i), 9}, uint16(4000+i), 53, make([]byte, 26))
+		specs[i] = &netdebug.TestSpec{
+			Name: fmt.Sprintf("suite-%d", i),
+			Gen: netdebug.GenSpec{Streams: []netdebug.StreamSpec{{
+				Name: "probe", Template: frame, Count: count, RatePPS: 1e6,
+			}}},
+			Check: netdebug.CheckSpec{Rules: []netdebug.Rule{{
+				Name: "fwd", Stream: "probe", ExpectPort: 1,
+			}}},
+		}
+	}
+	return specs
+}
+
+// routerSuiteFactory opens an sdnet-target router with the 10/8 route,
+// the per-worker System used by RunSuite tests and benchmarks.
+func routerSuiteFactory() (*netdebug.System, error) {
+	sys, err := netdebug.Open(p4test.Router, netdebug.Options{Target: netdebug.TargetSDNet})
+	if err != nil {
+		return nil, err
+	}
+	err = sys.InstallEntry(netdebug.Entry{
+		Table:  "ipv4_lpm",
+		Keys:   []netdebug.KeyValue{{Value: netdebug.NewValue(0x0a000000, 32), PrefixLen: 8}},
+		Action: "ipv4_forward",
+		Args:   []netdebug.Value{netdebug.ValueFromBytes(gwMAC[:]), netdebug.NewValue(1, 9)},
+	})
+	if err != nil {
+		sys.Close()
+		return nil, err
+	}
+	return sys, nil
+}
+
+func TestRunSuiteParallelMatchesSequential(t *testing.T) {
+	factory := routerSuiteFactory
+	specs := suiteSpecs(12, 20)
+	seq, err := netdebug.RunSuite(factory, specs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := netdebug.RunSuite(factory, specs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(specs) || len(par) != len(specs) {
+		t.Fatalf("report counts: %d %d", len(seq), len(par))
+	}
+	for i := range specs {
+		if seq[i] == nil || par[i] == nil {
+			t.Fatalf("spec %d: missing report", i)
+		}
+		if !seq[i].Pass || !par[i].Pass {
+			t.Fatalf("spec %d failed: seq=%v par=%v", i, seq[i], par[i])
+		}
+		if seq[i].Injected != par[i].Injected || seq[i].Forwarded != par[i].Forwarded {
+			t.Fatalf("spec %d diverges: seq=%v par=%v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestRunSuitePropagatesErrors(t *testing.T) {
+	boom := func() (*netdebug.System, error) { return nil, fmt.Errorf("no hardware") }
+	if _, err := netdebug.RunSuite(boom, suiteSpecs(3, 20), 2); err == nil {
+		t.Fatal("factory errors must surface")
+	}
+	if _, err := netdebug.RunSuite(nil, suiteSpecs(1, 20), 1); err == nil {
+		t.Fatal("nil factory must error")
+	}
+}
