@@ -1,9 +1,12 @@
 # NetDebug build/test/bench entry points.
 
 GO ?= go
-BENCH_OUT ?= BENCH_1.json
+BENCH_OUT ?= BENCH_2.json
+# BENCH_BASELINE is the committed perf-trajectory file bench-gate
+# compares against; bump it when a PR lands a new BENCH_<PR>.json.
+BENCH_BASELINE ?= BENCH_2.json
 
-.PHONY: all build vet test bench bench-smoke bench-json
+.PHONY: all build vet test test-race fmt-check bench bench-smoke bench-json bench-gate
 
 all: vet build test
 
@@ -16,6 +19,12 @@ vet:
 test:
 	$(GO) test ./...
 
+test-race:
+	$(GO) test -race ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 # Full benchmark sweep, human-readable.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
@@ -27,3 +36,10 @@ bench-smoke:
 # Machine-readable results for the perf trajectory (BENCH_<PR>.json).
 bench-json:
 	$(GO) run ./cmd/benchjson -benchtime 200x -out $(BENCH_OUT)
+
+# Regression gate: re-measure and compare against the committed baseline.
+# Fails on >15% ns/op regression or any allocs/op increase on the pinned
+# hot-path benchmarks, and asserts the tuple-space >= 10x speedup.
+bench-gate:
+	$(GO) run ./cmd/benchjson -benchtime 200x -out bench_current.json
+	$(GO) run ./cmd/benchgate -baseline $(BENCH_BASELINE) -current bench_current.json

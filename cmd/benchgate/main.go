@@ -1,0 +1,194 @@
+// Benchgate compares a freshly measured benchmark file (cmd/benchjson
+// output) against the committed BENCH_<PR>.json baseline and fails CI
+// when the perf trajectory regresses:
+//
+//   - any pinned benchmark slower by more than -max-regress percent ns/op
+//     (after calibration, see below)
+//   - any pinned benchmark allocating more per op than the baseline
+//   - a pinned benchmark present in the baseline but missing from the
+//     current run (the gate cannot be dodged by deleting a benchmark)
+//   - any -speedup ratio assertion not met by the current run
+//
+// Because the committed baseline and the CI runner are different
+// machines, raw ns/op numbers carry a common hardware factor. With
+// -calibrate (the default) the gate estimates that factor as the median
+// current/baseline ns/op ratio across the pinned set and judges each
+// benchmark against it: a uniform machine-speed difference cancels out,
+// while a single benchmark regressing relative to its peers still
+// fails. The trade-off is that a genuine *uniform* slowdown of every
+// pinned benchmark is absorbed into the skew estimate — run with
+// -calibrate=false when baseline and current were measured on the same
+// machine. Allocs/op and -speedup checks are machine-independent and
+// always exact.
+//
+// Pinned benchmarks are the hot-path set the repository's 0-alloc and
+// scaling guarantees ride on; -pin overrides the default regexp
+// (matched against the bare benchmark name; comparisons are keyed by
+// package-qualified name, so same-named benchmarks in different
+// packages are gated independently).
+//
+//	benchgate -baseline BENCH_2.json -current bench_current.json
+//	benchgate ... -speedup 'BenchmarkTernaryLookupLinear/entries100000:BenchmarkTernaryLookupTupleSpace/entries100000:10'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"netdebug/internal/benchfmt"
+)
+
+// defaultPin selects the pinned hot-path benchmarks: the packet path
+// (allocation-free guarantee), the device forward path, and the
+// tuple-space lookup scaling sweep.
+const defaultPin = `^Benchmark(ProcessRouter|ProcessFirewallTernary|RouterProcess|FirewallProcess|DeviceForward(Burst)?|TernaryLookupTupleSpace/.*)$`
+
+// defaultSpeedup asserts the tentpole scaling win: at 10^5 ternary
+// entries the tuple-space lookup must stay >= 10x faster than the linear
+// reference scan, measured within the same (current) run so machine
+// speed cancels out.
+const defaultSpeedup = "BenchmarkTernaryLookupLinear/entries100000:BenchmarkTernaryLookupTupleSpace/entries100000:10"
+
+var (
+	baseline   = flag.String("baseline", "", "committed baseline JSON (required)")
+	current    = flag.String("current", "", "freshly measured JSON (required)")
+	maxRegress = flag.Float64("max-regress", 15, "max ns/op regression percent on pinned benchmarks")
+	pin        = flag.String("pin", defaultPin, "regexp selecting the pinned benchmarks (by bare name)")
+	calibrate  = flag.Bool("calibrate", true,
+		"normalize out the median machine-speed skew before applying -max-regress")
+	speedups = flag.String("speedup", defaultSpeedup,
+		"comma-separated slow:fast:ratio assertions on the current run ('' disables)")
+)
+
+// pinnedPair is one baseline benchmark matched by -pin, with its
+// current-run counterpart (cur zero-valued when missing).
+type pinnedPair struct {
+	key       string
+	base, cur benchfmt.Record
+	present   bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := benchfmt.Load(*baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur, err := benchfmt.Load(*current)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pinRe, err := regexp.Compile(*pin)
+	if err != nil {
+		log.Fatalf("bad -pin regexp: %v", err)
+	}
+
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+
+	curBy := cur.ByKey()
+	var pairs []pinnedPair
+	seen := map[string]bool{}
+	for _, b := range base.Benchmarks {
+		if !pinRe.MatchString(b.Name) || seen[b.Key()] {
+			continue
+		}
+		seen[b.Key()] = true
+		c, ok := curBy[b.Key()]
+		pairs = append(pairs, pinnedPair{key: b.Key(), base: b, cur: c, present: ok})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].key < pairs[j].key })
+	if len(pairs) == 0 {
+		log.Fatalf("no baseline benchmark matches pin regexp %q", *pin)
+	}
+
+	// Estimate the common machine-speed factor as the median ns/op ratio.
+	skew := 1.0
+	if *calibrate {
+		var ratios []float64
+		for _, p := range pairs {
+			if p.present && p.base.NsPerOp > 0 {
+				ratios = append(ratios, p.cur.NsPerOp/p.base.NsPerOp)
+			}
+		}
+		if len(ratios) > 0 {
+			sort.Float64s(ratios)
+			skew = ratios[len(ratios)/2]
+			log.Printf("calibration: median machine skew %.2fx (current vs baseline)", skew)
+		}
+	}
+
+	for _, p := range pairs {
+		if !p.present {
+			fail("%s: pinned benchmark missing from current run", p.key)
+			continue
+		}
+		pct := (p.cur.NsPerOp/skew - p.base.NsPerOp) / p.base.NsPerOp * 100
+		status := "ok"
+		if pct > *maxRegress {
+			fail("%s: ns/op %.0f -> %.0f (%+.1f%% after %.2fx calibration, limit +%.0f%%)",
+				p.key, p.base.NsPerOp, p.cur.NsPerOp, pct, skew, *maxRegress)
+			status = "FAIL"
+		}
+		allocNote := ""
+		if p.base.AllocsOp != nil && p.cur.AllocsOp != nil {
+			allocNote = fmt.Sprintf(" allocs %d -> %d", *p.base.AllocsOp, *p.cur.AllocsOp)
+			if *p.cur.AllocsOp > *p.base.AllocsOp {
+				fail("%s: allocs/op increased %d -> %d", p.key, *p.base.AllocsOp, *p.cur.AllocsOp)
+				status = "FAIL"
+			}
+		}
+		log.Printf("%-70s ns/op %10.0f -> %10.0f (%+6.1f%%)%s [%s]",
+			p.base.Name, p.base.NsPerOp, p.cur.NsPerOp, pct, allocNote, status)
+	}
+
+	if *speedups != "" {
+		for _, spec := range strings.Split(*speedups, ",") {
+			parts := strings.Split(strings.TrimSpace(spec), ":")
+			if len(parts) != 3 {
+				log.Fatalf("bad -speedup spec %q (want slow:fast:ratio)", spec)
+			}
+			ratio, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil {
+				log.Fatalf("bad -speedup ratio in %q: %v", spec, err)
+			}
+			slow, errS := cur.FindByName(parts[0])
+			fast, errF := cur.FindByName(parts[1])
+			switch {
+			case errS != nil:
+				fail("speedup %s: %v", spec, errS)
+			case errF != nil:
+				fail("speedup %s: %v", spec, errF)
+			case fast.NsPerOp <= 0 || slow.NsPerOp < ratio*fast.NsPerOp:
+				fail("speedup: %s (%.0f ns/op) is only %.1fx faster than %s (%.0f ns/op), want >= %.0fx",
+					parts[1], fast.NsPerOp, slow.NsPerOp/fast.NsPerOp, parts[0], slow.NsPerOp, ratio)
+			default:
+				log.Printf("%-70s %.0fx >= %.0fx [ok]",
+					"speedup "+parts[1], slow.NsPerOp/fast.NsPerOp, ratio)
+			}
+		}
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			log.Printf("FAIL: %s", f)
+		}
+		log.Fatalf("%d benchmark gate failure(s) against %s", len(failures), *baseline)
+	}
+	log.Printf("gate passed: %d pinned benchmarks within +%.0f%% of %s, no alloc increases",
+		len(pairs), *maxRegress, *baseline)
+}

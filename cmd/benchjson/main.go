@@ -12,7 +12,6 @@ package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +22,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"netdebug/internal/benchfmt"
 )
 
 var (
@@ -32,29 +33,6 @@ var (
 	count     = flag.Int("count", 1, "repetitions per benchmark (go test -count)")
 	pkgs      = flag.String("pkgs", "./...", "comma-separated package patterns to benchmark")
 )
-
-// Record is one benchmark measurement.
-type Record struct {
-	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
-	// (sub-benchmark path preserved).
-	Name       string  `json:"name"`
-	Package    string  `json:"package"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp *int64  `json:"b_per_op,omitempty"`
-	AllocsOp   *int64  `json:"allocs_per_op,omitempty"`
-	MBPerSec   float64 `json:"mb_per_s,omitempty"`
-}
-
-// File is the JSON document layout.
-type File struct {
-	Schema     string   `json:"schema"`
-	GoVersion  string   `json:"go"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Generated  string   `json:"generated"`
-	Command    string   `json:"command"`
-	Benchmarks []Record `json:"benchmarks"`
-}
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
 
@@ -76,8 +54,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	doc := File{
-		Schema:     "netdebug-bench/v1",
+	doc := benchfmt.File{
+		Schema:     benchfmt.Schema,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Generated:  time.Now().UTC().Format(time.RFC3339),
@@ -100,7 +78,7 @@ func main() {
 		}
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
 		ns, _ := strconv.ParseFloat(m[3], 64)
-		rec := Record{Name: m[1], Package: pkg, Iterations: iters, NsPerOp: ns}
+		rec := benchfmt.Record{Name: m[1], Package: pkg, Iterations: iters, NsPerOp: ns}
 		for _, part := range strings.Split(strings.TrimSpace(m[4]), "\t") {
 			part = strings.TrimSpace(part)
 			switch {
@@ -126,17 +104,10 @@ func main() {
 		log.Fatal("no benchmark results parsed")
 	}
 
-	data, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
+	if err := doc.Save(*out); err != nil {
 		log.Fatal(err)
 	}
-	data = append(data, '\n')
-	if *out == "-" {
-		os.Stdout.Write(data)
-		return
+	if *out != "-" {
+		log.Printf("wrote %d benchmark records to %s", len(doc.Benchmarks), *out)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("wrote %d benchmark records to %s", len(doc.Benchmarks), *out)
 }

@@ -6,7 +6,14 @@
 //	figures -exp T2        resource quantification across programs
 //	figures -exp T3        fault localization accuracy
 //	figures -exp T4        comparison of alternative specifications
+//	figures -exp T5        million-flow table-occupancy sweep
 //	figures -all           everything, in order
+//
+// The -parallel flag runs the suite-shaped experiments across a worker
+// pool: Figure 2 through scenario.BuildMatrixParallel and the T1 sweep
+// through netdebug.RunSuite (one System per worker). -parallel 0 (the
+// default) keeps the sequential paths; a negative value selects one
+// worker per CPU.
 //
 // Output is plain text suitable for EXPERIMENTS.md.
 package main
@@ -26,10 +33,12 @@ import (
 )
 
 var (
-	figure  = flag.Int("figure", 0, "regenerate a figure (2)")
-	exp     = flag.String("exp", "", "regenerate an experiment (E1, T1, T2, T3, T4)")
-	all     = flag.Bool("all", false, "regenerate everything")
-	details = flag.Bool("details", false, "print per-scenario detail lines for Figure 2")
+	figure   = flag.Int("figure", 0, "regenerate a figure (2)")
+	exp      = flag.String("exp", "", "regenerate an experiment (E1, T1, T2, T3, T4, T5)")
+	all      = flag.Bool("all", false, "regenerate everything")
+	details  = flag.Bool("details", false, "print per-scenario detail lines for Figure 2")
+	parallel = flag.Int("parallel", 0, "suite workers: 0 sequential, <0 one per CPU")
+	sweepMax = flag.Int("sweep-max", 1000000, "largest T5 occupancy")
 )
 
 func main() {
@@ -40,9 +49,9 @@ func main() {
 		figure2()
 		ran = true
 	}
-	runs := map[string]func(){"E1": e1, "T1": t1, "T2": t2, "T3": t3, "T4": t4}
+	runs := map[string]func(){"E1": e1, "T1": t1, "T2": t2, "T3": t3, "T4": t4, "T5": t5}
 	if *all {
-		for _, id := range []string{"E1", "T1", "T2", "T3", "T4"} {
+		for _, id := range []string{"E1", "T1", "T2", "T3", "T4", "T5"} {
 			runs[id]()
 		}
 		ran = true
@@ -68,7 +77,12 @@ func header(s string) {
 
 func figure2() {
 	header("Figure 2 — use-case capability matrix")
-	m := scenario.BuildMatrix(scenario.All())
+	var m *scenario.Matrix
+	if *parallel != 0 {
+		m = scenario.BuildMatrixParallel(scenario.All(), *parallel)
+	} else {
+		m = scenario.BuildMatrix(scenario.All())
+	}
 	fmt.Println(m.Render())
 	if *details {
 		for _, d := range m.SortedDetails() {
@@ -137,24 +151,76 @@ func e1() {
 
 func t1() {
 	header("T1 — performance testing: packet-size sweep on sdnet target")
-	sys := openRouter(netdebug.TargetSDNet)
-	defer sys.Close()
-	fmt.Printf("%8s %14s %12s %10s %10s\n", "bytes", "throughput", "rate", "lat p50", "lat p99")
-	for _, size := range []int{64, 128, 256, 512, 1024, 1518} {
+	sizes := []int{64, 128, 256, 512, 1024, 1518}
+	specs := make([]*netdebug.TestSpec, len(sizes))
+	for i, size := range sizes {
 		frame := packet.BuildUDPv4(srcMAC, gwMAC, packet.IPv4Addr{10, 0, 0, 1},
 			packet.IPv4Addr{10, 0, 1, 2}, 4000, 53, make([]byte, size-42))
-		rep, err := sys.Validate(&netdebug.TestSpec{
+		specs[i] = &netdebug.TestSpec{
 			Name: "t1",
 			Gen: netdebug.GenSpec{Streams: []netdebug.StreamSpec{{
 				Name: "flood", Template: frame, Count: 2000,
 			}}},
 			Check: netdebug.CheckSpec{Rules: []netdebug.Rule{{Name: "fwd", Stream: "flood", ExpectPort: 1}}},
-		})
-		if err != nil || !rep.Pass {
-			log.Fatalf("size %d: %v %v", size, rep, err)
+		}
+	}
+	var reps []*netdebug.Report
+	var err error
+	if *parallel != 0 {
+		// Suite mode: one freshly opened System per worker.
+		reps, err = netdebug.RunSuite(func() (*netdebug.System, error) {
+			sys, oerr := netdebug.Open(p4test.Router, netdebug.Options{Target: netdebug.TargetSDNet})
+			if oerr != nil {
+				return nil, oerr
+			}
+			if ierr := sys.InstallEntry(routeEntry()); ierr != nil {
+				sys.Close()
+				return nil, ierr
+			}
+			return sys, nil
+		}, specs, *parallel)
+	} else {
+		sys := openRouter(netdebug.TargetSDNet)
+		defer sys.Close()
+		reps = make([]*netdebug.Report, len(specs))
+		for i, spec := range specs {
+			if reps[i], err = sys.Validate(spec); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%8s %14s %12s %10s %10s\n", "bytes", "throughput", "rate", "lat p50", "lat p99")
+	for i, size := range sizes {
+		rep := reps[i]
+		if rep == nil || !rep.Pass {
+			log.Fatalf("size %d: %v", size, rep)
 		}
 		fmt.Printf("%8d %11.3f Gbps %9.3f Mpps %8dns %8dns\n",
 			size, rep.OutBPS/1e9, rep.OutPPS/1e6, rep.LatP50Ns, rep.LatP99Ns)
+	}
+}
+
+func t5() {
+	header("T5 — million-flow occupancy sweep: lookup latency and memory vs table occupancy")
+	occupancies := []int{}
+	for o := 100; o <= *sweepMax; o *= 10 {
+		occupancies = append(occupancies, o)
+	}
+	points, err := scenario.MillionFlowSweep(scenario.SweepOptions{
+		Occupancies: occupancies,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(scenario.RenderSweep(points))
+	for _, pt := range points {
+		if pt.CapacityNote != "" {
+			fmt.Println("\n(the sdnet rows surface the usable-capacity erratum: installs clip at ~90% of declared size)")
+			break
+		}
 	}
 }
 

@@ -1,0 +1,107 @@
+// Package benchfmt defines the machine-readable benchmark schema shared
+// by the emitter (cmd/benchjson) and the regression gate (cmd/benchgate):
+// the BENCH_<PR>.json files that accumulate the repository's performance
+// trajectory.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Schema is the document identifier.
+const Schema = "netdebug-bench/v1"
+
+// Record is one benchmark measurement.
+type Record struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
+	// (sub-benchmark path preserved).
+	Name       string  `json:"name"`
+	Package    string  `json:"package"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp *int64  `json:"b_per_op,omitempty"`
+	AllocsOp   *int64  `json:"allocs_per_op,omitempty"`
+	MBPerSec   float64 `json:"mb_per_s,omitempty"`
+}
+
+// File is the JSON document layout.
+type File struct {
+	Schema     string   `json:"schema"`
+	GoVersion  string   `json:"go"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Generated  string   `json:"generated"`
+	Command    string   `json:"command"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+// Key identifies a record across files: the same benchmark name may
+// legally appear in more than one package.
+func (r Record) Key() string { return r.Package + "/" + r.Name }
+
+// ByKey indexes the file's records by package-qualified key. Duplicate
+// keys (from -count > 1) keep the first record.
+func (f *File) ByKey() map[string]Record {
+	out := make(map[string]Record, len(f.Benchmarks))
+	for _, r := range f.Benchmarks {
+		if _, ok := out[r.Key()]; !ok {
+			out[r.Key()] = r
+		}
+	}
+	return out
+}
+
+// FindByName resolves a bare benchmark name. It returns an error when
+// the name is missing or appears in more than one package (callers must
+// then use the package-qualified key).
+func (f *File) FindByName(name string) (Record, error) {
+	var found Record
+	n := 0
+	for _, r := range f.Benchmarks {
+		if r.Name == name && (n == 0 || r.Package != found.Package) {
+			found = r
+			n++
+		}
+	}
+	switch n {
+	case 0:
+		return Record{}, fmt.Errorf("benchfmt: no benchmark %q", name)
+	case 1:
+		return found, nil
+	}
+	return Record{}, fmt.Errorf("benchfmt: benchmark %q appears in %d packages; qualify it", name, n)
+}
+
+// Load reads and validates a benchmark file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("benchfmt: %s: schema %q, want %q", path, f.Schema, Schema)
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchfmt: %s: no benchmark records", path)
+	}
+	return &f, nil
+}
+
+// Save writes the file as indented JSON ('-' writes to stdout).
+func (f *File) Save(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -96,6 +96,16 @@ type Context struct {
 	// depth, so direct action calls evaluate arguments without
 	// allocating.
 	argScratch [][]bitfield.Value
+
+	// Batch I/O, consumed and produced by Engine.ProcessBatch: In/InPort
+	// are the input frame and ingress port, Out/Egress the result. Out is
+	// backed by this context's reusable output buffer, so unlike
+	// back-to-back Process calls on one context, every context of a batch
+	// holds its output simultaneously.
+	In     []byte
+	InPort uint64
+	Out    []byte
+	Egress uint64
 }
 
 // scratchVals returns a reusable value slice of length n. The slice is
@@ -644,4 +654,39 @@ func (e *Engine) Process(ctx *Context, pkt []byte, ingressPort uint64) (out []by
 		return nil, 0
 	}
 	return e.Deparse(ctx), e.EgressSpec(ctx)
+}
+
+// ProcessBatch runs a burst of packets through the pipeline: for every
+// context it processes (ctx.In, ctx.InPort) and stores the result in
+// ctx.Out (nil if dropped) and ctx.Egress. Each context keeps its own
+// output buffer, so all results of the batch are alive at once — the
+// contract per-packet Process cannot offer, since its return value is
+// invalidated by the next call on the same context. Per-packet overhead
+// (context pool traffic, result staging) is paid once per batch by the
+// caller, and the hot path stays allocation-free in steady state.
+//
+// Contexts must be distinct; a context may carry trace collection
+// (CollectTrace) exactly as with Process.
+func (e *Engine) ProcessBatch(pkts []*Context) {
+	for _, ctx := range pkts {
+		ctx.Out, ctx.Egress = e.Process(ctx, ctx.In, ctx.InPort)
+	}
+}
+
+// AcquireBatch returns n pooled contexts, growing dst as needed — the
+// batch-mode companion of AcquireContext. Release the whole batch with
+// ReleaseBatch when its outputs are no longer referenced.
+func (e *Engine) AcquireBatch(dst []*Context, n int) []*Context {
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, e.AcquireContext())
+	}
+	return dst
+}
+
+// ReleaseBatch returns every context of a batch to the pool.
+func (e *Engine) ReleaseBatch(pkts []*Context) {
+	for _, ctx := range pkts {
+		e.ReleaseContext(ctx)
+	}
 }

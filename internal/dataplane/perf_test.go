@@ -78,6 +78,9 @@ func TestProcessAllocsRejectPath(t *testing.T) {
 // TestContextPoolReuse verifies Acquire/Release recycle contexts without
 // allocating in steady state.
 func TestContextPoolReuse(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool allocates under race instrumentation")
+	}
 	e := routerEngine(t)
 	frame := packet.BuildUDPv4(macA, macB, ipA, ipB, 100, 200, nil)
 	ctx := e.AcquireContext()

@@ -1,0 +1,7 @@
+//go:build !race
+
+package dataplane
+
+// raceEnabled reports whether the race detector is active; see the race
+// build-tag twin.
+const raceEnabled = false

@@ -51,6 +51,21 @@ type boundEntry struct {
 	want  []bitfield.Value
 }
 
+// ternaryGroup is one tuple of the tuple-space search structure: every
+// entry whose per-key mask tuple is identical lands in the same group,
+// and within a group a masked packet key can be matched by at most one
+// hash probe. Two entries of a group with equal masked values match
+// exactly the same packets, so only the dominant one — by (priority
+// desc, order asc) — is kept.
+type ternaryGroup struct {
+	masks   []bitfield.Value
+	entries map[string]*boundEntry // masked key bytes -> dominant entry
+	// maxPrio is the highest priority present in the group; lookups
+	// visit groups in descending maxPrio order and stop as soon as the
+	// current best strictly beats every remaining group.
+	maxPrio int
+}
+
 // tableState is the runtime state of one table.
 type tableState struct {
 	def     *ir.Table
@@ -58,7 +73,19 @@ type tableState struct {
 	lpmIdx  int // index of the lpm key within def.Keys
 	exact   map[string]*boundEntry
 	tries   map[string]*lpmTrie // keyed by the exact portion of the key
-	ternary []*boundEntry       // sorted by (priority desc, order asc)
+	ternary []*boundEntry       // linear reference list, lazily sorted
+	// ternarySorted records whether ternary is currently in (priority
+	// desc, order asc) order; installs append and defer the sort so
+	// populating a large table is not quadratic.
+	ternarySorted bool
+	// groups is the tuple-space index over the ternary entries, lazily
+	// ordered by descending maxPrio (groupsSorted tracks validity).
+	groups       []*ternaryGroup
+	groupIdx     map[string]*ternaryGroup // mask-tuple bytes -> group
+	groupsSorted bool
+	// maskBuf is the scratch buffer tuple-space lookups serialize masked
+	// key bytes into.
+	maskBuf []byte
 	count   int
 	// capacity is the usable entry count; defaults to def.Size, targets
 	// may lower it to model architectural limits.
@@ -91,8 +118,19 @@ func newTableState(def *ir.Table) *tableState {
 		ts.exact = make(map[string]*boundEntry)
 	case kindLPM:
 		ts.tries = make(map[string]*lpmTrie)
+	case kindTernary:
+		ts.groupIdx = make(map[string]*ternaryGroup)
 	}
 	return ts
+}
+
+// beats reports whether entry a wins over entry b under the ternary
+// resolution rule: higher priority first, then earlier install order.
+func beats(a, b *boundEntry) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.order < b.order
 }
 
 // appendKeyBytes appends the byte representation of each non-skipped key
@@ -187,12 +225,8 @@ func (ts *tableState) install(e Entry, action *ir.Action) error {
 			be.want[i] = kv.Value.And(mask)
 		}
 		ts.ternary = append(ts.ternary, be)
-		sort.SliceStable(ts.ternary, func(i, j int) bool {
-			if ts.ternary[i].Priority != ts.ternary[j].Priority {
-				return ts.ternary[i].Priority > ts.ternary[j].Priority
-			}
-			return ts.ternary[i].order < ts.ternary[j].order
-		})
+		ts.ternarySorted = len(ts.ternary) == 1
+		ts.insertGroup(be)
 	}
 	ts.count++
 	return nil
@@ -213,10 +247,78 @@ func (ts *tableState) lookup(vals []bitfield.Value) *boundEntry {
 		}
 		return trie.lookup(vals[ts.lpmIdx])
 	case kindTernary:
-		for _, be := range ts.ternary {
-			if ternaryMatches(be, vals) {
-				return be
-			}
+		return ts.lookupTernary(vals)
+	}
+	return nil
+}
+
+// insertGroup adds an installed ternary entry to the tuple-space index.
+func (ts *tableState) insertGroup(be *boundEntry) {
+	ts.maskBuf = appendKeyBytes(ts.maskBuf[:0], be.masks, -1)
+	gk := string(ts.maskBuf)
+	g := ts.groupIdx[gk]
+	if g == nil {
+		g = &ternaryGroup{
+			masks:   be.masks,
+			entries: make(map[string]*boundEntry),
+			maxPrio: be.Priority,
+		}
+		ts.groupIdx[gk] = g
+		ts.groups = append(ts.groups, g)
+		ts.groupsSorted = len(ts.groups) == 1
+	}
+	if be.Priority > g.maxPrio {
+		g.maxPrio = be.Priority
+		ts.groupsSorted = len(ts.groups) == 1
+	}
+	ts.maskBuf = appendKeyBytes(ts.maskBuf[:0], be.want, -1)
+	ek := string(ts.maskBuf)
+	if cur, ok := g.entries[ek]; !ok || beats(be, cur) {
+		g.entries[ek] = be
+	}
+}
+
+// lookupTernary is the tuple-space search: one hash probe per distinct
+// mask tuple, cut short once the current best strictly outranks every
+// remaining group. Complexity is O(distinct masks), not O(entries).
+func (ts *tableState) lookupTernary(vals []bitfield.Value) *boundEntry {
+	if !ts.groupsSorted {
+		sort.SliceStable(ts.groups, func(i, j int) bool {
+			return ts.groups[i].maxPrio > ts.groups[j].maxPrio
+		})
+		ts.groupsSorted = true
+	}
+	var best *boundEntry
+	for _, g := range ts.groups {
+		if best != nil && best.Priority > g.maxPrio {
+			break
+		}
+		buf := ts.maskBuf[:0]
+		for i := range vals {
+			buf = vals[i].And(g.masks[i]).AppendBytes(buf)
+		}
+		ts.maskBuf = buf
+		if be := g.entries[string(buf)]; be != nil && (best == nil || beats(be, best)) {
+			best = be
+		}
+	}
+	return best
+}
+
+// lookupTernaryLinear is the original O(entries) first-match scan over
+// the (priority desc, order asc)-sorted entry list. It is kept as the
+// reference semantics the tuple-space index is differentially tested
+// (and benchmarked) against.
+func (ts *tableState) lookupTernaryLinear(vals []bitfield.Value) *boundEntry {
+	if !ts.ternarySorted {
+		sort.SliceStable(ts.ternary, func(i, j int) bool {
+			return beats(ts.ternary[i], ts.ternary[j])
+		})
+		ts.ternarySorted = true
+	}
+	for _, be := range ts.ternary {
+		if ternaryMatches(be, vals) {
+			return be
 		}
 	}
 	return nil
@@ -241,6 +343,10 @@ func (ts *tableState) clear() {
 		ts.tries = make(map[string]*lpmTrie)
 	case kindTernary:
 		ts.ternary = nil
+		ts.ternarySorted = false
+		ts.groups = nil
+		ts.groupIdx = make(map[string]*ternaryGroup)
+		ts.groupsSorted = false
 	}
 	ts.count = 0
 }

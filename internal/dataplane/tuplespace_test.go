@@ -1,0 +1,256 @@
+package dataplane
+
+// Differential tests and occupancy benchmarks for the tuple-space
+// ternary index: on any entry set and any packet, lookup (tuple-space)
+// must return exactly the entry the linear reference scan returns —
+// including priority ties resolved by install order and keys wider than
+// 64 bits — and must do so in O(distinct masks) rather than O(entries).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"netdebug/internal/bitfield"
+	"netdebug/internal/p4/ir"
+)
+
+type synthKey struct {
+	w    int
+	kind ir.MatchKind
+}
+
+// synthTable builds a ternary-kind tableState directly, bypassing the
+// compiler, so tests control key widths and match kinds precisely.
+func synthTable(keys []synthKey, size int) (*tableState, *ir.Action) {
+	act := &ir.Action{Name: "act"}
+	tks := make([]ir.TableKey, len(keys))
+	for i, k := range keys {
+		tks[i] = ir.TableKey{Kind: k.kind, Expr: ir.Const{Val: bitfield.New(0, k.w)}}
+	}
+	tbl := &ir.Table{Name: "synth", Keys: tks, Actions: []*ir.Action{act}, Size: size}
+	return newTableState(tbl), act
+}
+
+// randVal returns a random value of width w, exercising the Hi word for
+// wide keys.
+func randVal(rng *rand.Rand, w int) bitfield.Value {
+	return bitfield.New128(rng.Uint64(), rng.Uint64(), w)
+}
+
+// randMask returns a random mask biased toward structure: full, empty,
+// prefix, or random bits — drawn from a small pool so mask tuples repeat
+// and the tuple-space index forms non-trivial groups.
+func randMask(rng *rand.Rand, w int) bitfield.Value {
+	switch rng.Intn(4) {
+	case 0:
+		return bitfield.Mask(w)
+	case 1:
+		return bitfield.New(0, w)
+	case 2:
+		return prefixMask(w, rng.Intn(w+1))
+	default:
+		// One of 4 fixed random-looking patterns per width.
+		seed := rand.New(rand.NewSource(int64(w)*16 + int64(rng.Intn(4))))
+		return bitfield.New128(seed.Uint64(), seed.Uint64(), w)
+	}
+}
+
+func installRandom(t testing.TB, ts *tableState, act *ir.Action, keys []synthKey, n int, rng *rand.Rand) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		e := Entry{Table: "synth", Action: "act", Priority: rng.Intn(4)}
+		for _, k := range keys {
+			kv := KeyValue{Value: randVal(rng, k.w)}
+			switch k.kind {
+			case ir.MatchLPM:
+				kv.PrefixLen = rng.Intn(k.w + 1)
+			case ir.MatchTernary:
+				kv.Mask = randMask(rng, k.w)
+			}
+			e.Keys = append(e.Keys, kv)
+		}
+		if err := ts.install(e, act); err != nil {
+			t.Fatalf("install %d: %v", i, err)
+		}
+	}
+}
+
+// TestTupleSpaceMatchesLinearDifferential is the fuzz-style differential
+// guard: random entry sets vs random (and entry-derived, so frequently
+// matching) probes under several key layouts, with deliberately tight
+// priority bands to exercise order tie-breaking.
+func TestTupleSpaceMatchesLinearDifferential(t *testing.T) {
+	layouts := [][]synthKey{
+		{{32, ir.MatchTernary}},
+		{{32, ir.MatchTernary}, {32, ir.MatchTernary}, {16, ir.MatchTernary}},
+		{{128, ir.MatchTernary}, {16, ir.MatchTernary}},                // >64-bit keys
+		{{48, ir.MatchExact}, {32, ir.MatchLPM}, {8, ir.MatchTernary}}, // mixed kinds
+		{{65, ir.MatchTernary}, {64, ir.MatchLPM}},                     // straddles the word boundary
+	}
+	for li, keys := range layouts {
+		for seed := int64(0); seed < 4; seed++ {
+			rng := rand.New(rand.NewSource(seed*100 + int64(li)))
+			ts, act := synthTable(keys, 1<<20)
+			installRandom(t, ts, act, keys, 300, rng)
+			vals := make([]bitfield.Value, len(keys))
+			for probe := 0; probe < 2000; probe++ {
+				if probe%2 == 0 || len(ts.ternary) == 0 {
+					for i, k := range keys {
+						vals[i] = randVal(rng, k.w)
+					}
+				} else {
+					// Derive the probe from a random installed entry so hits
+					// (and multi-entry overlaps) are common, mutating one key.
+					base := ts.ternary[rng.Intn(len(ts.ternary))]
+					for i := range keys {
+						vals[i] = base.Entry.Keys[i].Value
+					}
+					j := rng.Intn(len(keys))
+					vals[j] = vals[j].Xor(bitfield.New128(0, 1<<uint(rng.Intn(8)), keys[j].w))
+				}
+				got := ts.lookup(vals)
+				want := ts.lookupTernaryLinear(vals)
+				if got != want {
+					t.Fatalf("layout %d seed %d probe %d: tuple-space %+v, linear %+v (vals %v)",
+						li, seed, probe, got, want, vals)
+				}
+			}
+		}
+	}
+}
+
+// TestTupleSpaceClearAndReinstall guards the lazy-sort/dirty flags across
+// clear cycles.
+func TestTupleSpaceClearAndReinstall(t *testing.T) {
+	keys := []synthKey{{32, ir.MatchTernary}}
+	ts, act := synthTable(keys, 1<<20)
+	rng := rand.New(rand.NewSource(42))
+	installRandom(t, ts, act, keys, 50, rng)
+	ts.clear()
+	if got := ts.lookup([]bitfield.Value{bitfield.New(7, 32)}); got != nil {
+		t.Fatalf("lookup after clear returned %+v", got)
+	}
+	installRandom(t, ts, act, keys, 50, rng)
+	vals := make([]bitfield.Value, 1)
+	for probe := 0; probe < 500; probe++ {
+		vals[0] = randVal(rng, 32)
+		if got, want := ts.lookup(vals), ts.lookupTernaryLinear(vals); got != want {
+			t.Fatalf("post-clear probe %d: tuple-space %+v, linear %+v", probe, got, want)
+		}
+	}
+}
+
+// aclKeys is the occupancy-benchmark layout: an IPv4 5-tuple-ish ACL.
+var aclKeys = []synthKey{
+	{32, ir.MatchTernary}, // dst
+	{32, ir.MatchTernary}, // src
+	{16, ir.MatchTernary}, // port
+}
+
+// aclMasks is the fixed mask pool for the occupancy benchmarks — 8
+// distinct tuples, the realistic "few templates, many flows" shape
+// tuple-space search exploits.
+var aclMasks = [][3]bitfield.Value{
+	{bitfield.Mask(32), bitfield.Mask(32), bitfield.Mask(16)},
+	{bitfield.Mask(32), bitfield.Mask(32), bitfield.New(0, 16)},
+	{bitfield.Mask(32), bitfield.New(0, 32), bitfield.Mask(16)},
+	{prefixMask(32, 24), bitfield.Mask(32), bitfield.Mask(16)},
+	{prefixMask(32, 24), prefixMask(32, 16), bitfield.New(0, 16)},
+	{bitfield.Mask(32), prefixMask(32, 8), bitfield.Mask(16)},
+	{prefixMask(32, 16), bitfield.New(0, 32), bitfield.Mask(16)},
+	{prefixMask(32, 28), prefixMask(32, 28), bitfield.Mask(16)},
+}
+
+// aclEntry builds the i-th deterministic benchmark entry.
+func aclEntry(i int) Entry {
+	m := aclMasks[i%len(aclMasks)]
+	return Entry{
+		Table: "synth", Action: "act",
+		Priority: i % 4,
+		Keys: []KeyValue{
+			{Value: bitfield.New(uint64(0x0a000000+i), 32), Mask: m[0]},
+			{Value: bitfield.New(uint64(0xc0a80000+i*7), 32), Mask: m[1]},
+			{Value: bitfield.New(uint64(i%65536), 16), Mask: m[2]},
+		},
+	}
+}
+
+func aclTable(tb testing.TB, entries int) *tableState {
+	tb.Helper()
+	ts, act := synthTable(aclKeys, 1<<21)
+	for i := 0; i < entries; i++ {
+		if err := ts.install(aclEntry(i), act); err != nil {
+			tb.Fatalf("install %d: %v", i, err)
+		}
+	}
+	return ts
+}
+
+// aclProbes mixes hits (drawn from installed entries) and misses.
+func aclProbes(entries, n int) [][]bitfield.Value {
+	rng := rand.New(rand.NewSource(1))
+	out := make([][]bitfield.Value, n)
+	for p := range out {
+		if p%2 == 0 {
+			i := rng.Intn(entries)
+			e := aclEntry(i)
+			out[p] = []bitfield.Value{e.Keys[0].Value, e.Keys[1].Value, e.Keys[2].Value}
+		} else {
+			out[p] = []bitfield.Value{
+				bitfield.New(uint64(0x7f000000)+rng.Uint64()%1000, 32),
+				bitfield.New(rng.Uint64()>>32, 32),
+				bitfield.New(rng.Uint64()%65536, 16),
+			}
+		}
+	}
+	return out
+}
+
+var benchSink *boundEntry
+
+// occupancies is the benchmark sweep; the linear variant stops at 10^5
+// (10^6 linear scans would take minutes per op batch).
+var occupancies = []int{100, 1000, 10000, 100000, 1000000}
+
+func BenchmarkTernaryLookupTupleSpace(b *testing.B) {
+	for _, n := range occupancies {
+		b.Run(fmt.Sprintf("entries%d", n), func(b *testing.B) {
+			ts := aclTable(b, n)
+			probes := aclProbes(n, 1024)
+			ts.lookup(probes[0]) // settle the lazy group sort
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchSink = ts.lookup(probes[i%len(probes)])
+			}
+		})
+	}
+}
+
+func BenchmarkTernaryLookupLinear(b *testing.B) {
+	for _, n := range occupancies {
+		if n > 100000 {
+			continue
+		}
+		b.Run(fmt.Sprintf("entries%d", n), func(b *testing.B) {
+			ts := aclTable(b, n)
+			probes := aclProbes(n, 1024)
+			ts.lookupTernaryLinear(probes[0]) // settle the lazy sort
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchSink = ts.lookupTernaryLinear(probes[i%len(probes)])
+			}
+		})
+	}
+}
+
+// BenchmarkTernaryInstall measures population cost at scale (the lazy
+// sort keeps it amortized O(1) per install).
+func BenchmarkTernaryInstall(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		aclTable(b, 100000)
+	}
+}

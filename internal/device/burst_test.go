@@ -1,0 +1,158 @@
+package device
+
+// SendExternalBurst must be behaviourally equivalent to one SendExternal
+// call per frame: same captures (data and timestamps), same counters,
+// same tap event sequence, same fault handling.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"netdebug/internal/target"
+)
+
+// burstFrames mixes forwardable and malformed frames.
+func burstFrames(n int) [][]byte {
+	var out [][]byte
+	for i := 0; i < n; i++ {
+		f := testFrame(26 + i)
+		if i%5 == 4 {
+			f[14] = 0x65 // malformed version: parser reject on reference
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// runPair drives the same schedule through a sequential and a burst
+// device and returns both.
+func runPair(t *testing.T, n int, prep func(d *Device)) (seq, burst *Device) {
+	t.Helper()
+	frames := burstFrames(n)
+	interval := 800 * time.Nanosecond
+	seq = newRouterDevice(t, target.NewReference())
+	prep(seq)
+	for i, f := range frames {
+		if err := seq.SendExternal(0, f, time.Duration(i)*interval); err != nil {
+			t.Fatal(err)
+		}
+	}
+	burst = newRouterDevice(t, target.NewReference())
+	prep(burst)
+	if err := burst.SendExternalBurst(0, frames, 0, interval); err != nil {
+		t.Fatal(err)
+	}
+	return seq, burst
+}
+
+func assertSameCaptures(t *testing.T, seq, burst *Device, port int) {
+	t.Helper()
+	cs, cb := seq.Captures(port), burst.Captures(port)
+	if len(cs) != len(cb) {
+		t.Fatalf("port %d: %d sequential captures, %d burst captures", port, len(cs), len(cb))
+	}
+	for i := range cs {
+		if !bytes.Equal(cs[i].Data, cb[i].Data) {
+			t.Errorf("port %d capture %d: data differs", port, i)
+		}
+		if cs[i].At != cb[i].At {
+			t.Errorf("port %d capture %d: at %v (seq) vs %v (burst)", port, i, cs[i].At, cb[i].At)
+		}
+	}
+}
+
+func TestBurstMatchesSequential(t *testing.T) {
+	seq, burst := runPair(t, 20, func(*Device) {})
+	assertSameCaptures(t, seq, burst, 1)
+	ss, sb := seq.Status(), burst.Status()
+	for k, v := range ss {
+		if sb[k] != v {
+			t.Errorf("status %q: %d (seq) vs %d (burst)", k, v, sb[k])
+		}
+	}
+}
+
+func TestBurstTapOrderMatchesSequential(t *testing.T) {
+	record := func(d *Device) *[]string {
+		var events []string
+		for _, p := range []TapPoint{TapMACIn, TapDataplaneIn, TapDataplaneOut, TapMACOut} {
+			p := p
+			d.Tap(p, func(ev TapEvent) {
+				events = append(events, fmt.Sprintf("%s port=%d at=%d len=%d", ev.Point, ev.Port, ev.At, len(ev.Data)))
+			})
+		}
+		return &events
+	}
+	frames := burstFrames(12)
+	interval := time.Microsecond
+	seq := newRouterDevice(t, target.NewReference())
+	seqEvents := record(seq)
+	for i, f := range frames {
+		if err := seq.SendExternal(0, f, time.Duration(i)*interval); err != nil {
+			t.Fatal(err)
+		}
+	}
+	burst := newRouterDevice(t, target.NewReference())
+	burstEvents := record(burst)
+	if err := burst.SendExternalBurst(0, frames, 0, interval); err != nil {
+		t.Fatal(err)
+	}
+	if len(*seqEvents) != len(*burstEvents) {
+		t.Fatalf("%d sequential tap events, %d burst", len(*seqEvents), len(*burstEvents))
+	}
+	for i := range *seqEvents {
+		if (*seqEvents)[i] != (*burstEvents)[i] {
+			t.Errorf("event %d: %q (seq) vs %q (burst)", i, (*seqEvents)[i], (*burstEvents)[i])
+		}
+	}
+}
+
+func TestBurstFaults(t *testing.T) {
+	t.Run("port down loses everything silently", func(t *testing.T) {
+		seq, burst := runPair(t, 10, func(d *Device) {
+			d.InjectFault(Fault{Kind: FaultPortDown, Port: 0})
+		})
+		assertSameCaptures(t, seq, burst, 1)
+		if got := burst.Status()["port0.rx.link_down"]; got != 10 {
+			t.Errorf("rx.link_down = %d, want 10", got)
+		}
+	})
+	t.Run("bit flips applied per frame", func(t *testing.T) {
+		seq, burst := runPair(t, 10, func(d *Device) {
+			d.InjectFault(Fault{Kind: FaultBitFlip, Port: 0, Seed: 7})
+		})
+		// Same seed -> same flips -> identical captures.
+		assertSameCaptures(t, seq, burst, 1)
+		if got := burst.Status()["port0.rx.bit_flips"]; got != 10 {
+			t.Errorf("rx.bit_flips = %d, want 10", got)
+		}
+	})
+}
+
+func TestBurstBadPort(t *testing.T) {
+	d := newRouterDevice(t, target.NewReference())
+	if err := d.SendExternalBurst(9, burstFrames(1), 0, 0); err == nil {
+		t.Fatal("burst to nonexistent port must error")
+	}
+}
+
+func BenchmarkDeviceForwardBurst(b *testing.B) {
+	d := newRouterDevice(b, target.NewReference())
+	const n = 64
+	frames := make([][]byte, n)
+	for i := range frames {
+		frames[i] = testFrame(26)
+	}
+	interval := 700 * time.Nanosecond
+	b.SetBytes(int64(n * len(frames[0])))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.SendExternalBurst(0, frames, d.Now(), interval); err != nil {
+			b.Fatal(err)
+		}
+		d.Captures(1)
+	}
+}

@@ -170,6 +170,10 @@ type Device struct {
 	// Outputs data — see the target.Result contract.
 	resScratch []target.Result
 	procDepth  int
+	// Burst-path scratch (SendExternalBurst): post-MAC frame data and
+	// per-frame RX-complete timestamps, reused across bursts.
+	batchData [][]byte
+	batchAt   []time.Duration
 
 	cDropped, cInjected, cFaults, cBadPort *stats.Counter
 }
@@ -294,6 +298,63 @@ func (d *Device) SendExternal(port int, frame []byte, at time.Duration) error {
 	rxDone := at + d.wireTime(len(frame))
 	d.fire(TapEvent{Point: TapMACIn, Port: port, Data: data, At: rxDone})
 	d.processAndQueue(data, uint64(port), rxDone, true)
+	return nil
+}
+
+// SendExternalBurst delivers a burst of frames to one external port,
+// frame i at virtual time start+i*interval, through the batched
+// data-plane path (target.ProcessBatch). It is behaviourally equivalent
+// to one SendExternal call per frame — the same MAC faults, taps in the
+// same per-frame order, the same queueing — but amortizes the per-packet
+// result staging over the burst. The one observable difference is that
+// the data plane executes the whole burst before the first tap fires, so
+// tap callbacks cannot influence the processing of later frames in the
+// same burst.
+func (d *Device) SendExternalBurst(port int, frames [][]byte, start, interval time.Duration) error {
+	if port < 0 || port >= len(d.ports) {
+		return fmt.Errorf("device: no port %d", port)
+	}
+	p := d.ports[port]
+	d.batchData = d.batchData[:0]
+	d.batchAt = d.batchAt[:0]
+	for i, frame := range frames {
+		at := start + time.Duration(i)*interval
+		d.AdvanceTo(at)
+		p.cRxFrames.Inc()
+		if !p.up {
+			p.cRxLinkDown.Inc()
+			continue // silently lost, as on real hardware
+		}
+		data := frame
+		if p.bitFlip != nil && len(frame) > 0 {
+			data = append([]byte(nil), frame...)
+			bit := p.bitFlip.Intn(len(data) * 8)
+			data[bit/8] ^= 1 << uint(7-bit%8)
+			p.cRxBitFlips.Inc()
+		}
+		d.batchData = append(d.batchData, data)
+		d.batchAt = append(d.batchAt, at+d.wireTime(len(frame)))
+	}
+	if len(d.batchData) == 0 {
+		return nil
+	}
+	results := d.cfg.Target.ProcessBatch(d.batchData, uint64(port), true)
+	for i := range results {
+		res := &results[i]
+		rxDone := d.batchAt[i]
+		d.fire(TapEvent{Point: TapMACIn, Port: port, Data: d.batchData[i], At: rxDone})
+		d.fire(TapEvent{Point: TapDataplaneIn, Port: port, Data: d.batchData[i], At: rxDone})
+		done := rxDone + res.Latency
+		if res.Dropped() {
+			d.cDropped.Inc()
+			d.fire(TapEvent{Point: TapDataplaneOut, Port: -1, Data: nil, At: done, Result: res})
+			continue
+		}
+		for _, out := range res.Outputs {
+			d.fire(TapEvent{Point: TapDataplaneOut, Port: int(out.Port), Data: out.Data, At: done, Result: res})
+			d.enqueue(int(out.Port), out.Data, done)
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,306 @@
+package scenario
+
+// The million-flow occupancy sweep: the validation methodology only pays
+// off if the simulated data plane behaves like hardware at realistic
+// table occupancies, so this workload populates exact, LPM, and ternary
+// tables at 10^2..10^6 entries per target backend and measures lookup
+// latency and memory versus occupancy. On the SDNet backend the
+// usable-capacity erratum (declared size scaled to ~90%) trips mid-sweep
+// exactly as the architecture-check use case predicts: the full-occupancy
+// point cannot be installed, and the sweep records the finding instead of
+// failing.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"netdebug/internal/bitfield"
+	"netdebug/internal/dataplane"
+	"netdebug/internal/p4/compile"
+	"netdebug/internal/target"
+)
+
+// millionFlowProgram declares one table per match kind, each sized to
+// %d entries, over a compact synthetic key header.
+const millionFlowProgram = `
+header key_t { bit<48> dmac; bit<48> smac; bit<32> dst; bit<32> src; bit<16> sport; }
+struct hs { key_t k; }
+parser MFParser(packet_in p, out hs hdr) {
+  state start { p.extract(hdr.k); transition accept; }
+}
+control MFIngress(inout hs hdr, inout standard_metadata_t sm) {
+  action fwd(bit<9> port) { sm.egress_spec = port; }
+  table t_exact {
+    key = { hdr.k.dst: exact; }
+    actions = { fwd; NoAction; }
+    size = %d;
+  }
+  table t_lpm {
+    key = { hdr.k.dst: lpm; }
+    actions = { fwd; NoAction; }
+    size = %d;
+  }
+  table t_acl {
+    key = { hdr.k.dst: ternary; hdr.k.src: ternary; hdr.k.sport: ternary; }
+    actions = { fwd; NoAction; }
+    size = %d;
+  }
+  apply { t_exact.apply(); t_lpm.apply(); t_acl.apply(); }
+}
+control MFDeparser(packet_out p, in hs hdr) { apply { p.emit(hdr.k); } }
+S(MFParser(), MFIngress(), MFDeparser()) main;`
+
+// SweepTables lists the swept tables in apply order.
+var SweepTables = []string{"t_exact", "t_lpm", "t_acl"}
+
+// SweepOptions configures MillionFlowSweep.
+type SweepOptions struct {
+	// Backends are the target backends to sweep; empty means
+	// {"reference", "sdnet"}.
+	Backends []string
+	// Occupancies are the per-table entry counts; empty means
+	// 10^2..10^6 in decades.
+	Occupancies []int
+	// TableSize is the declared size of each table (the denominator the
+	// SDNet usable-capacity erratum scales); 0 means 1<<20, which puts
+	// the erratum trip point between the 10^5 and 10^6 occupancies.
+	TableSize int
+	// Probes is the number of lookup packets timed per point; 0 means
+	// 4096.
+	Probes int
+	// BatchSize is the burst size driven through the batched target
+	// path; 0 means 256.
+	BatchSize int
+}
+
+func (o *SweepOptions) fill() {
+	if len(o.Backends) == 0 {
+		o.Backends = []string{"reference", "sdnet"}
+	}
+	if len(o.Occupancies) == 0 {
+		o.Occupancies = []int{100, 1000, 10000, 100000, 1000000}
+	}
+	if o.TableSize == 0 {
+		o.TableSize = 1 << 20
+	}
+	if o.Probes == 0 {
+		o.Probes = 4096
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 256
+	}
+}
+
+// SweepPoint is one (backend, occupancy) measurement.
+type SweepPoint struct {
+	Backend   string
+	Occupancy int
+	// Installed maps table name to the number of entries actually
+	// installed — below Occupancy when the backend's usable capacity
+	// tripped first.
+	Installed map[string]int
+	// CapacityNote records a capacity erratum observed while populating
+	// ("" when every install succeeded). This is the architecture-check
+	// finding the sweep is designed to surface on SDNet.
+	CapacityNote string
+	// InstallNs is the mean install latency per entry, over all tables.
+	InstallNs float64
+	// LookupNs is the mean per-packet pipeline latency (parse + three
+	// table lookups + deparse) over the probe burst.
+	LookupNs float64
+	// HeapBytes is the heap growth attributable to the populated tables.
+	HeapBytes uint64
+}
+
+// newSweepTarget builds the named backend.
+func newSweepTarget(name string) (target.Target, error) {
+	switch name {
+	case "reference":
+		return target.NewReference(), nil
+	case "sdnet":
+		return target.NewSDNet(target.DefaultErrata()), nil
+	case "sdnet-fixed":
+		return target.NewSDNet(target.FixedErrata()), nil
+	}
+	return nil, fmt.Errorf("scenario: unknown sweep backend %q", name)
+}
+
+// sweepEntry builds the i-th deterministic entry for a table. Exact and
+// LPM entries use distinct dst values; ternary entries cycle through a
+// small pool of mask templates (the "few templates, many flows" shape of
+// real ACLs) with distinct masked values and a handful of priorities.
+func sweepEntry(table string, i int) dataplane.Entry {
+	dst := bitfield.New(uint64(i), 32)
+	switch table {
+	case "t_exact":
+		return dataplane.Entry{
+			Table: table, Action: "fwd",
+			Keys: []dataplane.KeyValue{{Value: dst}},
+			Args: []bitfield.Value{bitfield.New(uint64(i%4), 9)},
+		}
+	case "t_lpm":
+		// Distinct /32s, with every 16th entry a distinct /24 from the
+		// disjoint 0x40xxxxxx range so trie depth varies.
+		kv := dataplane.KeyValue{Value: dst, PrefixLen: 32}
+		if i%16 == 15 {
+			kv = dataplane.KeyValue{Value: bitfield.New((0x40000000|uint64(i)<<8)&0xffffffff, 32), PrefixLen: 24}
+		}
+		return dataplane.Entry{
+			Table: table, Action: "fwd",
+			Keys: []dataplane.KeyValue{kv},
+			Args: []bitfield.Value{bitfield.New(uint64(i%4), 9)},
+		}
+	default: // t_acl
+		fullDst := bitfield.Mask(32)
+		fullSrc := bitfield.Mask(32)
+		fullPort := bitfield.Mask(16)
+		none32 := bitfield.New(0, 32)
+		masks := [][3]bitfield.Value{
+			{fullDst, fullSrc, fullPort},
+			{fullDst, fullSrc, bitfield.New(0, 16)},
+			{fullDst, none32, fullPort},
+			{bitfield.Mask(32).Shl(8).WithWidth(32), fullSrc, fullPort},
+			{fullDst, bitfield.Mask(32).Shl(16).WithWidth(32), bitfield.New(0, 16)},
+			{bitfield.Mask(32).Shl(4).WithWidth(32), none32, fullPort},
+			{fullDst, bitfield.Mask(32).Shl(24).WithWidth(32), fullPort},
+			{bitfield.Mask(32).Shl(12).WithWidth(32), fullSrc, bitfield.New(0, 16)},
+		}
+		m := masks[i%len(masks)]
+		return dataplane.Entry{
+			Table: table, Action: "fwd", Priority: i % 4,
+			Keys: []dataplane.KeyValue{
+				{Value: bitfield.New(uint64(i), 32), Mask: m[0]},
+				{Value: bitfield.New(uint64(i*7)&0xffffffff, 32), Mask: m[1]},
+				{Value: bitfield.New(uint64(i%65536), 16), Mask: m[2]},
+			},
+			Args: []bitfield.Value{bitfield.New(uint64(i%4), 9)},
+		}
+	}
+}
+
+// sweepFrame builds the 22-byte key_t frame for probe i at occupancy n:
+// even probes hit installed dst values, odd probes miss.
+func sweepFrame(buf []byte, i, n int) []byte {
+	dst := uint64(i % n)
+	if i%2 == 1 {
+		dst = uint64(0x80000000 + i) // outside the installed range
+	}
+	buf = buf[:0]
+	buf = append(buf, make([]byte, 12)...) // dmac, smac
+	buf = append(buf, byte(dst>>24), byte(dst>>16), byte(dst>>8), byte(dst))
+	src := uint64(i*7) & 0xffffffff
+	buf = append(buf, byte(src>>24), byte(src>>16), byte(src>>8), byte(src))
+	port := uint64(i % 65536)
+	return append(buf, byte(port>>8), byte(port))
+}
+
+// heapInUse forces a collection and reports live heap bytes.
+func heapInUse() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// MillionFlowSweep runs the occupancy sweep and returns one point per
+// (backend, occupancy) pair, backend-major in option order.
+func MillionFlowSweep(opts SweepOptions) ([]SweepPoint, error) {
+	opts.fill()
+	prog, err := compile.Compile(fmt.Sprintf(millionFlowProgram,
+		opts.TableSize, opts.TableSize, opts.TableSize))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: million-flow program: %w", err)
+	}
+	var points []SweepPoint
+	for _, backend := range opts.Backends {
+		for _, occ := range opts.Occupancies {
+			tgt, err := newSweepTarget(backend)
+			if err != nil {
+				return nil, err
+			}
+			if err := tgt.Load(prog); err != nil {
+				return nil, fmt.Errorf("scenario: %s load: %w", backend, err)
+			}
+			pt := SweepPoint{Backend: backend, Occupancy: occ, Installed: map[string]int{}}
+			heapBefore := heapInUse()
+			installStart := time.Now()
+			installs := 0
+			for _, table := range SweepTables {
+				for i := 0; i < occ; i++ {
+					if err := tgt.InstallEntry(sweepEntry(table, i)); err != nil {
+						var capErr *dataplane.CapacityError
+						if errors.As(err, &capErr) {
+							pt.CapacityNote = appendNote(pt.CapacityNote, fmt.Sprintf(
+								"%s full after %d of %d entries (declared size %d)",
+								table, i, occ, opts.TableSize))
+							break
+						}
+						return nil, fmt.Errorf("scenario: %s %s entry %d: %w", backend, table, i, err)
+					}
+					pt.Installed[table]++
+					installs++
+				}
+			}
+			if installs > 0 {
+				pt.InstallNs = float64(time.Since(installStart).Nanoseconds()) / float64(installs)
+			}
+			if after := heapInUse(); after > heapBefore {
+				pt.HeapBytes = after - heapBefore
+			}
+
+			// Time the probe burst through the batched pipeline path.
+			frames := make([][]byte, opts.BatchSize)
+			for i := range frames {
+				frames[i] = sweepFrame(nil, i, occ)
+			}
+			tgt.ProcessBatch(frames, 0, false) // warm up
+			probeStart := time.Now()
+			done := 0
+			for done < opts.Probes {
+				n := opts.BatchSize
+				if opts.Probes-done < n {
+					n = opts.Probes - done
+				}
+				tgt.ProcessBatch(frames[:n], 0, false)
+				done += n
+			}
+			pt.LookupNs = float64(time.Since(probeStart).Nanoseconds()) / float64(done)
+			points = append(points, pt)
+		}
+	}
+	return points, nil
+}
+
+// appendNote joins erratum findings with "; ".
+func appendNote(cur, add string) string {
+	if cur == "" {
+		return add
+	}
+	return cur + "; " + add
+}
+
+// RenderSweep formats sweep points as the occupancy-sweep figure table.
+func RenderSweep(points []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %10s %12s %12s %10s  %s\n",
+		"backend", "occupancy", "installed", "install/ns", "lookup/ns", "heap", "finding")
+	for _, pt := range points {
+		installed := 0
+		for _, table := range SweepTables {
+			if pt.Installed[table] > installed {
+				installed = pt.Installed[table]
+			}
+		}
+		note := pt.CapacityNote
+		if note == "" {
+			note = "-"
+		}
+		fmt.Fprintf(&b, "%-12s %10d %10d %12.0f %12.0f %9.1fM  %s\n",
+			pt.Backend, pt.Occupancy, installed, pt.InstallNs, pt.LookupNs,
+			float64(pt.HeapBytes)/1e6, note)
+	}
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMillionFlowSweepSmall runs a scaled-down sweep and checks the
+// measurements are populated and occupancy is fully installed on the
+// reference backend.
+func TestMillionFlowSweepSmall(t *testing.T) {
+	points, err := MillionFlowSweep(SweepOptions{
+		Backends:    []string{"reference"},
+		Occupancies: []int{100, 1000},
+		TableSize:   1 << 12,
+		Probes:      512,
+		BatchSize:   128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points, want 2", len(points))
+	}
+	for _, pt := range points {
+		if pt.CapacityNote != "" {
+			t.Errorf("reference@%d: unexpected capacity note %q", pt.Occupancy, pt.CapacityNote)
+		}
+		for _, table := range SweepTables {
+			if pt.Installed[table] != pt.Occupancy {
+				t.Errorf("reference@%d: %s installed %d", pt.Occupancy, table, pt.Installed[table])
+			}
+		}
+		if pt.LookupNs <= 0 || pt.InstallNs <= 0 {
+			t.Errorf("reference@%d: unmeasured point %+v", pt.Occupancy, pt)
+		}
+	}
+	if out := RenderSweep(points); !strings.Contains(out, "reference") {
+		t.Errorf("render missing backend column:\n%s", out)
+	}
+}
+
+// TestMillionFlowSweepSDNetCapacityTrips scales the declared table size
+// down so the SDNet usable-capacity erratum (~90% of declared) trips at
+// the top of the sweep, exactly as it does at 10^6 entries against the
+// 2^20 declared size in the full run.
+func TestMillionFlowSweepSDNetCapacityTrips(t *testing.T) {
+	points, err := MillionFlowSweep(SweepOptions{
+		Backends:    []string{"sdnet"},
+		Occupancies: []int{100, 1000},
+		TableSize:   1000, // usable capacity 900 under DefaultErrata
+		Probes:      256,
+		BatchSize:   64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, high := points[0], points[1]
+	if low.CapacityNote != "" {
+		t.Errorf("sdnet@100: capacity tripped early: %q", low.CapacityNote)
+	}
+	if high.CapacityNote == "" {
+		t.Fatal("sdnet@1000: usable-capacity erratum did not trip")
+	}
+	for _, table := range SweepTables {
+		if high.Installed[table] != 900 {
+			t.Errorf("sdnet@1000: %s installed %d, want 900 (90%% of declared 1000)",
+				table, high.Installed[table])
+		}
+	}
+	// The sweep keeps measuring at the clipped occupancy.
+	if high.LookupNs <= 0 {
+		t.Error("sdnet@1000: no lookup measurement after capacity trip")
+	}
+}
+
+// BenchmarkOccupancySweepPoint measures one mid-scale sweep point end to
+// end (population + probe burst) — the scenario-level cost of the
+// million-flow workload.
+func BenchmarkOccupancySweepPoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := MillionFlowSweep(SweepOptions{
+			Backends:    []string{"reference"},
+			Occupancies: []int{10000},
+			TableSize:   1 << 16,
+			Probes:      1024,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -17,11 +17,18 @@ type pipeline struct {
 	eng     *dataplane.Engine
 	outBuf  [1]Output
 	latency time.Duration
+	// Batch-mode scratch: contexts are owned by the pipeline (not the
+	// engine pool) so a nested single-packet Process cannot clobber a
+	// live batch's outputs; batchOut/batchRes back the returned results.
+	batchCtx []*dataplane.Context
+	batchOut []Output
+	batchRes []Result
 }
 
 func (p *pipeline) load(prog *ir.Program) {
 	p.prog = prog
 	p.eng = dataplane.New(prog)
+	p.batchCtx = nil
 }
 
 func (p *pipeline) process(frame []byte, ingressPort uint64, trace bool) Result {
@@ -34,6 +41,38 @@ func (p *pipeline) process(frame []byte, ingressPort uint64, trace bool) Result 
 		res.Outputs = p.outBuf[:1]
 	}
 	p.eng.ReleaseContext(ctx)
+	return res
+}
+
+// processBatch runs a burst through Engine.ProcessBatch. All returned
+// results are valid at once; the slice and the output bytes it
+// references are reused by the next processBatch call.
+func (p *pipeline) processBatch(frames [][]byte, ingressPort uint64, trace bool) []Result {
+	for len(p.batchCtx) < len(frames) {
+		p.batchCtx = append(p.batchCtx, p.eng.NewContext())
+	}
+	pkts := p.batchCtx[:len(frames)]
+	for i, frame := range frames {
+		pkts[i].In = frame
+		pkts[i].InPort = ingressPort
+		pkts[i].CollectTrace = trace
+	}
+	p.eng.ProcessBatch(pkts)
+	if cap(p.batchRes) < len(frames) {
+		p.batchRes = make([]Result, len(frames))
+		p.batchOut = make([]Output, len(frames))
+	}
+	res := p.batchRes[:len(frames)]
+	outs := p.batchOut[:len(frames)]
+	for i, ctx := range pkts {
+		res[i] = Result{Latency: p.latency, Trace: ctx.Trace}
+		if ctx.Out != nil {
+			outs[i] = Output{Port: ctx.Egress, Data: ctx.Out}
+			res[i].Outputs = outs[i : i+1]
+		} else {
+			res[i].Outputs = nil
+		}
+	}
 	return res
 }
 
@@ -89,6 +128,10 @@ func (r *reference) Program() *ir.Program { return r.prog }
 
 func (r *reference) Process(frame []byte, ingressPort uint64, trace bool) Result {
 	return r.process(frame, ingressPort, trace)
+}
+
+func (r *reference) ProcessBatch(frames [][]byte, ingressPort uint64, trace bool) []Result {
+	return r.processBatch(frames, ingressPort, trace)
 }
 
 func (r *reference) InstallEntry(e dataplane.Entry) error { return r.installEntry(e) }

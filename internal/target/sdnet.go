@@ -111,6 +111,10 @@ func (s *sdnet) Process(frame []byte, ingressPort uint64, trace bool) Result {
 	return s.process(frame, ingressPort, trace)
 }
 
+func (s *sdnet) ProcessBatch(frames [][]byte, ingressPort uint64, trace bool) []Result {
+	return s.processBatch(frames, ingressPort, trace)
+}
+
 func (s *sdnet) InstallEntry(e dataplane.Entry) error { return s.installEntry(e) }
 func (s *sdnet) ClearTable(name string) error         { return s.clearTable(name) }
 func (s *sdnet) Status() map[string]uint64            { return s.status() }

@@ -84,6 +84,14 @@ type Target interface {
 	// Process runs one frame through the pipeline. The Result is valid
 	// until the next Process call.
 	Process(frame []byte, ingressPort uint64, trace bool) Result
+	// ProcessBatch runs a burst of frames, all from the same ingress
+	// port, and returns one Result per frame. Unlike Process, every
+	// result of the batch is valid simultaneously; the whole slice is
+	// invalidated by the next ProcessBatch call on this target (results
+	// survive interleaved single-packet Process calls, which use
+	// separate scratch). This is the amortized path burst harnesses
+	// (device.SendExternalBurst, the external tester) drive.
+	ProcessBatch(frames [][]byte, ingressPort uint64, trace bool) []Result
 	// InstallEntry installs a match-action table entry.
 	InstallEntry(e dataplane.Entry) error
 	// ClearTable removes every entry from a table.

@@ -12,7 +12,10 @@ import (
 // instances in parallel — the scale-out form of the baseline: each
 // worker gets its own device (built by New) and a slice of every
 // stream's packet budget, because a Device and its target are not safe
-// for concurrent use. Shard by device, never by lock.
+// for concurrent use. Shard by device, never by lock. Within a shard
+// each stream is driven through the device's batched burst path
+// (SendExternalBurst), so the fleet composes both scale-out forms:
+// sharding across devices and batching within one.
 type Fleet struct {
 	// New builds one device per worker. It must return independent
 	// devices (each with its own target) configured identically, and it
