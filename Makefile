@@ -1,17 +1,22 @@
 # NetDebug build/test/bench entry points.
 
 GO ?= go
-BENCH_OUT ?= BENCH_2.json
+BENCH_OUT ?= BENCH_3.json
 # BENCH_BASELINE is the committed perf-trajectory file bench-gate
 # compares against; bump it when a PR lands a new BENCH_<PR>.json.
-BENCH_BASELINE ?= BENCH_2.json
+BENCH_BASELINE ?= BENCH_3.json
 
-.PHONY: all build vet test test-race fmt-check bench bench-smoke bench-json bench-gate
+.PHONY: all build examples vet test test-race fmt-check bench bench-smoke bench-json bench-gate
 
 all: vet build test
 
 build:
 	$(GO) build ./...
+
+# Build-check the example programs (also covered by build, but kept as
+# an explicit CI entry point).
+examples:
+	$(GO) build ./examples/...
 
 vet:
 	$(GO) vet ./...
@@ -34,12 +39,14 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 2x ./...
 
 # Machine-readable results for the perf trajectory (BENCH_<PR>.json).
+# Best-of-3 per benchmark: external interference only slows a run, so
+# the minimum is the stable statistic (allocs/op keeps the max).
 bench-json:
-	$(GO) run ./cmd/benchjson -benchtime 200x -out $(BENCH_OUT)
+	$(GO) run ./cmd/benchjson -benchtime 200x -count 3 -out $(BENCH_OUT)
 
 # Regression gate: re-measure and compare against the committed baseline.
 # Fails on >15% ns/op regression or any allocs/op increase on the pinned
 # hot-path benchmarks, and asserts the tuple-space >= 10x speedup.
 bench-gate:
-	$(GO) run ./cmd/benchjson -benchtime 200x -out bench_current.json
+	$(GO) run ./cmd/benchjson -benchtime 200x -count 3 -out bench_current.json
 	$(GO) run ./cmd/benchgate -baseline $(BENCH_BASELINE) -current bench_current.json

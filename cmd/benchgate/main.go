@@ -45,9 +45,10 @@ import (
 )
 
 // defaultPin selects the pinned hot-path benchmarks: the packet path
-// (allocation-free guarantee), the device forward path, and the
-// tuple-space lookup scaling sweep.
-const defaultPin = `^Benchmark(ProcessRouter|ProcessFirewallTernary|RouterProcess|FirewallProcess|DeviceForward(Burst)?|TernaryLookupTupleSpace/.*)$`
+// (allocation-free guarantee) on every backend including the Tofino
+// pipeline, the device forward path (with and without frame capture),
+// and the tuple-space lookup scaling sweep.
+const defaultPin = `^Benchmark(ProcessRouter|ProcessFirewallTernary|RouterProcess|FirewallProcess|TofinoProcess(Router|FirewallTernary)|DeviceForward(Burst|NoCapture)?|TernaryLookupTupleSpace/.*)$`
 
 // defaultSpeedup asserts the tentpole scaling win: at 10^5 ternary
 // entries the tuple-space lookup must stay >= 10x faster than the linear

@@ -4,10 +4,18 @@
 //
 //	benchjson -out BENCH_1.json                    # full suite
 //	benchjson -bench 'Process|Suite' -benchtime 100x -out -   # subset to stdout
+//	benchjson -count 3 -out BENCH_3.json           # best-of-3 per benchmark
 //
 // Each record carries ns/op, B/op, allocs/op, and MB/s (when reported)
 // per benchmark, plus the Go version, CPU count, and command line used,
 // since scaling numbers are only comparable at like core counts.
+//
+// With -count > 1 the repetitions of each benchmark are merged into one
+// record: minimum ns/op (external interference only ever slows a run,
+// so the minimum is the stable statistic on noisy machines — a genuine
+// regression slows every repetition) and maximum B/op and allocs/op
+// (so an allocation regression cannot hide behind a lucky repetition).
+// Disable with -best=false to keep every repetition.
 package main
 
 import (
@@ -32,6 +40,7 @@ var (
 	benchtime = flag.String("benchtime", "1s", "per-benchmark budget (go test -benchtime)")
 	count     = flag.Int("count", 1, "repetitions per benchmark (go test -count)")
 	pkgs      = flag.String("pkgs", "./...", "comma-separated package patterns to benchmark")
+	best      = flag.Bool("best", true, "merge -count repetitions: min ns/op, max B/op and allocs/op")
 )
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
@@ -103,6 +112,9 @@ func main() {
 	if len(doc.Benchmarks) == 0 {
 		log.Fatal("no benchmark results parsed")
 	}
+	if *best && *count > 1 {
+		doc.Benchmarks = mergeBest(doc.Benchmarks)
+	}
 
 	if err := doc.Save(*out); err != nil {
 		log.Fatal(err)
@@ -110,4 +122,40 @@ func main() {
 	if *out != "-" {
 		log.Printf("wrote %d benchmark records to %s", len(doc.Benchmarks), *out)
 	}
+}
+
+// mergeBest collapses repeated records of the same benchmark (from
+// -count > 1) into one: minimum ns/op with its iteration count, maximum
+// B/op and allocs/op, maximum MB/s. Order follows first appearance.
+func mergeBest(recs []benchfmt.Record) []benchfmt.Record {
+	idx := make(map[string]int, len(recs))
+	var out []benchfmt.Record
+	maxInt := func(dst **int64, src *int64) {
+		if src == nil {
+			return
+		}
+		if *dst == nil || **dst < *src {
+			v := *src
+			*dst = &v
+		}
+	}
+	for _, r := range recs {
+		i, seen := idx[r.Key()]
+		if !seen {
+			idx[r.Key()] = len(out)
+			out = append(out, r)
+			continue
+		}
+		m := &out[i]
+		if r.NsPerOp < m.NsPerOp {
+			m.NsPerOp = r.NsPerOp
+			m.Iterations = r.Iterations
+		}
+		if r.MBPerSec > m.MBPerSec {
+			m.MBPerSec = r.MBPerSec
+		}
+		maxInt(&m.BytesPerOp, r.BytesPerOp)
+		maxInt(&m.AllocsOp, r.AllocsOp)
+	}
+	return out
 }

@@ -138,7 +138,11 @@ func e1() {
 		}}},
 	}
 	fmt.Printf("\n%-18s %-40s\n", "target", "NetDebug verdict on malformed-dropped")
-	for _, kind := range []netdebug.TargetKind{netdebug.TargetReference, netdebug.TargetSDNet, netdebug.TargetSDNetFixed} {
+	for _, kind := range []netdebug.TargetKind{
+		netdebug.TargetReference,
+		netdebug.TargetSDNet, netdebug.TargetSDNetFixed,
+		netdebug.TargetTofino, netdebug.TargetTofinoFixed,
+	} {
 		sys := openRouter(kind)
 		rep, err := sys.Validate(spec)
 		if err != nil {
@@ -209,6 +213,11 @@ func t5() {
 	for o := 100; o <= *sweepMax; o *= 10 {
 		occupancies = append(occupancies, o)
 	}
+	if len(occupancies) == 0 {
+		// -sweep-max below the first decade: run the single requested
+		// point rather than falling back to the full default sweep.
+		occupancies = []int{*sweepMax}
+	}
 	points, err := scenario.MillionFlowSweep(scenario.SweepOptions{
 		Occupancies: occupancies,
 	})
@@ -218,14 +227,48 @@ func t5() {
 	fmt.Print(scenario.RenderSweep(points))
 	for _, pt := range points {
 		if pt.CapacityNote != "" {
-			fmt.Println("\n(the sdnet rows surface the usable-capacity erratum: installs clip at ~90% of declared size)")
+			fmt.Println("\n(capacity findings above are per-backend: sdnet clips installs at ~90% of declared size," +
+				"\n tofino at its per-stage placement grants — 480 SRAM blocks per table, 144 TCAM row-groups)")
 			break
 		}
 	}
+
+	// The mask-diversity axis: at fixed occupancy, raising the number of
+	// distinct mask tuples degrades the tuple-space ternary lookup
+	// toward the linear scan (one hash probe per distinct tuple).
+	occ := 10000
+	if *sweepMax < occ {
+		occ = *sweepMax
+	}
+	fmt.Printf("\nmask-diversity sweep (reference backend, occupancy %d):\n", occ)
+	var maskCounts []int
+	for _, masks := range []int{8, 64, 512, 4096, occ} {
+		if masks > occ {
+			masks = occ // more tuples than entries adds no groups
+		}
+		if n := len(maskCounts); n > 0 && maskCounts[n-1] == masks {
+			continue
+		}
+		maskCounts = append(maskCounts, masks)
+	}
+	var maskPoints []scenario.SweepPoint
+	for _, masks := range maskCounts {
+		pts, err := scenario.MillionFlowSweep(scenario.SweepOptions{
+			Backends:      []string{"reference"},
+			Occupancies:   []int{occ},
+			TableSize:     1 << 20,
+			DistinctMasks: masks,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		maskPoints = append(maskPoints, pts...)
+	}
+	fmt.Print(scenario.RenderSweep(maskPoints))
 }
 
 func t2() {
-	header("T2 — resources quantification across programs (sdnet estimates)")
+	header("T2 — resources quantification across programs and backends")
 	programs := []struct{ name, src string }{
 		{"reflector", p4test.Reflector},
 		{"l2switch", p4test.L2Switch},
@@ -233,8 +276,8 @@ func t2() {
 		{"router-split", p4test.RouterSplit},
 		{"firewall", p4test.Firewall},
 	}
-	fmt.Printf("%-14s %10s %10s %8s %9s %9s %9s\n",
-		"program", "LUTs", "FFs", "BRAMs", "LUT%", "FF%", "BRAM%")
+	fmt.Printf("%-14s | %-12s | %-32s | %s\n",
+		"program", "reference", "sdnet (FPGA)", "tofino (ASIC)")
 	for _, p := range programs {
 		prog, err := compile.Compile(p.src)
 		if err != nil {
@@ -244,9 +287,17 @@ func t2() {
 		if err := sd.Load(prog); err != nil {
 			log.Fatal(err)
 		}
-		r := sd.Resources()
-		fmt.Printf("%-14s %10d %10d %8d %8.1f%% %8.1f%% %8.1f%%\n",
-			p.name, r.LUTs, r.FFs, r.BRAMs, r.LUTPct, r.FFPct, r.BRAMPct)
+		tf := target.NewTofino(target.DefaultTofinoErrata())
+		if err := tf.Load(prog); err != nil {
+			log.Fatal(err)
+		}
+		rs, rt := sd.Resources(), tf.Resources()
+		fmt.Printf("%-14s | %-12s | %-32s | %s\n",
+			p.name,
+			"0 (software)",
+			fmt.Sprintf("LUT %4.1f%%  FF %4.1f%%  BRAM %4.1f%%", rs.LUTPct, rs.FFPct, rs.BRAMPct),
+			fmt.Sprintf("stages %2d  SRAM %3d  TCAM %3d  PHV %4.1f%%",
+				rt.Stages, rt.SRAMBlocks, rt.TCAMBlocks, rt.PHVPct))
 	}
 }
 

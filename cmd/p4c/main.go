@@ -1,8 +1,8 @@
 // P4c is the P4 compiler driver: it parses and type-checks a program,
-// dumps the compiled IR, and prints the sdnet backend's resource estimate
-// and architectural verdict.
+// dumps the compiled IR, and prints the selected backend's resource
+// estimate and architectural verdict.
 //
-//	p4c [-target sdnet|reference] [-resources] [-verify] program.p4
+//	p4c [-target sdnet|sdnet-fixed|tofino|tofino-fixed|reference] [-resources] [-verify] program.p4
 package main
 
 import (
@@ -17,7 +17,7 @@ import (
 )
 
 var (
-	targetName = flag.String("target", "sdnet", "backend to load onto (sdnet, sdnet-fixed, reference)")
+	targetName = flag.String("target", "sdnet", "backend to load onto (sdnet, sdnet-fixed, tofino, tofino-fixed, reference)")
 	resources  = flag.Bool("resources", false, "print the resource estimate")
 	runVerify  = flag.Bool("verify", false, "run the formal-verification property suite")
 )
@@ -48,6 +48,10 @@ func main() {
 		tgt = target.NewSDNet(target.DefaultErrata())
 	case "sdnet-fixed":
 		tgt = target.NewSDNet(target.FixedErrata())
+	case "tofino":
+		tgt = target.NewTofino(target.DefaultTofinoErrata())
+	case "tofino-fixed":
+		tgt = target.NewTofino(target.FixedTofinoErrata())
 	default:
 		log.Fatalf("unknown target %q", *targetName)
 	}

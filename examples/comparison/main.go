@@ -1,7 +1,12 @@
-// Comparison exercises the comparison use case: two alternative
-// specifications of the same router — a monolithic single-table version
-// and a split next-hop/egress version — are validated against each other
-// by differential injection of identical test packets.
+// Comparison exercises the comparison use case along both axes:
+//
+//   - two alternative specifications of the same router — a monolithic
+//     single-table version and a split next-hop/egress version — are
+//     validated against each other by differential injection, and
+//   - one specification deployed on three hardware models (reference,
+//     SDNet with fixed errata, Tofino with fixed errata) is validated
+//     across backends, then the shipped SDNet flow is shown diverging
+//     exactly on malformed input.
 package main
 
 import (
@@ -85,4 +90,77 @@ func main() {
 		log.Fatal("specifications are not equivalent")
 	}
 	fmt.Println("the two specifications of the router are behaviourally equivalent")
+
+	compareBackends()
+}
+
+// compareBackends deploys the monolithic router on every hardware model
+// and differentially injects the same probe set: the erratum-free
+// backends must agree packet-for-packet, while the shipped SDNet flow
+// forwards malformed packets the others reject.
+func compareBackends() {
+	open := func(kind netdebug.TargetKind) *netdebug.System {
+		sys, err := netdebug.Open(p4test.Router, netdebug.Options{Target: kind})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.InstallEntry(netdebug.Entry{
+			Table:  "ipv4_lpm",
+			Keys:   []netdebug.KeyValue{{Value: netdebug.NewValue(0x0a000000, 32), PrefixLen: 8}},
+			Action: "ipv4_forward",
+			Args:   []netdebug.Value{netdebug.ValueFromBytes([]byte{2, 0, 0, 0, 0xff, 1}), netdebug.NewValue(1, 9)},
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return sys
+	}
+	ref := open(netdebug.TargetReference)
+	defer ref.Close()
+	fixed := map[netdebug.TargetKind]*netdebug.System{
+		netdebug.TargetSDNetFixed:  open(netdebug.TargetSDNetFixed),
+		netdebug.TargetTofinoFixed: open(netdebug.TargetTofinoFixed),
+	}
+	src := packet.MAC{2, 0, 0, 0, 0, 0xaa}
+	dst := packet.MAC{2, 0, 0, 0, 0, 0xbb}
+	divergences := 0
+	for i := 0; i < 200; i++ {
+		frame := packet.BuildUDPv4(src, dst, packet.IPv4Addr{10, 0, 0, 1},
+			packet.IPv4Addr{10, 0, byte(i % 256), 9}, uint16(6000+i), 53, []byte{byte(i)})
+		if i%9 == 8 {
+			frame[14] = 0x65 // malformed: every conforming backend rejects
+		}
+		ra := ref.Device().InjectInternal(frame, 0, ref.Device().Now(), false)
+		refDropped := ra.Dropped()
+		refPort := uint64(0)
+		if !refDropped {
+			refPort = ra.Outputs[0].Port
+		}
+		for kind, sys := range fixed {
+			rb := sys.Device().InjectInternal(frame, 0, sys.Device().Now(), false)
+			if rb.Dropped() != refDropped || (!refDropped && rb.Outputs[0].Port != refPort) {
+				divergences++
+				fmt.Printf("probe %3d DIVERGES on %s\n", i, kind)
+			}
+		}
+	}
+	for _, sys := range fixed {
+		sys.Close()
+	}
+	fmt.Printf("cross-backend comparison: 200 probes x 2 fixed backends, %d divergences\n", divergences)
+	if divergences != 0 {
+		log.Fatal("erratum-free backends are not equivalent")
+	}
+
+	// The shipped SDNet flow, by contrast, forwards what the others drop.
+	shipped := open(netdebug.TargetSDNet)
+	defer shipped.Close()
+	bad := packet.BuildUDPv4(src, dst, packet.IPv4Addr{10, 0, 0, 1}, packet.IPv4Addr{10, 0, 1, 2}, 4000, 53, nil)
+	bad[14] = 0x65
+	ra := ref.Device().InjectInternal(bad, 0, ref.Device().Now(), false)
+	rb := shipped.Device().InjectInternal(bad, 0, shipped.Device().Now(), false)
+	if ra.Dropped() && !rb.Dropped() {
+		fmt.Println("shipped sdnet flow diverges on malformed input (reject erratum) — comparison localizes the buggy backend")
+	} else {
+		log.Fatal("expected the shipped sdnet flow to forward malformed input")
+	}
 }

@@ -77,6 +77,9 @@ type Request struct {
 type ResourcesMsg struct {
 	LUTs, FFs, BRAMs       int
 	LUTPct, FFPct, BRAMPct float64
+	// ASIC-style fields, populated by fixed-pipeline targets (Tofino).
+	Stages, SRAMBlocks, TCAMBlocks, PHVBits int
+	StagePct, SRAMPct, TCAMPct, PHVPct      float64
 }
 
 // HelloInfo describes the device.

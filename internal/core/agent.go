@@ -163,6 +163,10 @@ func (a *Agent) Handle(req *control.Request) *control.Response {
 		return &control.Response{Resources: &control.ResourcesMsg{
 			LUTs: r.LUTs, FFs: r.FFs, BRAMs: r.BRAMs,
 			LUTPct: r.LUTPct, FFPct: r.FFPct, BRAMPct: r.BRAMPct,
+			Stages: r.Stages, SRAMBlocks: r.SRAMBlocks,
+			TCAMBlocks: r.TCAMBlocks, PHVBits: r.PHVBits,
+			StagePct: r.StagePct, SRAMPct: r.SRAMPct,
+			TCAMPct: r.TCAMPct, PHVPct: r.PHVPct,
 		}}
 	case control.ReqConfigureGen:
 		spec, err := DecodeTestSpec(req.Spec)

@@ -194,6 +194,38 @@ func (e *Engine) SetTableCapacity(name string, capacity int) error {
 	return nil
 }
 
+// SetTernaryTieBreak selects the equal-priority resolution order of a
+// ternary table: lifo=false is the P4 reference rule (first installed
+// wins), lifo=true models hardware whose table driver resolves ties
+// newest-entry-first. Like SetTableCapacity this is a target hook; it
+// must be called before entries are installed, because the tuple-space
+// index resolves same-group dominance at install time.
+func (e *Engine) SetTernaryTieBreak(name string, lifo bool) error {
+	ts, ok := e.tables[name]
+	if !ok {
+		return fmt.Errorf("dataplane: no table %q", name)
+	}
+	if ts.kind != kindTernary {
+		return fmt.Errorf("dataplane: table %q is not ternary", name)
+	}
+	if ts.count > 0 {
+		return fmt.Errorf("dataplane: table %q: tie-break must be set before entries are installed", name)
+	}
+	ts.tieLIFO = lifo
+	return nil
+}
+
+// TernaryGroupCount returns the number of distinct mask tuples in a
+// ternary table's tuple-space index — the per-lookup probe count, and
+// the quantity the occupancy sweep's mask-diversity axis measures. It
+// returns 0 for non-ternary or unknown tables.
+func (e *Engine) TernaryGroupCount(name string) int {
+	if ts, ok := e.tables[name]; ok {
+		return len(ts.groups)
+	}
+	return 0
+}
+
 // NewContext allocates a context sized for the program.
 func (e *Engine) NewContext() *Context {
 	ctx := &Context{}

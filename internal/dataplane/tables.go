@@ -95,6 +95,11 @@ type tableState struct {
 	// map index converts it with string(keyBuf), which the compiler
 	// performs without allocating.
 	keyBuf []byte
+	// tieLIFO inverts the ternary equal-priority tie-break from
+	// first-installed-wins (the P4 reference rule) to
+	// newest-installed-wins — the resolution quirk some hardware table
+	// drivers exhibit. Targets set it through Engine.SetTernaryTieBreak.
+	tieLIFO bool
 	// hit/miss are this table's counters, precomputed by the engine so
 	// the hot path never builds counter-name strings.
 	hit, miss *stats.Counter
@@ -124,11 +129,18 @@ func newTableState(def *ir.Table) *tableState {
 	return ts
 }
 
-// beats reports whether entry a wins over entry b under the ternary
-// resolution rule: higher priority first, then earlier install order.
-func beats(a, b *boundEntry) bool {
+// beats reports whether entry a wins over entry b under the table's
+// ternary resolution rule: higher priority first, then install order —
+// earliest wins under the P4 reference rule, newest wins when the
+// tieLIFO quirk is enabled. The mode must be chosen before entries are
+// installed: the tuple-space index resolves same-group dominance at
+// install time.
+func (ts *tableState) beats(a, b *boundEntry) bool {
 	if a.Priority != b.Priority {
 		return a.Priority > b.Priority
+	}
+	if ts.tieLIFO {
+		return a.order > b.order
 	}
 	return a.order < b.order
 }
@@ -273,7 +285,7 @@ func (ts *tableState) insertGroup(be *boundEntry) {
 	}
 	ts.maskBuf = appendKeyBytes(ts.maskBuf[:0], be.want, -1)
 	ek := string(ts.maskBuf)
-	if cur, ok := g.entries[ek]; !ok || beats(be, cur) {
+	if cur, ok := g.entries[ek]; !ok || ts.beats(be, cur) {
 		g.entries[ek] = be
 	}
 }
@@ -298,7 +310,7 @@ func (ts *tableState) lookupTernary(vals []bitfield.Value) *boundEntry {
 			buf = vals[i].And(g.masks[i]).AppendBytes(buf)
 		}
 		ts.maskBuf = buf
-		if be := g.entries[string(buf)]; be != nil && (best == nil || beats(be, best)) {
+		if be := g.entries[string(buf)]; be != nil && (best == nil || ts.beats(be, best)) {
 			best = be
 		}
 	}
@@ -312,7 +324,7 @@ func (ts *tableState) lookupTernary(vals []bitfield.Value) *boundEntry {
 func (ts *tableState) lookupTernaryLinear(vals []bitfield.Value) *boundEntry {
 	if !ts.ternarySorted {
 		sort.SliceStable(ts.ternary, func(i, j int) bool {
-			return beats(ts.ternary[i], ts.ternary[j])
+			return ts.beats(ts.ternary[i], ts.ternary[j])
 		})
 		ts.ternarySorted = true
 	}

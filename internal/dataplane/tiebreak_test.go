@@ -1,0 +1,124 @@
+package dataplane
+
+// Tests for the ternary tie-break hook (Engine.SetTernaryTieBreak) and
+// the tuple-group accessor (Engine.TernaryGroupCount) that hardware
+// targets use: LIFO resolution must invert only the equal-priority
+// order, must hold identically on the tuple-space index and the linear
+// reference scan, and must be rejected once entries exist.
+
+import (
+	"math/rand"
+	"testing"
+
+	"netdebug/internal/bitfield"
+	"netdebug/internal/p4/ir"
+	"netdebug/internal/p4/p4test"
+)
+
+// twoOverlapping installs two entries with equal priority that both
+// match the all-zero key: a match-any entry first, then an exact-zero
+// entry in a different mask group.
+func twoOverlapping(t *testing.T, ts *tableState, act *ir.Action) (first, second *boundEntry) {
+	t.Helper()
+	entries := []Entry{
+		{Table: "synth", Action: "act", Priority: 2,
+			Keys: []KeyValue{{Value: bitfield.New(0, 32), Mask: bitfield.New(0, 32)}}},
+		{Table: "synth", Action: "act", Priority: 2,
+			Keys: []KeyValue{{Value: bitfield.New(0, 32), Mask: bitfield.Mask(32)}}},
+	}
+	for _, e := range entries {
+		if err := ts.install(e, act); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ts.ternary[0], ts.ternary[1]
+}
+
+func TestTernaryTieBreakLIFO(t *testing.T) {
+	probe := []bitfield.Value{bitfield.New(0, 32)}
+
+	fifo, act := synthTable([]synthKey{{32, ir.MatchTernary}}, 64)
+	first, _ := twoOverlapping(t, fifo, act)
+	if got := fifo.lookup(probe); got != first {
+		t.Fatalf("FIFO: want the first-installed entry, got order %d", got.order)
+	}
+	if got := fifo.lookupTernaryLinear(probe); got != first {
+		t.Fatalf("FIFO linear: got order %d", got.order)
+	}
+
+	lifo, act := synthTable([]synthKey{{32, ir.MatchTernary}}, 64)
+	lifo.tieLIFO = true
+	_, second := twoOverlapping(t, lifo, act)
+	if got := lifo.lookup(probe); got != second {
+		t.Fatalf("LIFO: want the newest entry, got order %d", got.order)
+	}
+	if got := lifo.lookupTernaryLinear(probe); got != second {
+		t.Fatalf("LIFO linear: got order %d", got.order)
+	}
+
+	// Priorities still dominate the install order in either mode.
+	hi := Entry{Table: "synth", Action: "act", Priority: 7,
+		Keys: []KeyValue{{Value: bitfield.New(0, 32), Mask: bitfield.New(0, 32)}}}
+	if err := lifo.install(hi, act); err != nil {
+		t.Fatal(err)
+	}
+	if got := lifo.lookup(probe); got.Priority != 7 {
+		t.Fatalf("priority must outrank LIFO order, got priority %d", got.Priority)
+	}
+}
+
+// TestTernaryTieBreakDifferential re-runs the tuple-space-vs-linear
+// differential under LIFO resolution: both paths must still agree on
+// every probe, including same-group dominance resolved at install time.
+func TestTernaryTieBreakDifferential(t *testing.T) {
+	keys := []synthKey{{32, ir.MatchTernary}, {16, ir.MatchTernary}}
+	rng := rand.New(rand.NewSource(42))
+	ts, act := synthTable(keys, 4096)
+	ts.tieLIFO = true
+	installRandom(t, ts, act, keys, 600, rng)
+	for i := 0; i < 2000; i++ {
+		probe := []bitfield.Value{randVal(rng, 32), randVal(rng, 16)}
+		if i%2 == 0 && len(ts.ternary) > 0 {
+			src := ts.ternary[rng.Intn(len(ts.ternary))]
+			probe = []bitfield.Value{src.Keys[0].Value, src.Keys[1].Value}
+		}
+		fast := ts.lookupTernary(probe)
+		slow := ts.lookupTernaryLinear(probe)
+		if fast != slow {
+			t.Fatalf("probe %d: tuple-space and linear disagree under LIFO: %v vs %v", i, fast, slow)
+		}
+	}
+}
+
+func TestEngineTieBreakHook(t *testing.T) {
+	eng := mustEngine(t, p4test.Firewall)
+	if err := eng.SetTernaryTieBreak("acl", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetTernaryTieBreak("routing", true); err == nil {
+		t.Fatal("routing is LPM; tie-break must be rejected")
+	}
+	if err := eng.SetTernaryTieBreak("nosuch", true); err == nil {
+		t.Fatal("unknown table must error")
+	}
+	anyAddr := bitfield.New(0, 32)
+	if err := eng.InstallEntry(Entry{
+		Table: "acl", Action: "allow",
+		Keys: []KeyValue{
+			{Value: anyAddr, Mask: anyAddr},
+			{Value: anyAddr, Mask: anyAddr},
+			{Value: bitfield.New(0, 16), Mask: bitfield.New(0, 16)},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetTernaryTieBreak("acl", false); err == nil {
+		t.Fatal("tie-break change after installs must be rejected")
+	}
+	if got := eng.TernaryGroupCount("acl"); got != 1 {
+		t.Fatalf("group count = %d, want 1", got)
+	}
+	if got := eng.TernaryGroupCount("routing"); got != 0 {
+		t.Fatalf("LPM table group count = %d, want 0", got)
+	}
+}

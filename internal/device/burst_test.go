@@ -30,21 +30,41 @@ func burstFrames(n int) [][]byte {
 // device and returns both.
 func runPair(t *testing.T, n int, prep func(d *Device)) (seq, burst *Device) {
 	t.Helper()
+	return runPairOn(t, n, prep, target.NewReference, target.NewReference)
+}
+
+func runPairOn(t *testing.T, n int, prep func(d *Device), mkSeq, mkBurst func() target.Target) (seq, burst *Device) {
+	t.Helper()
 	frames := burstFrames(n)
 	interval := 800 * time.Nanosecond
-	seq = newRouterDevice(t, target.NewReference())
+	seq = newRouterDevice(t, mkSeq())
 	prep(seq)
 	for i, f := range frames {
 		if err := seq.SendExternal(0, f, time.Duration(i)*interval); err != nil {
 			t.Fatal(err)
 		}
 	}
-	burst = newRouterDevice(t, target.NewReference())
+	burst = newRouterDevice(t, mkBurst())
 	prep(burst)
 	if err := burst.SendExternalBurst(0, frames, 0, interval); err != nil {
 		t.Fatal(err)
 	}
 	return seq, burst
+}
+
+// TestBurstMatchesSequentialTofino re-runs the burst-equivalence check
+// on the tofino backend, whose latency model and table hooks must not
+// disturb the device contract.
+func TestBurstMatchesSequentialTofino(t *testing.T) {
+	mk := func() target.Target { return target.NewTofino(target.DefaultTofinoErrata()) }
+	seq, burst := runPairOn(t, 20, func(*Device) {}, mk, mk)
+	assertSameCaptures(t, seq, burst, 1)
+	ss, sb := seq.Status(), burst.Status()
+	for k, v := range ss {
+		if sb[k] != v {
+			t.Errorf("status %q: %d (seq) vs %d (burst)", k, v, sb[k])
+		}
+	}
 }
 
 func assertSameCaptures(t *testing.T, seq, burst *Device, port int) {

@@ -38,6 +38,15 @@ type Config struct {
 	// QueueDepth is the per-port output queue capacity in frames
 	// (default 128).
 	QueueDepth int
+	// DisableCapture turns off external frame capture: Captures returns
+	// nothing and the TX path stops copying every transmitted frame.
+	// Capture is the only consumer that needs ownership of frame bytes
+	// (taps observe synchronously and must not retain), so workloads
+	// that read status registers or taps instead of captures — the
+	// NetDebug attachment model — save the per-frame copy, leaving the
+	// external send path allocation-free in steady state. Toggle at
+	// runtime with SetCaptureEnabled.
+	DisableCapture bool
 	// Target is the loaded data plane under test.
 	Target target.Target
 }
@@ -174,6 +183,9 @@ type Device struct {
 	// per-frame RX-complete timestamps, reused across bursts.
 	batchData [][]byte
 	batchAt   []time.Duration
+	// captureOn gates frame retention on the TX path; see
+	// Config.DisableCapture.
+	captureOn bool
 
 	cDropped, cInjected, cFaults, cBadPort *stats.Counter
 }
@@ -188,9 +200,10 @@ func New(cfg Config) (*Device, error) {
 		return nil, fmt.Errorf("device: target has no loaded program")
 	}
 	d := &Device{
-		cfg:      cfg,
-		taps:     make(map[TapPoint][]TapFunc),
-		Counters: stats.NewSet(),
+		cfg:       cfg,
+		taps:      make(map[TapPoint][]TapFunc),
+		Counters:  stats.NewSet(),
+		captureOn: !cfg.DisableCapture,
 	}
 	d.cDropped = d.Counters.Counter("dataplane.dropped")
 	d.cInjected = d.Counters.Counter("netdebug.injected")
@@ -297,8 +310,19 @@ func (d *Device) SendExternal(port int, frame []byte, at time.Duration) error {
 	}
 	rxDone := at + d.wireTime(len(frame))
 	d.fire(TapEvent{Point: TapMACIn, Port: port, Data: data, At: rxDone})
-	d.processAndQueue(data, uint64(port), rxDone, true)
+	d.processAndQueue(data, uint64(port), rxDone, d.wantExternalTrace())
 	return nil
+}
+
+// wantExternalTrace reports whether any consumer can observe a
+// data-plane execution record on the externally-injected path: only
+// TapDataplaneOut callbacks receive the Result, so with no tap
+// installed the per-packet trace recording (parser path, table events)
+// is pure allocation overhead and is skipped. Internal injection
+// (InjectInternal) returns its Result to the caller and keeps its
+// explicit trace parameter.
+func (d *Device) wantExternalTrace() bool {
+	return len(d.taps[TapDataplaneOut]) > 0
 }
 
 // SendExternalBurst delivers a burst of frames to one external port,
@@ -338,7 +362,7 @@ func (d *Device) SendExternalBurst(port int, frames [][]byte, start, interval ti
 	if len(d.batchData) == 0 {
 		return nil
 	}
-	results := d.cfg.Target.ProcessBatch(d.batchData, uint64(port), true)
+	results := d.cfg.Target.ProcessBatch(d.batchData, uint64(port), d.wantExternalTrace())
 	for i := range results {
 		res := &results[i]
 		rxDone := d.batchAt[i]
@@ -440,11 +464,25 @@ func (d *Device) enqueue(port int, data []byte, ready time.Duration) {
 	d.AdvanceTo(txDone)
 	p.cTxFrames.Inc()
 	d.fire(TapEvent{Point: TapMACOut, Port: port, Data: data, At: txDone})
-	p.captures = append(p.captures, CapturedFrame{
-		Data: append([]byte(nil), data...),
-		At:   txDone,
-	})
+	// Only the capture store retains frame bytes beyond this call (data
+	// aliases the target's per-packet scratch; taps observe it
+	// synchronously without keeping it), so the copy is made only when
+	// capture needs ownership.
+	if d.captureOn {
+		p.captures = append(p.captures, CapturedFrame{
+			Data: append([]byte(nil), data...),
+			At:   txDone,
+		})
+	}
 }
+
+// SetCaptureEnabled toggles external frame capture at runtime; see
+// Config.DisableCapture. Frames transmitted while capture is off are
+// not retained (counters and taps still see them).
+func (d *Device) SetCaptureEnabled(on bool) { d.captureOn = on }
+
+// CaptureEnabled reports whether external frame capture is on.
+func (d *Device) CaptureEnabled() bool { return d.captureOn }
 
 // Captures drains and returns the frames transmitted on a port since the
 // last call — what an external tester's capture port sees.

@@ -75,6 +75,114 @@ func TestForwardExternalToExternal(t *testing.T) {
 	}
 }
 
+// TestCaptureDisabledSkipsRetention: with capture off the TX path stops
+// copying frames — counters and taps still observe every frame, and the
+// external send path becomes allocation-free in steady state.
+func TestCaptureDisabledSkipsRetention(t *testing.T) {
+	prog, err := compile.Compile(p4test.Router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := target.NewReference()
+	if err := tg.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := tg.InstallEntry(dataplane.Entry{
+		Table:  "ipv4_lpm",
+		Keys:   []dataplane.KeyValue{{Value: bitfield.New(0x0a000000, 32), PrefixLen: 8}},
+		Action: "ipv4_forward",
+		Args:   []bitfield.Value{bitfield.FromBytes(gw[:]), bitfield.New(1, 9)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(Config{Target: tg, DisableCapture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tapped := 0
+	d.Tap(TapMACOut, func(ev TapEvent) {
+		if len(ev.Data) > 0 {
+			tapped++
+		}
+	})
+	frame := testFrame(64)
+	if err := d.SendExternal(0, frame, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Captures(1); len(got) != 0 {
+		t.Fatalf("capture disabled but %d frames retained", len(got))
+	}
+	if tapped != 1 {
+		t.Fatalf("MACOut tap fired %d times, want 1", tapped)
+	}
+	if got := d.Status()["port1.tx.frames"]; got != 1 {
+		t.Fatalf("tx.frames = %d, want 1", got)
+	}
+
+	// Steady state: no allocations on the external path without capture
+	// (race instrumentation allocates, so the floor is only asserted on
+	// the plain job).
+	if !raceEnabled {
+		allocs := testing.AllocsPerRun(200, func() {
+			if err := d.SendExternal(0, frame, d.Now()); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 0 {
+			t.Errorf("SendExternal with capture off: %v allocs/frame, want 0", allocs)
+		}
+	}
+
+	// Re-enabling restores retention.
+	d.SetCaptureEnabled(true)
+	if !d.CaptureEnabled() {
+		t.Fatal("capture not re-enabled")
+	}
+	if err := d.SendExternal(0, frame, d.Now()); err != nil {
+		t.Fatal(err)
+	}
+	caps := d.Captures(1)
+	if len(caps) != 1 {
+		t.Fatalf("capture re-enabled but %d frames retained", len(caps))
+	}
+	if eth := caps[0].Data; len(eth) != len(frame) {
+		t.Fatalf("retained frame truncated: %d bytes", len(eth))
+	}
+}
+
+func BenchmarkDeviceForwardNoCapture(b *testing.B) {
+	tg := target.NewReference()
+	prog, err := compile.Compile(p4test.Router)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tg.Load(prog); err != nil {
+		b.Fatal(err)
+	}
+	if err := tg.InstallEntry(dataplane.Entry{
+		Table:  "ipv4_lpm",
+		Keys:   []dataplane.KeyValue{{Value: bitfield.New(0x0a000000, 32), PrefixLen: 8}},
+		Action: "ipv4_forward",
+		Args:   []bitfield.Value{bitfield.FromBytes(gw[:]), bitfield.New(1, 9)},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	d, err := New(Config{Target: tg, DisableCapture: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := testFrame(26)
+	d.SendExternal(0, frame, 0)
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.SendExternal(0, frame, d.Now()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func TestWireTimeLatency(t *testing.T) {
 	d := newRouterDevice(t, target.NewReference())
 	frame := testFrame(1000)

@@ -522,3 +522,17 @@ control RDeparser(packet_out pkt, in headers_t hdr) {
 
 V1Switch(RParser(), RIngress(), RDeparser()) main;
 `
+
+// BigExactTable declares a single exact-match table far larger (4096
+// entries) than a small test pipeline geometry can place — shared by
+// the target placement tests and the architecture-check scenarios.
+const BigExactTable = `
+header k_t { bit<32> dst; } struct hs { k_t k; }
+parser P(packet_in p, out hs hdr) { state start { p.extract(hdr.k); transition accept; } }
+control I(inout hs hdr, inout standard_metadata_t sm) {
+  action fwd(bit<9> port) { sm.egress_spec = port; }
+  table big { key = { hdr.k.dst: exact; } actions = { fwd; NoAction; } size = 4096; }
+  apply { big.apply(); }
+}
+control D(packet_out p, in hs hdr) { apply { p.emit(hdr.k); } }
+S(P(), I(), D()) main;`

@@ -4,11 +4,14 @@ package scenario
 // off if the simulated data plane behaves like hardware at realistic
 // table occupancies, so this workload populates exact, LPM, and ternary
 // tables at 10^2..10^6 entries per target backend and measures lookup
-// latency and memory versus occupancy. On the SDNet backend the
-// usable-capacity erratum (declared size scaled to ~90%) trips mid-sweep
-// exactly as the architecture-check use case predicts: the full-occupancy
-// point cannot be installed, and the sweep records the finding instead of
-// failing.
+// latency and memory versus occupancy. Each backend's capacity model
+// trips mid-sweep exactly as the architecture-check use case predicts —
+// SDNet's usable-capacity erratum clips installs to ~90% of declared
+// size at 10^6, and Tofino's per-stage placement grants clip the SRAM
+// tables near 491k and the TCAM table near 74k — and the sweep records
+// each finding instead of failing. A distinct-mask-count axis measures
+// the tuple-space lookup's degradation toward the linear scan as mask
+// diversity approaches the entry count.
 
 import (
 	"errors"
@@ -59,7 +62,7 @@ var SweepTables = []string{"t_exact", "t_lpm", "t_acl"}
 // SweepOptions configures MillionFlowSweep.
 type SweepOptions struct {
 	// Backends are the target backends to sweep; empty means
-	// {"reference", "sdnet"}.
+	// {"reference", "sdnet", "tofino"}.
 	Backends []string
 	// Occupancies are the per-table entry counts; empty means
 	// 10^2..10^6 in decades.
@@ -74,11 +77,17 @@ type SweepOptions struct {
 	// BatchSize is the burst size driven through the batched target
 	// path; 0 means 256.
 	BatchSize int
+	// DistinctMasks is the number of distinct mask tuples the ternary
+	// table's entries cycle through; 0 means 8, the "few templates,
+	// many flows" shape of real ACLs. Raising it toward the entry count
+	// degrades the tuple-space lookup toward the linear scan — the
+	// worst case this parameter exists to measure.
+	DistinctMasks int
 }
 
 func (o *SweepOptions) fill() {
 	if len(o.Backends) == 0 {
-		o.Backends = []string{"reference", "sdnet"}
+		o.Backends = []string{"reference", "sdnet", "tofino"}
 	}
 	if len(o.Occupancies) == 0 {
 		o.Occupancies = []int{100, 1000, 10000, 100000, 1000000}
@@ -92,12 +101,20 @@ func (o *SweepOptions) fill() {
 	if o.BatchSize == 0 {
 		o.BatchSize = 256
 	}
+	if o.DistinctMasks == 0 {
+		o.DistinctMasks = len(aclMaskTemplates)
+	}
 }
 
 // SweepPoint is one (backend, occupancy) measurement.
 type SweepPoint struct {
 	Backend   string
 	Occupancy int
+	// DistinctMasks is the mask-diversity setting the point ran with.
+	DistinctMasks int
+	// MaskGroups is the number of distinct mask tuples actually indexed
+	// in the ternary table — the per-lookup tuple-space probe count.
+	MaskGroups int
 	// Installed maps table name to the number of entries actually
 	// installed — below Occupancy when the backend's usable capacity
 	// tripped first.
@@ -124,15 +141,54 @@ func newSweepTarget(name string) (target.Target, error) {
 		return target.NewSDNet(target.DefaultErrata()), nil
 	case "sdnet-fixed":
 		return target.NewSDNet(target.FixedErrata()), nil
+	case "tofino":
+		return target.NewTofino(target.DefaultTofinoErrata()), nil
+	case "tofino-fixed":
+		return target.NewTofino(target.FixedTofinoErrata()), nil
 	}
 	return nil, fmt.Errorf("scenario: unknown sweep backend %q", name)
 }
 
+// aclMaskTemplates is the default pool of ternary mask tuples — the
+// "few templates, many flows" shape of real ACLs.
+var aclMaskTemplates = func() [][3]bitfield.Value {
+	fullDst := bitfield.Mask(32)
+	fullSrc := bitfield.Mask(32)
+	fullPort := bitfield.Mask(16)
+	none32 := bitfield.New(0, 32)
+	return [][3]bitfield.Value{
+		{fullDst, fullSrc, fullPort},
+		{fullDst, fullSrc, bitfield.New(0, 16)},
+		{fullDst, none32, fullPort},
+		{bitfield.Mask(32).Shl(8).WithWidth(32), fullSrc, fullPort},
+		{fullDst, bitfield.Mask(32).Shl(16).WithWidth(32), bitfield.New(0, 16)},
+		{bitfield.Mask(32).Shl(4).WithWidth(32), none32, fullPort},
+		{fullDst, bitfield.Mask(32).Shl(24).WithWidth(32), fullPort},
+		{bitfield.Mask(32).Shl(12).WithWidth(32), fullSrc, bitfield.New(0, 16)},
+	}
+}()
+
+// aclMaskTuple returns the j-th distinct mask tuple. The first
+// len(aclMaskTemplates) tuples come from the realistic template pool;
+// beyond that, tuples are generated by encoding j into the port and dst
+// masks, so every j below 2^32 yields a distinct tuple — the knob that
+// drives the tuple-space index toward its linear-scan worst case.
+func aclMaskTuple(j int) [3]bitfield.Value {
+	if j < len(aclMaskTemplates) {
+		return aclMaskTemplates[j]
+	}
+	return [3]bitfield.Value{
+		bitfield.New(0xffff0000|uint64(j>>16)&0xffff, 32),
+		bitfield.Mask(32),
+		bitfield.New(uint64(j)&0xffff, 16),
+	}
+}
+
 // sweepEntry builds the i-th deterministic entry for a table. Exact and
 // LPM entries use distinct dst values; ternary entries cycle through a
-// small pool of mask templates (the "few templates, many flows" shape of
-// real ACLs) with distinct masked values and a handful of priorities.
-func sweepEntry(table string, i int) dataplane.Entry {
+// pool of `masks` distinct mask tuples (see aclMaskTuple) with distinct
+// masked values and a handful of priorities.
+func sweepEntry(table string, i, masks int) dataplane.Entry {
 	dst := bitfield.New(uint64(i), 32)
 	switch table {
 	case "t_exact":
@@ -154,21 +210,7 @@ func sweepEntry(table string, i int) dataplane.Entry {
 			Args: []bitfield.Value{bitfield.New(uint64(i%4), 9)},
 		}
 	default: // t_acl
-		fullDst := bitfield.Mask(32)
-		fullSrc := bitfield.Mask(32)
-		fullPort := bitfield.Mask(16)
-		none32 := bitfield.New(0, 32)
-		masks := [][3]bitfield.Value{
-			{fullDst, fullSrc, fullPort},
-			{fullDst, fullSrc, bitfield.New(0, 16)},
-			{fullDst, none32, fullPort},
-			{bitfield.Mask(32).Shl(8).WithWidth(32), fullSrc, fullPort},
-			{fullDst, bitfield.Mask(32).Shl(16).WithWidth(32), bitfield.New(0, 16)},
-			{bitfield.Mask(32).Shl(4).WithWidth(32), none32, fullPort},
-			{fullDst, bitfield.Mask(32).Shl(24).WithWidth(32), fullPort},
-			{bitfield.Mask(32).Shl(12).WithWidth(32), fullSrc, bitfield.New(0, 16)},
-		}
-		m := masks[i%len(masks)]
+		m := aclMaskTuple(i % masks)
 		return dataplane.Entry{
 			Table: table, Action: "fwd", Priority: i % 4,
 			Keys: []dataplane.KeyValue{
@@ -214,6 +256,11 @@ func MillionFlowSweep(opts SweepOptions) ([]SweepPoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario: million-flow program: %w", err)
 	}
+	for _, occ := range opts.Occupancies {
+		if occ < 1 {
+			return nil, fmt.Errorf("scenario: sweep occupancy %d is not positive", occ)
+		}
+	}
 	var points []SweepPoint
 	for _, backend := range opts.Backends {
 		for _, occ := range opts.Occupancies {
@@ -224,13 +271,17 @@ func MillionFlowSweep(opts SweepOptions) ([]SweepPoint, error) {
 			if err := tgt.Load(prog); err != nil {
 				return nil, fmt.Errorf("scenario: %s load: %w", backend, err)
 			}
-			pt := SweepPoint{Backend: backend, Occupancy: occ, Installed: map[string]int{}}
+			pt := SweepPoint{
+				Backend: backend, Occupancy: occ,
+				DistinctMasks: opts.DistinctMasks,
+				Installed:     map[string]int{},
+			}
 			heapBefore := heapInUse()
 			installStart := time.Now()
 			installs := 0
 			for _, table := range SweepTables {
 				for i := 0; i < occ; i++ {
-					if err := tgt.InstallEntry(sweepEntry(table, i)); err != nil {
+					if err := tgt.InstallEntry(sweepEntry(table, i, opts.DistinctMasks)); err != nil {
 						var capErr *dataplane.CapacityError
 						if errors.As(err, &capErr) {
 							pt.CapacityNote = appendNote(pt.CapacityNote, fmt.Sprintf(
@@ -247,6 +298,7 @@ func MillionFlowSweep(opts SweepOptions) ([]SweepPoint, error) {
 			if installs > 0 {
 				pt.InstallNs = float64(time.Since(installStart).Nanoseconds()) / float64(installs)
 			}
+			pt.MaskGroups = tgt.TernaryGroups("t_acl")
 			if after := heapInUse(); after > heapBefore {
 				pt.HeapBytes = after - heapBefore
 			}
@@ -285,8 +337,8 @@ func appendNote(cur, add string) string {
 // RenderSweep formats sweep points as the occupancy-sweep figure table.
 func RenderSweep(points []SweepPoint) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %10s %10s %12s %12s %10s  %s\n",
-		"backend", "occupancy", "installed", "install/ns", "lookup/ns", "heap", "finding")
+	fmt.Fprintf(&b, "%-12s %10s %10s %8s %12s %12s %10s  %s\n",
+		"backend", "occupancy", "installed", "masks", "install/ns", "lookup/ns", "heap", "finding")
 	for _, pt := range points {
 		installed := 0
 		for _, table := range SweepTables {
@@ -298,8 +350,8 @@ func RenderSweep(points []SweepPoint) string {
 		if note == "" {
 			note = "-"
 		}
-		fmt.Fprintf(&b, "%-12s %10d %10d %12.0f %12.0f %9.1fM  %s\n",
-			pt.Backend, pt.Occupancy, installed, pt.InstallNs, pt.LookupNs,
+		fmt.Fprintf(&b, "%-12s %10d %10d %8d %12.0f %12.0f %9.1fM  %s\n",
+			pt.Backend, pt.Occupancy, installed, pt.MaskGroups, pt.InstallNs, pt.LookupNs,
 			float64(pt.HeapBytes)/1e6, note)
 	}
 	return b.String()

@@ -74,6 +74,87 @@ func TestMillionFlowSweepSDNetCapacityTrips(t *testing.T) {
 	}
 }
 
+// TestMillionFlowSweepMaskDiversity drives the distinct-mask-count
+// axis: with the default template pool the tuple-space index holds a
+// handful of groups regardless of occupancy; with mask diversity equal
+// to the entry count every entry is its own group and the lookup
+// degrades toward the linear scan.
+func TestMillionFlowSweepMaskDiversity(t *testing.T) {
+	run := func(masks int) SweepPoint {
+		points, err := MillionFlowSweep(SweepOptions{
+			Backends:      []string{"reference"},
+			Occupancies:   []int{2000},
+			TableSize:     1 << 12,
+			Probes:        512,
+			BatchSize:     128,
+			DistinctMasks: masks,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return points[0]
+	}
+	few := run(0) // default template pool
+	if few.MaskGroups != len(aclMaskTemplates) {
+		t.Errorf("default sweep: %d mask groups, want %d", few.MaskGroups, len(aclMaskTemplates))
+	}
+	diverse := run(2000)
+	if diverse.DistinctMasks != 2000 || diverse.MaskGroups != 2000 {
+		t.Errorf("diverse sweep: masks=%d groups=%d, want 2000 distinct groups",
+			diverse.DistinctMasks, diverse.MaskGroups)
+	}
+	// 2000 tuple probes per lookup vs 8: the degradation must be
+	// measurable, not just noted.
+	if diverse.LookupNs <= few.LookupNs {
+		t.Errorf("mask diversity did not degrade lookup: %0.f ns (2000 masks) vs %.0f ns (8 masks)",
+			diverse.LookupNs, few.LookupNs)
+	}
+	if out := RenderSweep([]SweepPoint{few, diverse}); !strings.Contains(out, "masks") {
+		t.Errorf("render missing mask-group column:\n%s", out)
+	}
+}
+
+// TestMillionFlowSweepTofinoPlacementTrips checks the third backend
+// column: against the default 2^20 declared size, the Tofino placement
+// model grants the ternary table 144 row-groups of TCAM (73728
+// entries), so an 80k occupancy trips its per-stage placement limit at
+// an occupancy where SDNet's usable-capacity erratum (943718 usable)
+// installs everything.
+func TestMillionFlowSweepTofinoPlacementTrips(t *testing.T) {
+	points, err := MillionFlowSweep(SweepOptions{
+		Backends:    []string{"tofino", "sdnet"},
+		Occupancies: []int{512, 80000},
+		Probes:      256,
+		BatchSize:   64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tofinoLow, tofinoHigh, sdnetHigh := points[0], points[1], points[3]
+	if tofinoLow.CapacityNote != "" {
+		t.Errorf("tofino@512: capacity tripped early: %q", tofinoLow.CapacityNote)
+	}
+	if tofinoHigh.CapacityNote == "" {
+		t.Fatal("tofino@80000: placement limit did not trip")
+	}
+	if got := tofinoHigh.Installed["t_acl"]; got != 73728 {
+		t.Errorf("tofino@80000: t_acl installed %d, want the 73728-entry TCAM grant", got)
+	}
+	// The SRAM tables' water-filled share (491520) is far above this
+	// occupancy: only the TCAM table clips.
+	for _, table := range []string{"t_exact", "t_lpm"} {
+		if tofinoHigh.Installed[table] != 80000 {
+			t.Errorf("tofino@80000: %s installed %d, want 80000", table, tofinoHigh.Installed[table])
+		}
+	}
+	if sdnetHigh.CapacityNote != "" {
+		t.Errorf("sdnet@80000: tripped below its 943718-entry usable capacity: %q", sdnetHigh.CapacityNote)
+	}
+	if tofinoHigh.LookupNs <= 0 {
+		t.Error("tofino@80000: no lookup measurement after the placement trip")
+	}
+}
+
 // BenchmarkOccupancySweepPoint measures one mid-scale sweep point end to
 // end (population + probe burst) — the scenario-level cost of the
 // million-flow workload.

@@ -621,6 +621,49 @@ func architectureScenarios() []Scenario {
 			},
 		},
 		{
+			Name:    "tofino placement grants less capacity than declared",
+			UseCase: Architecture,
+			Run: map[string]func() Outcome{
+				ToolNetDebug: func() Outcome {
+					// A 1-stage, 2-block pipeline grants the 4096-entry
+					// table 2048 rows; the control channel sees the
+					// placement limit trip mid-fill.
+					tf := target.NewTofino(target.TofinoErrata{Stages: 1, SRAMBlocks: 2})
+					if err := tf.Load(mustProg(p4test.BigExactTable)); err != nil {
+						return missed("load: %v", err)
+					}
+					dev, err := device.New(device.Config{Target: tf})
+					if err != nil {
+						return missed("device: %v", err)
+					}
+					ctl := core.Connect(core.NewAgent(dev))
+					defer ctl.Close()
+					installed := 0
+					for i := 0; i < 4096; i++ {
+						if err := ctl.InstallEntry(dataplane.Entry{
+							Table:  "big",
+							Keys:   []dataplane.KeyValue{{Value: bitfield.New(uint64(i), 32)}},
+							Action: "fwd",
+							Args:   []bitfield.Value{bitfield.New(1, 9)},
+						}); err != nil {
+							break
+						}
+						installed++
+					}
+					if installed < 4096 {
+						return detected("placement grant full after %d entries; declared size 4096", installed)
+					}
+					return missed("all 4096 entries installed")
+				},
+				ToolFormal: func() Outcome {
+					return unsupported("table placement is a target property; not in the program semantics")
+				},
+				ToolExternal: func() Outcome {
+					return unsupported("the tester has no control-plane access to install entries")
+				},
+			},
+		},
+		{
 			Name:    "output queue depth limit under 2:1 oversubscription",
 			UseCase: Architecture,
 			Run: map[string]func() Outcome{
@@ -810,6 +853,84 @@ func comparisonScenarios() []Scenario {
 			},
 		},
 		{
+			Name:    "one specification across three hardware models",
+			UseCase: Comparison,
+			Run: map[string]func() Outcome{
+				ToolNetDebug: func() Outcome {
+					// With every erratum repaired, the three backends must
+					// compute the same function; the shipped SDNet flow must
+					// diverge exactly on malformed input.
+					devs := []*device.Device{
+						routerDevice(p4test.Router, target.NewReference()),
+						routerDevice(p4test.Router, target.NewSDNet(target.FixedErrata())),
+						routerDevice(p4test.Router, target.NewTofino(target.FixedTofinoErrata())),
+					}
+					for _, p := range probes() {
+						ra := devs[0].InjectInternal(p, 0, devs[0].Now(), false)
+						for _, dev := range devs[1:] {
+							if rb := dev.InjectInternal(p, 0, dev.Now(), false); !sameResult(ra, rb) {
+								return missed("erratum-free backends diverge")
+							}
+						}
+					}
+					shipped := routerDevice(p4test.Router, target.NewSDNet(target.DefaultErrata()))
+					ra := devs[0].InjectInternal(badVersionFrame(), 0, devs[0].Now(), false)
+					rb := shipped.InjectInternal(badVersionFrame(), 0, shipped.Now(), false)
+					if sameResult(ra, rb) {
+						return missed("shipped sdnet flow did not diverge on malformed input")
+					}
+					return detected("3 fixed backends agree on %d probes; shipped sdnet diverges on malformed input", len(probes()))
+				},
+				ToolFormal: func() Outcome {
+					return unsupported("all deployments share one program; backend table state is invisible to verification")
+				},
+				ToolExternal: func() Outcome {
+					devA := routerDevice(p4test.Router, target.NewReference())
+					devB := routerDevice(p4test.Router, target.NewTofino(target.DefaultTofinoErrata()))
+					for i, p := range probes() {
+						devA.SendExternal(0, p, time.Duration(i)*10*time.Microsecond)
+						devB.SendExternal(0, p, time.Duration(i)*10*time.Microsecond)
+					}
+					if len(devA.Captures(1)) == len(devB.Captures(1)) {
+						return detected("external differential run across hardware models: outputs agree")
+					}
+					return missed("capture counts diverge")
+				},
+			},
+		},
+		{
+			Name:    "ternary priority tie resolved differently on tofino",
+			UseCase: Comparison,
+			Run: map[string]func() Outcome{
+				ToolNetDebug: func() Outcome {
+					devA := aclTieDevice(target.NewReference())
+					devB := aclTieDevice(target.NewTofino(target.DefaultTofinoErrata()))
+					probe := aclTieProbe()
+					ra := devA.InjectInternal(probe, 0, 0, true)
+					rb := devB.InjectInternal(probe, 0, 0, true)
+					if !ra.Dropped() && rb.Dropped() {
+						return detected("tofino driver resolves the equal-priority tie newest-first: drop vs forward")
+					}
+					return missed("tie resolution identical: a=%v b=%v", ra.Dropped(), rb.Dropped())
+				},
+				ToolFormal: func() Outcome {
+					return unsupported("tie-break order is table-driver state; both deployments verify identically")
+				},
+				ToolExternal: func() Outcome {
+					devA := aclTieDevice(target.NewReference())
+					devB := aclTieDevice(target.NewTofino(target.DefaultTofinoErrata()))
+					devA.SendExternal(0, aclTieProbe(), 0)
+					devB.SendExternal(0, aclTieProbe(), 0)
+					// The divergence is externally visible as loss, though the
+					// tester cannot attribute it to the tie-break order.
+					if len(devA.Captures(2)) == 1 && len(devB.Captures(2)) == 0 {
+						return detected("frame emerges from one device and not the other")
+					}
+					return missed("no external divergence observed")
+				},
+			},
+		},
+		{
 			Name:    "specifications differ only in internal drop stage",
 			UseCase: Comparison,
 			Run: map[string]func() Outcome{
@@ -843,6 +964,65 @@ func comparisonScenarios() []Scenario {
 			},
 		},
 	}
+}
+
+// aclTieDevice loads the firewall with two overlapping equal-priority
+// ACL entries — a match-any allow installed first, an exact-dst drop
+// installed second — plus a route for the drop entry's destination. A
+// conforming target resolves the tie first-installed-wins and forwards
+// the probe; the shipped Tofino driver resolves newest-first and drops
+// it.
+func aclTieDevice(tg target.Target) *device.Device {
+	anyAddr := bitfield.New(0, 32)
+	anyPort := bitfield.New(0, 16)
+	dstIP := bitfield.New(0x0a000102, 32) // 10.0.1.2 == ipB
+	return routerDeviceProg(p4test.Firewall, tg,
+		dataplane.Entry{
+			Table: "acl", Action: "allow", Priority: 3,
+			Keys: []dataplane.KeyValue{
+				{Value: anyAddr, Mask: anyAddr},
+				{Value: anyAddr, Mask: anyAddr},
+				{Value: anyPort, Mask: anyPort},
+			},
+		},
+		dataplane.Entry{
+			Table: "acl", Action: "drop", Priority: 3,
+			Keys: []dataplane.KeyValue{
+				{Value: anyAddr, Mask: anyAddr},
+				{Value: dstIP, Mask: bitfield.Mask(32)},
+				{Value: anyPort, Mask: anyPort},
+			},
+		},
+		dataplane.Entry{
+			Table:  "routing",
+			Keys:   []dataplane.KeyValue{{Value: dstIP, PrefixLen: 24}},
+			Action: "route",
+			Args:   []bitfield.Value{bitfield.New(2, 9)},
+		},
+	)
+}
+
+// aclTieProbe is a frame both overlapping ACL entries match.
+func aclTieProbe() []byte {
+	return packet.BuildUDPv4(macA, macB, ipA, ipB, 40000, 53, make([]byte, 6))
+}
+
+// routerDeviceProg builds a device running src on tg with the given
+// entries installed (no defaults).
+func routerDeviceProg(src string, tg target.Target, entries ...dataplane.Entry) *device.Device {
+	if err := tg.Load(mustProg(src)); err != nil {
+		panic(fmt.Sprintf("scenario: load: %v", err))
+	}
+	for _, e := range entries {
+		if err := tg.InstallEntry(e); err != nil {
+			panic(fmt.Sprintf("scenario: install: %v", err))
+		}
+	}
+	dev, err := device.New(device.Config{Target: tg})
+	if err != nil {
+		panic(err)
+	}
+	return dev
 }
 
 // acceptThenDropProgram drops malformed IPv4 in the ingress control rather

@@ -255,6 +255,40 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.Max()
 }
 
+// Merge adds every observation recorded in o into h. Because the
+// buckets are identical, quantiles of the merged histogram are true
+// quantiles of the combined sample set (to bucket resolution) — the
+// property shard-merging aggregators rely on, which no combination of
+// the shards' own quantiles can provide.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for i := range h.counts {
+		if c := o.counts[i].Load(); c > 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.total.Add(o.total.Load())
+	h.sum.Add(o.sum.Load())
+	if v := o.max.Load(); v > 0 {
+		for {
+			cur := h.max.Load()
+			if v <= cur || h.max.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+	}
+	if v := o.min.Load(); v != math.MaxInt64 {
+		for {
+			cur := h.min.Load()
+			if v >= cur || h.min.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+	}
+}
+
 // Reset clears all recorded values.
 func (h *Histogram) Reset() {
 	for i := range h.counts {

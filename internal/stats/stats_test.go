@@ -121,6 +121,38 @@ func TestHistogramMean(t *testing.T) {
 	}
 }
 
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 1; i <= 100; i++ {
+		a.Observe(time.Duration(i))
+		b.Observe(time.Duration(10000 + i))
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if got := a.Min(); got != 1 {
+		t.Fatalf("merged min = %v", got)
+	}
+	if got := a.Max(); got != 10100 {
+		t.Fatalf("merged max = %v", got)
+	}
+	// The true combined median sits at the boundary of the two modes.
+	if got := a.Quantile(0.5).Nanoseconds(); got < 90 || got > 110 {
+		t.Fatalf("merged p50 = %d, want ~100", got)
+	}
+	if got := a.Quantile(0.99).Nanoseconds(); got < 9500 {
+		t.Fatalf("merged p99 = %d, want in the upper mode", got)
+	}
+	// Merging an empty or nil histogram is a no-op.
+	before := a.Count()
+	a.Merge(NewHistogram())
+	a.Merge(nil)
+	if a.Count() != before || a.Min() != 1 {
+		t.Fatalf("empty merge changed state: count=%d min=%v", a.Count(), a.Min())
+	}
+}
+
 func TestHistogramReset(t *testing.T) {
 	h := NewHistogram()
 	h.Observe(time.Second)

@@ -1,0 +1,200 @@
+package target
+
+// Cross-target differential tests: the three backends are only useful
+// as a comparison matrix if their disagreements are exactly the
+// documented errata. On erratum-free configurations (reference, SDNet
+// with FixedErrata, Tofino with FixedTofinoErrata) every probe must
+// produce identical results packet-for-packet; with a default erratum
+// enabled, the backends must disagree on precisely the predicted probe
+// set and nowhere else.
+
+import (
+	"math/rand"
+	"testing"
+
+	"netdebug/internal/bitfield"
+	"netdebug/internal/dataplane"
+	"netdebug/internal/p4/p4test"
+	"netdebug/internal/packet"
+)
+
+// sameOutputs reports packet-level equality of two results.
+func sameOutputs(a, b Result) bool {
+	if a.Dropped() != b.Dropped() {
+		return false
+	}
+	if len(a.Outputs) != len(b.Outputs) {
+		return false
+	}
+	for i := range a.Outputs {
+		if a.Outputs[i].Port != b.Outputs[i].Port ||
+			string(a.Outputs[i].Data) != string(b.Outputs[i].Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// routerProbe is one deterministic router input: dst chooses the route,
+// malformed flips the IPv4 version, trunc cuts the frame mid-header.
+type routerProbe struct {
+	frame     []byte
+	malformed bool
+	trunc     bool
+	routable  bool
+}
+
+func routerProbes(n int) []routerProbe {
+	rng := rand.New(rand.NewSource(7))
+	probes := make([]routerProbe, n)
+	for i := range probes {
+		dst := packet.IPv4Addr{10, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))}
+		routable := true
+		if i%5 == 4 {
+			dst = packet.IPv4Addr{172, 16, byte(i), 1} // off the 10/8 route
+			routable = false
+		}
+		f := packet.BuildUDPv4(macA, macB, ipA, dst, uint16(1000+i), 53, make([]byte, rng.Intn(32)))
+		p := routerProbe{frame: f, routable: routable}
+		switch i % 7 {
+		case 3:
+			f[14] = 0x65 // bad version: parser reject
+			p.malformed = true
+		case 6:
+			p.frame = f[:16] // truncated mid-IPv4: too short on every target
+			p.trunc = true
+		}
+		probes[i] = p
+	}
+	return probes
+}
+
+func loadedRouter(t *testing.T, tgt Target) Target {
+	t.Helper()
+	loadRouter(t, tgt)
+	return tgt
+}
+
+// TestCrossTargetRouterAgreement: with every erratum repaired, the
+// three backends compute the same function packet-for-packet.
+func TestCrossTargetRouterAgreement(t *testing.T) {
+	ref := loadedRouter(t, NewReference())
+	others := map[string]Target{
+		"sdnet-fixed":  loadedRouter(t, NewSDNet(FixedErrata())),
+		"tofino-fixed": loadedRouter(t, NewTofino(FixedTofinoErrata())),
+	}
+	for i, p := range routerProbes(300) {
+		want := ref.Process(p.frame, 0, false)
+		wantDrop := want.Dropped()
+		wantPort := uint64(0)
+		var wantData string
+		if !wantDrop {
+			wantPort = want.Outputs[0].Port
+			wantData = string(want.Outputs[0].Data)
+		}
+		for name, tgt := range others {
+			got := tgt.Process(p.frame, 0, false)
+			if got.Dropped() != wantDrop {
+				t.Fatalf("probe %d (%+v): %s dropped=%v, reference dropped=%v",
+					i, p, name, got.Dropped(), wantDrop)
+			}
+			if !wantDrop && (got.Outputs[0].Port != wantPort || string(got.Outputs[0].Data) != wantData) {
+				t.Fatalf("probe %d: %s output differs from reference", i, name)
+			}
+		}
+	}
+}
+
+// TestCrossTargetSDNetRejectDisagreement: the shipped SDNet flow must
+// disagree with the reference exactly on malformed-but-routable frames
+// (the unimplemented-reject erratum forwards them) and agree everywhere
+// else.
+func TestCrossTargetSDNetRejectDisagreement(t *testing.T) {
+	ref := loadedRouter(t, NewReference())
+	sd := loadedRouter(t, NewSDNet(DefaultErrata()))
+	for i, p := range routerProbes(300) {
+		ra := ref.Process(p.frame, 0, false)
+		// Results alias per-target scratch; compare before the next call
+		// on the same target.
+		rb := sd.Process(p.frame, 0, false)
+		disagree := !sameOutputs(ra, rb)
+		wantDisagree := p.malformed && p.routable && !p.trunc
+		if disagree != wantDisagree {
+			t.Fatalf("probe %d (malformed=%v routable=%v trunc=%v): disagree=%v, want %v",
+				i, p.malformed, p.routable, p.trunc, disagree, wantDisagree)
+		}
+	}
+}
+
+// TestCrossTargetTofinoLIFODisagreement: with two overlapping
+// equal-priority ACL entries installed (allow first, exact-dst drop
+// second), the shipped Tofino driver must disagree with the reference
+// exactly on frames the second entry matches, and agree everywhere
+// else.
+func TestCrossTargetTofinoLIFODisagreement(t *testing.T) {
+	ref := NewReference()
+	tf := NewTofino(DefaultTofinoErrata())
+	firewallFixture(t, ref)
+	firewallFixture(t, tf)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		dst := ipB
+		hitsDrop := true
+		if i%3 != 0 {
+			dst = packet.IPv4Addr{10, 0, 1, byte(rng.Intn(255))}
+			hitsDrop = dst == ipB
+		}
+		frame := packet.BuildUDPv4(macA, macB, ipA, dst, uint16(2000+i), 53, make([]byte, 4))
+		ra := ref.Process(frame, 0, false)
+		rb := tf.Process(frame, 0, false)
+		disagree := !sameOutputs(ra, rb)
+		if disagree != hitsDrop {
+			t.Fatalf("probe %d (dst=%v): disagree=%v, want %v (LIFO tie-break)",
+				i, dst, disagree, hitsDrop)
+		}
+	}
+}
+
+// TestCrossTargetCapacityDivergence: the same fill workload trips each
+// backend's capacity model at its own documented point — exact size on
+// the reference, ~90% of declared on SDNet, and the per-stage placement
+// grant on Tofino.
+func TestCrossTargetCapacityDivergence(t *testing.T) {
+	fill := func(tgt Target) int {
+		prog := mustProg(t, p4test.BigExactTable) // declares 4096 entries
+		if err := tgt.Load(prog); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for i := 0; i < 8192; i++ {
+			err := tgt.InstallEntry(dataplane.Entry{
+				Table:  "big",
+				Keys:   []dataplane.KeyValue{{Value: bitfield.New(uint64(i), 32)}},
+				Action: "fwd",
+				Args:   []bitfield.Value{bitfield.New(1, 9)},
+			})
+			if err != nil {
+				break
+			}
+			n++
+		}
+		return n
+	}
+	smallTofino := DefaultTofinoErrata()
+	smallTofino.Stages, smallTofino.SRAMBlocks = 1, 3
+	got := map[string]int{
+		"reference": fill(NewReference()),
+		"sdnet":     fill(NewSDNet(DefaultErrata())),
+		"tofino":    fill(NewTofino(smallTofino)),
+	}
+	want := map[string]int{
+		"reference": 4096,          // declared size, exactly
+		"sdnet":     4096 * 9 / 10, // usable-capacity erratum
+		"tofino":    3 * 1024,      // 3 granted blocks x 1024 rows
+	}
+	for name, n := range want {
+		if got[name] != n {
+			t.Errorf("%s capacity = %d, want %d", name, got[name], n)
+		}
+	}
+}

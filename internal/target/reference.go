@@ -97,6 +97,13 @@ func (p *pipeline) status() map[string]uint64 {
 	return p.eng.Counters.Values()
 }
 
+func (p *pipeline) ternaryGroups(name string) int {
+	if p.eng == nil {
+		return 0
+	}
+	return p.eng.TernaryGroupCount(name)
+}
+
 // referenceLatency is the fixed pipeline delay of the reference model:
 // it stands in for an idealized single-cycle-per-stage pipeline and is
 // deliberately constant so measurements are exactly reproducible.
@@ -137,6 +144,7 @@ func (r *reference) ProcessBatch(frames [][]byte, ingressPort uint64, trace bool
 func (r *reference) InstallEntry(e dataplane.Entry) error { return r.installEntry(e) }
 func (r *reference) ClearTable(name string) error         { return r.clearTable(name) }
 func (r *reference) Status() map[string]uint64            { return r.status() }
+func (r *reference) TernaryGroups(name string) int        { return r.ternaryGroups(name) }
 
 // Resources reports zero: the reference is a software model with no
 // hardware footprint.

@@ -119,6 +119,7 @@ func (s *sdnet) InstallEntry(e dataplane.Entry) error { return s.installEntry(e)
 func (s *sdnet) ClearTable(name string) error         { return s.clearTable(name) }
 func (s *sdnet) Status() map[string]uint64            { return s.status() }
 func (s *sdnet) Resources() ResourceReport            { return s.resources }
+func (s *sdnet) TernaryGroups(name string) int        { return s.ternaryGroups(name) }
 
 // rewriteRejectToAccept returns a copy of prog whose parser never
 // transitions to reject: the unimplemented-reject erratum. Only the

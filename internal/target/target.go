@@ -7,7 +7,7 @@
 //
 // A Target is a loadable data-plane backend. The lifecycle is:
 //
-//	tgt := target.NewReference()          // or NewSDNet(errata)
+//	tgt := target.NewReference()          // or NewSDNet(errata), NewTofino(errata)
 //	err := tgt.Load(prog)                 // compile/transform + allocate state
 //	tgt.InstallEntry(e)                   // control-plane writes, any time after Load
 //	res := tgt.Process(frame, port, trace)
@@ -98,20 +98,36 @@ type Target interface {
 	ClearTable(name string) error
 	// Status reads the target's internal counters.
 	Status() map[string]uint64
-	// Resources estimates the FPGA footprint of the loaded program.
+	// Resources estimates the hardware footprint of the loaded program.
 	Resources() ResourceReport
+	// TernaryGroups reports the number of distinct mask tuples installed
+	// in a ternary table — the tuple-space probe count the occupancy
+	// sweep's mask-diversity axis measures. 0 for non-ternary tables.
+	TernaryGroups(table string) int
 }
 
-// ResourceReport estimates FPGA resource consumption of a loaded
-// program, in absolute element counts and as a percentage of the
-// NetFPGA-SUME-class part (Virtex-7 690T) the paper targets.
+// ResourceReport estimates hardware resource consumption of a loaded
+// program. FPGA targets (SDNet) fill the LUT/FF/BRAM fields, as
+// percentages of the NetFPGA-SUME-class part (Virtex-7 690T) the paper
+// targets; fixed-pipeline ASIC targets (Tofino) fill the stage, memory
+// block, and PHV fields instead. The software reference reports zero
+// everywhere.
 type ResourceReport struct {
 	LUTs, FFs, BRAMs       int
 	LUTPct, FFPct, BRAMPct float64
+	// ASIC-style footprint: pipeline stages occupied, SRAM/TCAM memory
+	// blocks allocated by table placement, and PHV container bits
+	// assigned to header fields. Zero on FPGA targets.
+	Stages, SRAMBlocks, TCAMBlocks, PHVBits int
+	StagePct, SRAMPct, TCAMPct, PHVPct      float64
 }
 
 // String renders the estimate.
 func (r ResourceReport) String() string {
+	if r.Stages > 0 {
+		return fmt.Sprintf("stages %d (%.1f%%), SRAM %d (%.1f%%), TCAM %d (%.1f%%), PHV %db (%.1f%%)",
+			r.Stages, r.StagePct, r.SRAMBlocks, r.SRAMPct, r.TCAMBlocks, r.TCAMPct, r.PHVBits, r.PHVPct)
+	}
 	if r.LUTs == 0 && r.FFs == 0 && r.BRAMs == 0 {
 		return "no hardware cost (software target)"
 	}

@@ -226,12 +226,16 @@ func TestProcessStatusCounters(t *testing.T) {
 }
 
 func TestProcessSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the plain job checks the allocation floor")
+	}
 	for _, tc := range []struct {
 		name string
 		tgt  Target
 	}{
 		{"reference", NewReference()},
 		{"sdnet", NewSDNet(DefaultErrata())},
+		{"tofino", NewTofino(DefaultTofinoErrata())},
 	} {
 		loadRouter(t, tc.tgt)
 		frame := goodFrame()

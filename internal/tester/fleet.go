@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"netdebug/internal/device"
+	"netdebug/internal/stats"
 )
 
 // Fleet runs an external-tester workload sharded across several device
@@ -30,9 +31,11 @@ type Fleet struct {
 //
 // Counters (sent/received/lost/unexpected, per-stream tallies) and
 // throughput (RxPPS/RxBPS) are summed across shards — the fleet's
-// aggregate rate. RTT statistics are conservative: mean is weighted by
-// received frames; p50/p99/max take the worst shard. Pass requires
-// every shard to pass.
+// aggregate rate. RTT statistics are computed over the merged
+// per-shard sample histograms, so p50/p99 are true percentiles of
+// every frame the fleet matched (a worst-shard percentile is not a
+// percentile of the fleet); max is the exact fleet maximum. Pass
+// requires every shard to pass.
 func (f *Fleet) Run(streams []Stream) (*Report, error) {
 	if f.New == nil {
 		return nil, fmt.Errorf("tester: fleet has no device factory")
@@ -104,9 +107,15 @@ func (f *Fleet) Run(streams []Stream) (*Report, error) {
 }
 
 // mergeReports aggregates per-shard reports (nil entries are skipped).
+// RTT statistics come from the merged sample histograms: the aggregate
+// p50/p99 are percentiles of the union of every shard's matched
+// frames. Shards without a sample histogram (reports not produced by
+// Tester.Run) fall back to the conservative worst-shard bound.
 func mergeReports(reports []*Report) *Report {
 	agg := &Report{PerStream: make(map[string]StreamResult), Pass: true}
+	merged := stats.NewHistogram()
 	var rttWeighted float64
+	allSampled := true
 	for _, r := range reports {
 		if r == nil {
 			continue
@@ -118,6 +127,11 @@ func mergeReports(reports []*Report) *Report {
 		agg.RxPPS += r.RxPPS
 		agg.RxBPS += r.RxBPS
 		rttWeighted += float64(r.RTTMeanNs) * float64(r.Received)
+		if r.rtt != nil {
+			merged.Merge(r.rtt)
+		} else {
+			allSampled = false
+		}
 		if r.RTTP50Ns > agg.RTTP50Ns {
 			agg.RTTP50Ns = r.RTTP50Ns
 		}
@@ -140,7 +154,13 @@ func mergeReports(reports []*Report) *Report {
 		}
 		agg.Pass = agg.Pass && r.Pass
 	}
-	if agg.Received > 0 {
+	if allSampled && merged.Count() > 0 {
+		agg.RTTMeanNs = merged.Mean().Nanoseconds()
+		agg.RTTP50Ns = merged.Quantile(0.5).Nanoseconds()
+		agg.RTTP99Ns = merged.Quantile(0.99).Nanoseconds()
+		agg.RTTMaxNs = merged.Max().Nanoseconds() // max is still max: exact
+		agg.rtt = merged
+	} else if agg.Received > 0 {
 		agg.RTTMeanNs = int64(rttWeighted / float64(agg.Received))
 	}
 	return agg

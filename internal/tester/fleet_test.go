@@ -3,9 +3,63 @@ package tester
 import (
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"netdebug/internal/device"
+	"netdebug/internal/stats"
 )
+
+// TestMergeReportsTrueRTTPercentiles: a worst-shard p50 is not a
+// percentile of the fleet. With one fast shard (100 samples near
+// 100ns) and one slow shard (100 samples near 10µs), the fleet p50
+// must land between the two modes — not at the slow shard's p50 — and
+// p99/max must reflect the slow tail.
+func TestMergeReportsTrueRTTPercentiles(t *testing.T) {
+	shard := func(ns int64, n int) *Report {
+		h := stats.NewHistogram()
+		for i := 0; i < n; i++ {
+			h.Observe(time.Duration(ns + int64(i)))
+		}
+		return &Report{
+			Received:  uint64(n),
+			RTTMeanNs: h.Mean().Nanoseconds(),
+			RTTP50Ns:  h.Quantile(0.5).Nanoseconds(),
+			RTTP99Ns:  h.Quantile(0.99).Nanoseconds(),
+			RTTMaxNs:  h.Max().Nanoseconds(),
+			rtt:       h,
+			Pass:      true,
+			PerStream: map[string]StreamResult{},
+		}
+	}
+	fast, slow := shard(100, 100), shard(10000, 100)
+	agg := mergeReports([]*Report{fast, slow})
+	// Worst-shard aggregation would report p50 ~= 10000; the true p50
+	// of the combined 200 samples sits at the top of the fast mode.
+	if agg.RTTP50Ns >= slow.RTTP50Ns {
+		t.Fatalf("fleet p50 = %dns is the worst shard's, not a fleet percentile", agg.RTTP50Ns)
+	}
+	if agg.RTTP50Ns < 90 || agg.RTTP50Ns > 300 {
+		t.Fatalf("fleet p50 = %dns, want ~the fast mode (100ns)", agg.RTTP50Ns)
+	}
+	if agg.RTTP99Ns < 9000 {
+		t.Fatalf("fleet p99 = %dns must reflect the slow tail", agg.RTTP99Ns)
+	}
+	if agg.RTTMaxNs != slow.RTTMaxNs {
+		t.Fatalf("fleet max = %d, want the exact max %d", agg.RTTMaxNs, slow.RTTMaxNs)
+	}
+	if agg.RTTMeanNs <= fast.RTTMeanNs || agg.RTTMeanNs >= slow.RTTMeanNs {
+		t.Fatalf("fleet mean = %d, want between shard means %d and %d",
+			agg.RTTMeanNs, fast.RTTMeanNs, slow.RTTMeanNs)
+	}
+
+	// A shard without samples falls back to the conservative bound.
+	bare := &Report{Received: 10, RTTMeanNs: 50, RTTP50Ns: 42, Pass: true,
+		PerStream: map[string]StreamResult{}}
+	agg = mergeReports([]*Report{fast, bare})
+	if agg.RTTP50Ns < fast.RTTP50Ns {
+		t.Fatalf("fallback p50 = %d, want the worst-shard bound", agg.RTTP50Ns)
+	}
+}
 
 func TestFleetAggregatesShards(t *testing.T) {
 	fleet := &Fleet{

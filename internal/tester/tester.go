@@ -55,6 +55,10 @@ type Report struct {
 	// PerStream holds per-stream verdicts.
 	PerStream map[string]StreamResult
 	Pass      bool
+	// rtt retains the full RTT sample histogram so Fleet.Run can merge
+	// per-shard samples and compute true aggregate percentiles rather
+	// than a worst-shard approximation.
+	rtt *stats.Histogram
 }
 
 // StreamResult is one stream's outcome.
@@ -89,6 +93,12 @@ type sentFrame struct {
 // Run transmits every stream and scores the captures. Frames are sent in
 // virtual time; captures are drained from each stream's RxPort afterwards.
 func (t *Tester) Run(streams []Stream) (*Report, error) {
+	// The tester matches RX frames exclusively through the device's
+	// capture ports; with capture disabled every stream would score as
+	// total loss, so fail loudly instead.
+	if !t.dev.CaptureEnabled() {
+		return nil, fmt.Errorf("tester: device has frame capture disabled; the external tester needs capture ports")
+	}
 	rep := &Report{PerStream: make(map[string]StreamResult)}
 	lat := stats.NewHistogram()
 	var meter stats.Meter
@@ -191,6 +201,7 @@ func (t *Tester) Run(streams []Stream) (*Report, error) {
 	rep.RTTP50Ns = lat.Quantile(0.5).Nanoseconds()
 	rep.RTTP99Ns = lat.Quantile(0.99).Nanoseconds()
 	rep.RTTMaxNs = lat.Max().Nanoseconds()
+	rep.rtt = lat
 	snap := meter.Snapshot()
 	rep.RxPPS = snap.PPS
 	rep.RxBPS = snap.BPS

@@ -22,12 +22,15 @@ var (
 )
 
 func newDevice(t testing.TB) *device.Device {
+	return newDeviceOn(t, target.NewReference())
+}
+
+func newDeviceOn(t testing.TB, tg target.Target) *device.Device {
 	t.Helper()
 	prog, err := compile.Compile(p4test.Router)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tg := target.NewReference()
 	if err := tg.Load(prog); err != nil {
 		t.Fatal(err)
 	}
@@ -69,6 +72,51 @@ func TestRunMatchesSequences(t *testing.T) {
 	}
 	if rep.PerStream["s"].Received != 50 {
 		t.Fatalf("per-stream: %+v", rep.PerStream["s"])
+	}
+}
+
+// TestRunAcrossBackends drives the external tester against each target
+// backend: the tester's view is backend-agnostic, so every stream must
+// come back, with RTTs reflecting each backend's pipeline latency.
+func TestRunAcrossBackends(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tg   target.Target
+	}{
+		{"reference", target.NewReference()},
+		{"sdnet", target.NewSDNet(target.DefaultErrata())},
+		{"tofino", target.NewTofino(target.DefaultTofinoErrata())},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tst := New(newDeviceOn(t, tc.tg))
+			rep, err := tst.Run([]Stream{{
+				Name: "s", Frame: frame(16), Count: 20,
+				TxPort: 0, RxPort: 1, RatePPS: 1e6, SeqLoc: seqLoc(),
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Pass || rep.Received != 20 {
+				t.Fatalf("report: %v", rep)
+			}
+			if rep.RTTP50Ns <= 0 {
+				t.Fatalf("rtt stats: %+v", rep)
+			}
+		})
+	}
+}
+
+// TestRunRejectsCaptureDisabledDevice: the tester scores streams from
+// the capture ports; a no-capture device must fail loudly rather than
+// report bogus total loss.
+func TestRunRejectsCaptureDisabledDevice(t *testing.T) {
+	dev := newDevice(t)
+	dev.SetCaptureEnabled(false)
+	if _, err := New(dev).Run([]Stream{{
+		Name: "s", Frame: frame(16), Count: 5,
+		TxPort: 0, RxPort: 1, SeqLoc: seqLoc(),
+	}}); err == nil {
+		t.Fatal("tester must refuse a capture-disabled device")
 	}
 }
 

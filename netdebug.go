@@ -104,6 +104,13 @@ const (
 	TargetSDNet TargetKind = "sdnet"
 	// TargetSDNetFixed is SDNet with every known erratum repaired.
 	TargetSDNetFixed TargetKind = "sdnet-fixed"
+	// TargetTofino models a Tofino-style fixed-pipeline ASIC: per-stage
+	// SRAM/TCAM table placement, a PHV container budget, and the shipped
+	// driver's newest-first ternary priority tie-break.
+	TargetTofino TargetKind = "tofino"
+	// TargetTofinoFixed is the Tofino-style flow with the driver quirk
+	// repaired; the placement and PHV limits remain.
+	TargetTofinoFixed TargetKind = "tofino-fixed"
 )
 
 // Options configures Open.
@@ -139,6 +146,10 @@ func Open(p4src string, opts Options) (*System, error) {
 		tgt = target.NewSDNet(target.DefaultErrata())
 	case TargetSDNetFixed:
 		tgt = target.NewSDNet(target.FixedErrata())
+	case TargetTofino:
+		tgt = target.NewTofino(target.DefaultTofinoErrata())
+	case TargetTofinoFixed:
+		tgt = target.NewTofino(target.FixedTofinoErrata())
 	default:
 		return nil, fmt.Errorf("netdebug: unknown target %q", opts.Target)
 	}
@@ -192,13 +203,20 @@ func (s *System) Resources() (ResourceReport, error) {
 	return ResourceReport{
 		LUTs: r.LUTs, FFs: r.FFs, BRAMs: r.BRAMs,
 		LUTPct: r.LUTPct, FFPct: r.FFPct, BRAMPct: r.BRAMPct,
+		Stages: r.Stages, SRAMBlocks: r.SRAMBlocks,
+		TCAMBlocks: r.TCAMBlocks, PHVBits: r.PHVBits,
+		StagePct: r.StagePct, SRAMPct: r.SRAMPct,
+		TCAMPct: r.TCAMPct, PHVPct: r.PHVPct,
 	}, nil
 }
 
-// ResourceReport estimates FPGA resource consumption.
+// ResourceReport estimates hardware resource consumption: LUT/FF/BRAM
+// on FPGA targets, stages/SRAM/TCAM/PHV on fixed-pipeline ASIC targets.
 type ResourceReport struct {
-	LUTs, FFs, BRAMs       int
-	LUTPct, FFPct, BRAMPct float64
+	LUTs, FFs, BRAMs                        int
+	LUTPct, FFPct, BRAMPct                  float64
+	Stages, SRAMBlocks, TCAMBlocks, PHVBits int
+	StagePct, SRAMPct, TCAMPct, PHVPct      float64
 }
 
 // InjectFault injects a hardware fault into the device.

@@ -44,6 +44,45 @@ func TestOpenValidation(t *testing.T) {
 	}
 }
 
+// TestFacadeTofinoTarget opens the router on the Tofino-style backend:
+// malformed packets drop (reject is implemented), good packets forward,
+// and the resource report is the ASIC stage/memory/PHV form.
+func TestFacadeTofinoTarget(t *testing.T) {
+	for _, kind := range []netdebug.TargetKind{netdebug.TargetTofino, netdebug.TargetTofinoFixed} {
+		sys := openRouterT(t, kind)
+		if sys.TargetName() != "tofino" {
+			t.Fatalf("target = %q", sys.TargetName())
+		}
+		bad := packet.BuildUDPv4(srcMAC, gwMAC, srcIP, dstIP, 4000, 53, nil)
+		bad[14] = 0x65
+		rep, err := sys.Validate(&netdebug.TestSpec{
+			Name: "tofino-reject",
+			Gen: netdebug.GenSpec{Streams: []netdebug.StreamSpec{{
+				Name: "malformed", Template: bad, Count: 20, RatePPS: 1e6,
+			}}},
+			Check: netdebug.CheckSpec{Rules: []netdebug.Rule{{
+				Name: "malformed-dropped", Stream: "malformed", ExpectDrop: true,
+			}}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Pass {
+			t.Fatalf("%s: %v", kind, rep)
+		}
+		res, err := sys.Resources()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stages < 1 || res.SRAMBlocks < 1 || res.PHVBits < 1 {
+			t.Fatalf("%s resources: %+v", kind, res)
+		}
+		if res.LUTs != 0 {
+			t.Fatalf("%s reports FPGA LUTs: %+v", kind, res)
+		}
+	}
+}
+
 func TestFacadeEndToEnd(t *testing.T) {
 	sys := openRouterT(t, netdebug.TargetSDNet)
 	layout, err := sys.Layout("ethernet", "ipv4")
