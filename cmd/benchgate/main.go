@@ -7,6 +7,10 @@
 //   - any pinned benchmark allocating more per op than the baseline
 //   - a pinned benchmark present in the baseline but missing from the
 //     current run (the gate cannot be dodged by deleting a benchmark)
+//   - a benchmark in the current run matching -pin but absent from the
+//     baseline (the gate cannot be dodged by renaming a benchmark, and a
+//     newly pinned hot path must land with a regenerated baseline or it
+//     would ride ungated until the next BENCH_<PR>.json)
 //   - any -speedup ratio assertion not met by the current run
 //
 // Because the committed baseline and the CI runner are different
@@ -46,9 +50,10 @@ import (
 
 // defaultPin selects the pinned hot-path benchmarks: the packet path
 // (allocation-free guarantee) on every backend including the Tofino
-// pipeline, the device forward path (with and without frame capture),
-// and the tuple-space lookup scaling sweep.
-const defaultPin = `^Benchmark(ProcessRouter|ProcessFirewallTernary|RouterProcess|FirewallProcess|TofinoProcess(Router|FirewallTernary)|DeviceForward(Burst|NoCapture)?|TernaryLookupTupleSpace/.*)$`
+// pipeline and the eBPF software offload, the device forward path
+// (with and without frame capture), and the tuple-space lookup scaling
+// sweep.
+const defaultPin = `^Benchmark(ProcessRouter|ProcessFirewallTernary|RouterProcess|FirewallProcess|(Tofino|EBPF)Process(Router|FirewallTernary)|DeviceForward(Burst|NoCapture)?|TernaryLookupTupleSpace/.*)$`
 
 // defaultSpeedup asserts the tentpole scaling win: at 10^5 ternary
 // entries the tuple-space lookup must stay >= 10x faster than the linear
@@ -115,6 +120,27 @@ func main() {
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].key < pairs[j].key })
 	if len(pairs) == 0 {
 		log.Fatalf("no baseline benchmark matches pin regexp %q", *pin)
+	}
+
+	// The reverse direction: a current benchmark the pin regexp selects
+	// that has no baseline counterpart is a hard failure too. Without
+	// it, renaming a hot-path benchmark (or adding a new backend's)
+	// leaves the new name ungated until someone remembers to regenerate
+	// the baseline — exactly the silent gap a gate exists to close.
+	var unpinned []string
+	seenCur := map[string]bool{}
+	for _, c := range cur.Benchmarks {
+		if !pinRe.MatchString(c.Name) || seenCur[c.Key()] {
+			continue
+		}
+		seenCur[c.Key()] = true
+		if !seen[c.Key()] {
+			unpinned = append(unpinned, c.Key())
+		}
+	}
+	sort.Strings(unpinned)
+	for _, key := range unpinned {
+		fail("%s: pinned benchmark has no baseline entry; regenerate the BENCH_<PR>.json baseline", key)
 	}
 
 	// Estimate the common machine-speed factor as the median ns/op ratio.

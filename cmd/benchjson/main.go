@@ -41,6 +41,8 @@ var (
 	count     = flag.Int("count", 1, "repetitions per benchmark (go test -count)")
 	pkgs      = flag.String("pkgs", "./...", "comma-separated package patterns to benchmark")
 	best      = flag.Bool("best", true, "merge -count repetitions: min ns/op, max B/op and allocs/op")
+	merge     = flag.Bool("merge", false,
+		"load an existing -out file and replace just the records measured by this run (keep the rest)")
 )
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
@@ -115,6 +117,14 @@ func main() {
 	if *best && *count > 1 {
 		doc.Benchmarks = mergeBest(doc.Benchmarks)
 	}
+	if *merge {
+		prev, err := benchfmt.Load(*out)
+		if err != nil {
+			log.Fatalf("-merge: %v", err)
+		}
+		doc.Benchmarks = mergeInto(prev.Benchmarks, doc.Benchmarks)
+		doc.Command = prev.Command + "; " + doc.Command
+	}
 
 	if err := doc.Save(*out); err != nil {
 		log.Fatal(err)
@@ -122,6 +132,33 @@ func main() {
 	if *out != "-" {
 		log.Printf("wrote %d benchmark records to %s", len(doc.Benchmarks), *out)
 	}
+}
+
+// mergeInto overlays fresh records onto a previous run's list: records
+// re-measured by this run replace their predecessor in place, new
+// records append, and everything else is kept. This is how the pinned
+// hot-path set gets re-recorded at a longer benchtime than the full
+// trajectory sweep without forking the baseline into two files.
+func mergeInto(prev, fresh []benchfmt.Record) []benchfmt.Record {
+	byKey := make(map[string]benchfmt.Record, len(fresh))
+	for _, r := range fresh {
+		byKey[r.Key()] = r
+	}
+	out := make([]benchfmt.Record, 0, len(prev)+len(fresh))
+	for _, r := range prev {
+		if nr, ok := byKey[r.Key()]; ok {
+			r = nr
+			delete(byKey, r.Key())
+		}
+		out = append(out, r)
+	}
+	for _, r := range fresh {
+		if _, ok := byKey[r.Key()]; ok {
+			out = append(out, r)
+			delete(byKey, r.Key())
+		}
+	}
+	return out
 }
 
 // mergeBest collapses repeated records of the same benchmark (from

@@ -39,6 +39,7 @@ var (
 	details  = flag.Bool("details", false, "print per-scenario detail lines for Figure 2")
 	parallel = flag.Int("parallel", 0, "suite workers: 0 sequential, <0 one per CPU")
 	sweepMax = flag.Int("sweep-max", 1000000, "largest T5 occupancy")
+	csvOut   = flag.Bool("csv", false, "emit T5 sweep points as CSV instead of tables")
 )
 
 func main() {
@@ -142,6 +143,7 @@ func e1() {
 		netdebug.TargetReference,
 		netdebug.TargetSDNet, netdebug.TargetSDNetFixed,
 		netdebug.TargetTofino, netdebug.TargetTofinoFixed,
+		netdebug.TargetEBPF, netdebug.TargetEBPFFixed,
 	} {
 		sys := openRouter(kind)
 		rep, err := sys.Validate(spec)
@@ -208,7 +210,9 @@ func t1() {
 }
 
 func t5() {
-	header("T5 — million-flow occupancy sweep: lookup latency and memory vs table occupancy")
+	if !*csvOut {
+		header("T5 — million-flow occupancy sweep: lookup latency and memory vs table occupancy")
+	}
 	occupancies := []int{}
 	for o := 100; o <= *sweepMax; o *= 10 {
 		occupancies = append(occupancies, o)
@@ -224,23 +228,17 @@ func t5() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(scenario.RenderSweep(points))
-	for _, pt := range points {
-		if pt.CapacityNote != "" {
-			fmt.Println("\n(capacity findings above are per-backend: sdnet clips installs at ~90% of declared size," +
-				"\n tofino at its per-stage placement grants — 480 SRAM blocks per table, 144 TCAM row-groups)")
-			break
-		}
-	}
-
-	// The mask-diversity axis: at fixed occupancy, raising the number of
-	// distinct mask tuples degrades the tuple-space ternary lookup
-	// toward the linear scan (one hash probe per distinct tuple).
+	// The mask-diversity axis, swept per backend: at fixed occupancy,
+	// raising the number of distinct mask tuples degrades the software
+	// tuple-space/mask-set lookups (one probe or scan section per
+	// tuple) while the Tofino TCAM's modelled latency stays flat —
+	// silicon compares every mask in parallel. On the eBPF backend the
+	// diversity also runs into the mask-set verifier budget, a finding
+	// of its own.
 	occ := 10000
 	if *sweepMax < occ {
 		occ = *sweepMax
 	}
-	fmt.Printf("\nmask-diversity sweep (reference backend, occupancy %d):\n", occ)
 	var maskCounts []int
 	for _, masks := range []int{8, 64, 512, 4096, occ} {
 		if masks > occ {
@@ -252,18 +250,37 @@ func t5() {
 		maskCounts = append(maskCounts, masks)
 	}
 	var maskPoints []scenario.SweepPoint
-	for _, masks := range maskCounts {
-		pts, err := scenario.MillionFlowSweep(scenario.SweepOptions{
-			Backends:      []string{"reference"},
-			Occupancies:   []int{occ},
-			TableSize:     1 << 20,
-			DistinctMasks: masks,
-		})
-		if err != nil {
-			log.Fatal(err)
+	for _, backend := range []string{"reference", "tofino", "ebpf"} {
+		for _, masks := range maskCounts {
+			pts, err := scenario.MillionFlowSweep(scenario.SweepOptions{
+				Backends:      []string{backend},
+				Occupancies:   []int{occ},
+				TableSize:     1 << 20,
+				DistinctMasks: masks,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			maskPoints = append(maskPoints, pts...)
 		}
-		maskPoints = append(maskPoints, pts...)
 	}
+
+	if *csvOut {
+		// Machine-readable form for external plotting: one document,
+		// occupancy sweep then mask-diversity sweep.
+		fmt.Print(scenario.SweepCSV(append(points, maskPoints...)))
+		return
+	}
+	fmt.Print(scenario.RenderSweep(points))
+	for _, pt := range points {
+		if pt.CapacityNote != "" {
+			fmt.Println("\n(capacity findings above are per-backend: sdnet clips installs at ~90% of declared size," +
+				"\n tofino at its per-stage placement grants — 480 SRAM blocks per table, 144 TCAM row-groups —" +
+				"\n and ebpf at its per-map-type memlock grants, with hash-map installs past capacity silently lying)")
+			break
+		}
+	}
+	fmt.Printf("\nmask-diversity sweep (occupancy %d; model/ns separates TCAM from scan architectures):\n", occ)
 	fmt.Print(scenario.RenderSweep(maskPoints))
 }
 
@@ -276,8 +293,8 @@ func t2() {
 		{"router-split", p4test.RouterSplit},
 		{"firewall", p4test.Firewall},
 	}
-	fmt.Printf("%-14s | %-12s | %-32s | %s\n",
-		"program", "reference", "sdnet (FPGA)", "tofino (ASIC)")
+	fmt.Printf("%-14s | %-12s | %-32s | %-42s | %s\n",
+		"program", "reference", "sdnet (FPGA)", "tofino (ASIC)", "ebpf (software offload)")
 	for _, p := range programs {
 		prog, err := compile.Compile(p.src)
 		if err != nil {
@@ -291,13 +308,19 @@ func t2() {
 		if err := tf.Load(prog); err != nil {
 			log.Fatal(err)
 		}
-		rs, rt := sd.Resources(), tf.Resources()
-		fmt.Printf("%-14s | %-12s | %-32s | %s\n",
+		eb := target.NewEBPF(target.DefaultEBPFErrata())
+		if err := eb.Load(prog); err != nil {
+			log.Fatal(err)
+		}
+		rs, rt, re := sd.Resources(), tf.Resources(), eb.Resources()
+		fmt.Printf("%-14s | %-12s | %-32s | %-42s | %s\n",
 			p.name,
 			"0 (software)",
 			fmt.Sprintf("LUT %4.1f%%  FF %4.1f%%  BRAM %4.1f%%", rs.LUTPct, rs.FFPct, rs.BRAMPct),
 			fmt.Sprintf("stages %2d  SRAM %3d  TCAM %3d  PHV %4.1f%%",
-				rt.Stages, rt.SRAMBlocks, rt.TCAMBlocks, rt.PHVPct))
+				rt.Stages, rt.SRAMBlocks, rt.TCAMBlocks, rt.PHVPct),
+			fmt.Sprintf("insns %4d  maps %d  memlock %4.1f%%",
+				re.Insns, re.Maps, re.MemlockPct))
 	}
 }
 

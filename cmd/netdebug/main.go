@@ -24,10 +24,11 @@ import (
 
 var (
 	programPath = flag.String("program", "", "P4 program to load")
-	targetKind  = flag.String("target", "reference", "target backend (reference, sdnet, sdnet-fixed)")
-	suite       = flag.String("suite", "", "validation suite: reject, perf, status")
-	serve       = flag.String("serve", "", "serve the device agent on a TCP address instead of running a suite")
-	connect     = flag.String("connect", "", "connect to a remote agent instead of booting a device")
+	targetKind  = flag.String("target", "reference",
+		"target backend (reference, sdnet[-fixed], tofino[-fixed], ebpf[-fixed])")
+	suite   = flag.String("suite", "", "validation suite: reject, perf, status")
+	serve   = flag.String("serve", "", "serve the device agent on a TCP address instead of running a suite")
+	connect = flag.String("connect", "", "connect to a remote agent instead of booting a device")
 )
 
 var (

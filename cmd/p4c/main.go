@@ -2,7 +2,7 @@
 // dumps the compiled IR, and prints the selected backend's resource
 // estimate and architectural verdict.
 //
-//	p4c [-target sdnet|sdnet-fixed|tofino|tofino-fixed|reference] [-resources] [-verify] program.p4
+//	p4c [-target sdnet|sdnet-fixed|tofino|tofino-fixed|ebpf|ebpf-fixed|reference] [-resources] [-verify] program.p4
 package main
 
 import (
@@ -17,9 +17,10 @@ import (
 )
 
 var (
-	targetName = flag.String("target", "sdnet", "backend to load onto (sdnet, sdnet-fixed, tofino, tofino-fixed, reference)")
-	resources  = flag.Bool("resources", false, "print the resource estimate")
-	runVerify  = flag.Bool("verify", false, "run the formal-verification property suite")
+	targetName = flag.String("target", "sdnet",
+		"backend to load onto (sdnet, sdnet-fixed, tofino, tofino-fixed, ebpf, ebpf-fixed, reference)")
+	resources = flag.Bool("resources", false, "print the resource estimate")
+	runVerify = flag.Bool("verify", false, "run the formal-verification property suite")
 )
 
 func main() {
@@ -52,6 +53,10 @@ func main() {
 		tgt = target.NewTofino(target.DefaultTofinoErrata())
 	case "tofino-fixed":
 		tgt = target.NewTofino(target.FixedTofinoErrata())
+	case "ebpf":
+		tgt = target.NewEBPF(target.DefaultEBPFErrata())
+	case "ebpf-fixed":
+		tgt = target.NewEBPF(target.FixedEBPFErrata())
 	default:
 		log.Fatalf("unknown target %q", *targetName)
 	}

@@ -3,10 +3,12 @@
 //   - two alternative specifications of the same router — a monolithic
 //     single-table version and a split next-hop/egress version — are
 //     validated against each other by differential injection, and
-//   - one specification deployed on three hardware models (reference,
-//     SDNet with fixed errata, Tofino with fixed errata) is validated
-//     across backends, then the shipped SDNet flow is shown diverging
-//     exactly on malformed input.
+//   - one specification deployed on four hardware models (reference,
+//     SDNet, Tofino, and an eBPF/XDP-style software offload, each with
+//     fixed errata) is validated across backends, then the shipped
+//     SDNet flow is shown diverging exactly on malformed input, and a
+//     three-way split (three shipped backends agree, one diverges)
+//     localizes the eBPF LPM driver defect without a reference model.
 package main
 
 import (
@@ -14,8 +16,10 @@ import (
 	"log"
 
 	"netdebug"
+	"netdebug/internal/device"
 	"netdebug/internal/p4/p4test"
 	"netdebug/internal/packet"
+	"netdebug/internal/scenario"
 )
 
 func main() {
@@ -119,6 +123,7 @@ func compareBackends() {
 	fixed := map[netdebug.TargetKind]*netdebug.System{
 		netdebug.TargetSDNetFixed:  open(netdebug.TargetSDNetFixed),
 		netdebug.TargetTofinoFixed: open(netdebug.TargetTofinoFixed),
+		netdebug.TargetEBPFFixed:   open(netdebug.TargetEBPFFixed),
 	}
 	src := packet.MAC{2, 0, 0, 0, 0, 0xaa}
 	dst := packet.MAC{2, 0, 0, 0, 0, 0xbb}
@@ -146,7 +151,7 @@ func compareBackends() {
 	for _, sys := range fixed {
 		sys.Close()
 	}
-	fmt.Printf("cross-backend comparison: 200 probes x 2 fixed backends, %d divergences\n", divergences)
+	fmt.Printf("cross-backend comparison: 200 probes x 3 fixed backends, %d divergences\n", divergences)
 	if divergences != 0 {
 		log.Fatal("erratum-free backends are not equivalent")
 	}
@@ -162,5 +167,52 @@ func compareBackends() {
 		fmt.Println("shipped sdnet flow diverges on malformed input (reject erratum) — comparison localizes the buggy backend")
 	} else {
 		log.Fatal("expected the shipped sdnet flow to forward malformed input")
+	}
+
+	threeWaySplit()
+}
+
+// threeWaySplit localizes a backend defect without any reference model:
+// the four shipped flows are deployed side by side with a /0 default
+// route, and the backend diverging from the agreement of the other
+// three is the buggy one — here the eBPF LPM-trie driver, whose /0
+// entries never match.
+func threeWaySplit() {
+	open := func(kind netdebug.TargetKind) *netdebug.System {
+		sys, err := netdebug.Open(p4test.Router, netdebug.Options{Target: kind})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.InstallEntry(netdebug.Entry{
+			Table:  "ipv4_lpm",
+			Keys:   []netdebug.KeyValue{{Value: netdebug.NewValue(0, 32), PrefixLen: 0}},
+			Action: "ipv4_forward",
+			Args:   []netdebug.Value{netdebug.ValueFromBytes([]byte{2, 0, 0, 0, 0xff, 1}), netdebug.NewValue(2, 9)},
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return sys
+	}
+	systems := map[string]*netdebug.System{
+		"reference": open(netdebug.TargetReference),
+		"sdnet":     open(netdebug.TargetSDNet),
+		"tofino":    open(netdebug.TargetTofino),
+		"ebpf":      open(netdebug.TargetEBPF),
+	}
+	devs := make(map[string]*device.Device, len(systems))
+	for name, sys := range systems {
+		defer sys.Close()
+		devs[name] = sys.Device()
+	}
+	src := packet.MAC{2, 0, 0, 0, 0, 0xaa}
+	dst := packet.MAC{2, 0, 0, 0, 0, 0xbb}
+	probe := packet.BuildUDPv4(src, dst, packet.IPv4Addr{10, 0, 0, 1},
+		packet.IPv4Addr{172, 16, 0, 7}, 7000, 53, nil) // reachable only via /0
+	odd := scenario.OddOneOut(devs, probe)
+	if len(odd) == 1 && odd[0] == "ebpf" {
+		fmt.Println("three-way split on default-route traffic: reference, sdnet, and tofino forward;" +
+			" ebpf diverges — the /0 LPM driver defect is localized by majority vote")
+	} else {
+		log.Fatalf("unexpected split: %v diverge, want exactly [ebpf]", odd)
 	}
 }

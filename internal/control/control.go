@@ -80,6 +80,9 @@ type ResourcesMsg struct {
 	// ASIC-style fields, populated by fixed-pipeline targets (Tofino).
 	Stages, SRAMBlocks, TCAMBlocks, PHVBits int
 	StagePct, SRAMPct, TCAMPct, PHVPct      float64
+	// Software-offload fields, populated by the eBPF target.
+	Insns, Maps, MapBytes int
+	InsnPct, MemlockPct   float64
 }
 
 // HelloInfo describes the device.

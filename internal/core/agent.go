@@ -167,6 +167,8 @@ func (a *Agent) Handle(req *control.Request) *control.Response {
 			TCAMBlocks: r.TCAMBlocks, PHVBits: r.PHVBits,
 			StagePct: r.StagePct, SRAMPct: r.SRAMPct,
 			TCAMPct: r.TCAMPct, PHVPct: r.PHVPct,
+			Insns: r.Insns, Maps: r.Maps, MapBytes: r.MapBytes,
+			InsnPct: r.InsnPct, MemlockPct: r.MemlockPct,
 		}}
 	case control.ReqConfigureGen:
 		spec, err := DecodeTestSpec(req.Spec)

@@ -215,6 +215,31 @@ func (e *Engine) SetTernaryTieBreak(name string, lifo bool) error {
 	return nil
 }
 
+// SetTernaryMaskLimit bounds the number of distinct mask tuples a
+// ternary table accepts; installs that would create group limit+1 fail
+// with a MaskSetError. Targets whose ternary emulation compiles to a
+// bounded mask-set scan (one match section per distinct mask, eBPF
+// style) use this to model the generated program's verifier budget.
+// Like SetTernaryTieBreak it must be called before entries are
+// installed, so the limit cannot invalidate install-time decisions.
+func (e *Engine) SetTernaryMaskLimit(name string, limit int) error {
+	ts, ok := e.tables[name]
+	if !ok {
+		return fmt.Errorf("dataplane: no table %q", name)
+	}
+	if ts.kind != kindTernary {
+		return fmt.Errorf("dataplane: table %q is not ternary", name)
+	}
+	if ts.count > 0 {
+		return fmt.Errorf("dataplane: table %q: mask limit must be set before entries are installed", name)
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	ts.maskLimit = limit
+	return nil
+}
+
 // TernaryGroupCount returns the number of distinct mask tuples in a
 // ternary table's tuple-space index — the per-lookup probe count, and
 // the quantity the occupancy sweep's mask-diversity axis measures. It
@@ -635,23 +660,40 @@ func (e *Engine) evalBinary(ctx *Context, x ir.Binary) bitfield.Value {
 	panic(fmt.Sprintf("dataplane: illegal binary op %v", x.Op))
 }
 
-// InstallEntry validates and installs a table entry.
-func (e *Engine) InstallEntry(entry Entry) error {
+// resolveEntry resolves an entry's table state and action.
+func (e *Engine) resolveEntry(entry Entry) (*tableState, *ir.Action, error) {
 	ts, ok := e.tables[entry.Table]
 	if !ok {
-		return fmt.Errorf("dataplane: no table %q", entry.Table)
+		return nil, nil, fmt.Errorf("dataplane: no table %q", entry.Table)
 	}
-	var action *ir.Action
 	for _, a := range ts.def.Actions {
 		if a.Name == entry.Action {
-			action = a
-			break
+			return ts, a, nil
 		}
 	}
-	if action == nil {
-		return fmt.Errorf("dataplane: table %q does not allow action %q", entry.Table, entry.Action)
+	return nil, nil, fmt.Errorf("dataplane: table %q does not allow action %q", entry.Table, entry.Action)
+}
+
+// InstallEntry validates and installs a table entry.
+func (e *Engine) InstallEntry(entry Entry) error {
+	ts, action, err := e.resolveEntry(entry)
+	if err != nil {
+		return err
 	}
 	return ts.install(entry, action)
+}
+
+// ValidateEntry runs exactly the validation InstallEntry would —
+// table and action resolution plus entry-shape checks — without
+// installing anything. Targets modelling accept-but-discard driver
+// defects use it so a suppressed insert still rejects malformed
+// entries the way the real driver's update call would.
+func (e *Engine) ValidateEntry(entry Entry) error {
+	ts, action, err := e.resolveEntry(entry)
+	if err != nil {
+		return err
+	}
+	return ts.validate(entry, action)
 }
 
 // ClearTable removes all entries from a table.

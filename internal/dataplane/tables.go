@@ -100,6 +100,11 @@ type tableState struct {
 	// newest-installed-wins — the resolution quirk some hardware table
 	// drivers exhibit. Targets set it through Engine.SetTernaryTieBreak.
 	tieLIFO bool
+	// maskLimit bounds the number of distinct mask tuples (tuple-space
+	// groups) a ternary table may hold; 0 means unbounded. Targets whose
+	// ternary emulation unrolls one match section per mask (the eBPF
+	// mask-set scan) set it through Engine.SetTernaryMaskLimit.
+	maskLimit int
 	// hit/miss are this table's counters, precomputed by the engine so
 	// the hot path never builds counter-name strings.
 	hit, miss *stats.Counter
@@ -158,14 +163,15 @@ func appendKeyBytes(buf []byte, vals []bitfield.Value, skip int) []byte {
 	return buf
 }
 
-// install validates and inserts an entry.
-func (ts *tableState) install(e Entry, action *ir.Action) error {
+// validate checks an entry's shape — key count, key widths, prefix
+// ranges, action argument count and widths — without touching table
+// state. It is the check a conforming map driver performs before
+// inserting, which is why targets modelling accept-but-discard driver
+// defects still run it.
+func (ts *tableState) validate(e Entry, action *ir.Action) error {
 	if len(e.Keys) != len(ts.def.Keys) {
 		return fmt.Errorf("table %s: entry has %d keys, table has %d",
 			ts.def.Name, len(e.Keys), len(ts.def.Keys))
-	}
-	if ts.count >= ts.capacity {
-		return &CapacityError{Table: ts.def.Name, Size: ts.capacity}
 	}
 	for i, k := range e.Keys {
 		w := ts.def.Keys[i].Expr.Width()
@@ -187,6 +193,17 @@ func (ts *tableState) install(e Entry, action *ir.Action) error {
 			return fmt.Errorf("table %s: action %s arg %d width %d, want %d",
 				ts.def.Name, action.Name, i, a.Width(), action.Params[i].Width)
 		}
+	}
+	return nil
+}
+
+// install validates and inserts an entry.
+func (ts *tableState) install(e Entry, action *ir.Action) error {
+	if err := ts.validate(e, action); err != nil {
+		return err
+	}
+	if ts.count >= ts.capacity {
+		return &CapacityError{Table: ts.def.Name, Size: ts.capacity}
 	}
 	be := &boundEntry{Entry: e, action: action, order: ts.nextOrd}
 	ts.nextOrd++
@@ -235,6 +252,12 @@ func (ts *tableState) install(e Entry, action *ir.Action) error {
 			}
 			be.masks[i] = mask
 			be.want[i] = kv.Value.And(mask)
+		}
+		if ts.maskLimit > 0 && len(ts.groups) >= ts.maskLimit {
+			ts.maskBuf = appendKeyBytes(ts.maskBuf[:0], be.masks, -1)
+			if ts.groupIdx[string(ts.maskBuf)] == nil {
+				return &MaskSetError{Table: ts.def.Name, Limit: ts.maskLimit}
+			}
 		}
 		ts.ternary = append(ts.ternary, be)
 		ts.ternarySorted = len(ts.ternary) == 1
@@ -372,6 +395,20 @@ type CapacityError struct {
 
 func (e *CapacityError) Error() string {
 	return fmt.Sprintf("table %s is full (size %d)", e.Table, e.Size)
+}
+
+// MaskSetError reports an install whose mask tuple would grow a ternary
+// table's distinct-mask set past the target's limit — the signal a
+// mask-set-scan ternary emulation (one unrolled match section per
+// distinct mask) produces when the generated program would exceed its
+// verifier budget.
+type MaskSetError struct {
+	Table string
+	Limit int
+}
+
+func (e *MaskSetError) Error() string {
+	return fmt.Sprintf("table %s: new mask tuple exceeds the %d-mask-set limit", e.Table, e.Limit)
 }
 
 // prefixMask returns a w-bit mask with the top n bits set.

@@ -7,12 +7,14 @@ package dataplane
 // 64 bits — and must do so in O(distinct masks) rather than O(entries).
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
 
 	"netdebug/internal/bitfield"
 	"netdebug/internal/p4/ir"
+	"netdebug/internal/p4/p4test"
 )
 
 type synthKey struct {
@@ -138,6 +140,76 @@ func TestTupleSpaceClearAndReinstall(t *testing.T) {
 		if got, want := ts.lookup(vals), ts.lookupTernaryLinear(vals); got != want {
 			t.Fatalf("post-clear probe %d: tuple-space %+v, linear %+v", probe, got, want)
 		}
+	}
+}
+
+// TestTernaryMaskLimit exercises the mask-set bound targets whose
+// ternary emulation unrolls one scan section per distinct mask (the
+// eBPF backend) set through SetTernaryMaskLimit: installs reusing an
+// installed tuple succeed, a tuple past the bound fails with a
+// MaskSetError, and nothing about the accepted entries' resolution
+// changes.
+func TestTernaryMaskLimit(t *testing.T) {
+	keys := []synthKey{{32, ir.MatchTernary}}
+	ts, act := synthTable(keys, 1<<10)
+	ts.maskLimit = 3
+	install := func(maskBits, v int) error {
+		return ts.install(Entry{
+			Table: "synth", Action: "act",
+			Keys: []KeyValue{{Value: bitfield.New(uint64(v), 32), Mask: prefixMask(32, maskBits)}},
+		}, act)
+	}
+	for i, maskBits := range []int{8, 16, 24, 8, 16} {
+		if err := install(maskBits, i<<24); err != nil {
+			t.Fatalf("install %d (/%d): %v", i, maskBits, err)
+		}
+	}
+	var maskErr *MaskSetError
+	if err := install(32, 99); !errors.As(err, &maskErr) {
+		t.Fatalf("fourth distinct mask: err = %v, want MaskSetError", err)
+	}
+	if maskErr.Table != "synth" || maskErr.Limit != 3 {
+		t.Fatalf("error detail: %+v", maskErr)
+	}
+	if len(ts.groups) != 3 || ts.count != 5 {
+		t.Fatalf("groups=%d count=%d, want 3 groups over 5 entries", len(ts.groups), ts.count)
+	}
+	// The rejected entry left no trace: lookups still resolve against
+	// the linear reference.
+	vals := []bitfield.Value{bitfield.New(99, 32)}
+	if got, want := ts.lookup(vals), ts.lookupTernaryLinear(vals); got != want {
+		t.Fatalf("post-reject lookup: tuple-space %+v, linear %+v", got, want)
+	}
+}
+
+// TestSetTernaryMaskLimitContract: the hook follows the same
+// set-before-install contract as SetTernaryTieBreak — it cannot
+// tighten a table that already holds entries (that would invalidate
+// accepted installs) — and rejects non-ternary tables.
+func TestSetTernaryMaskLimitContract(t *testing.T) {
+	eng := routerEngine(t)
+	if err := eng.SetTernaryMaskLimit("ipv4_lpm", 4); err == nil {
+		t.Fatal("lpm table must reject a ternary mask limit")
+	}
+	if err := eng.SetTernaryMaskLimit("nope", 4); err == nil {
+		t.Fatal("unknown table must error")
+	}
+	fw := mustEngine(t, p4test.Firewall)
+	if err := fw.SetTernaryMaskLimit("acl", 4); err != nil {
+		t.Fatalf("empty ternary table must accept a limit: %v", err)
+	}
+	if err := fw.InstallEntry(Entry{
+		Table: "acl", Action: "allow", Priority: 1,
+		Keys: []KeyValue{
+			{Value: bitfield.New(0, 32), Mask: bitfield.New(0, 32)},
+			{Value: bitfield.New(0, 32), Mask: bitfield.New(0, 32)},
+			{Value: bitfield.New(0, 16), Mask: bitfield.New(0, 16)},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.SetTernaryMaskLimit("acl", 2); err == nil {
+		t.Fatal("mask limit must not be settable after entries are installed")
 	}
 }
 

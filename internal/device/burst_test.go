@@ -67,6 +67,21 @@ func TestBurstMatchesSequentialTofino(t *testing.T) {
 	}
 }
 
+// TestBurstMatchesSequentialEBPF re-runs the burst-equivalence check on
+// the eBPF backend, whose dynamic latency model (program length plus
+// installed mask sections) must hold steady across a burst.
+func TestBurstMatchesSequentialEBPF(t *testing.T) {
+	mk := func() target.Target { return target.NewEBPF(target.DefaultEBPFErrata()) }
+	seq, burst := runPairOn(t, 20, func(*Device) {}, mk, mk)
+	assertSameCaptures(t, seq, burst, 1)
+	ss, sb := seq.Status(), burst.Status()
+	for k, v := range ss {
+		if sb[k] != v {
+			t.Errorf("status %q: %d (seq) vs %d (burst)", k, v, sb[k])
+		}
+	}
+}
+
 func assertSameCaptures(t *testing.T, seq, burst *Device, port int) {
 	t.Helper()
 	cs, cb := seq.Captures(port), burst.Captures(port)

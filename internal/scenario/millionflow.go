@@ -62,7 +62,7 @@ var SweepTables = []string{"t_exact", "t_lpm", "t_acl"}
 // SweepOptions configures MillionFlowSweep.
 type SweepOptions struct {
 	// Backends are the target backends to sweep; empty means
-	// {"reference", "sdnet", "tofino"}.
+	// {"reference", "sdnet", "tofino", "ebpf"}.
 	Backends []string
 	// Occupancies are the per-table entry counts; empty means
 	// 10^2..10^6 in decades.
@@ -81,13 +81,16 @@ type SweepOptions struct {
 	// table's entries cycle through; 0 means 8, the "few templates,
 	// many flows" shape of real ACLs. Raising it toward the entry count
 	// degrades the tuple-space lookup toward the linear scan — the
-	// worst case this parameter exists to measure.
+	// worst case this parameter exists to measure. More distinct masks
+	// than entries is impossible (each entry carries one tuple), so a
+	// value above a point's occupancy is clamped to it, and the point
+	// records the clamped value. Negative values are rejected.
 	DistinctMasks int
 }
 
 func (o *SweepOptions) fill() {
 	if len(o.Backends) == 0 {
-		o.Backends = []string{"reference", "sdnet", "tofino"}
+		o.Backends = []string{"reference", "sdnet", "tofino", "ebpf"}
 	}
 	if len(o.Occupancies) == 0 {
 		o.Occupancies = []int{100, 1000, 10000, 100000, 1000000}
@@ -128,6 +131,13 @@ type SweepPoint struct {
 	// LookupNs is the mean per-packet pipeline latency (parse + three
 	// table lookups + deparse) over the probe burst.
 	LookupNs float64
+	// ModelNs is the backend's *modelled* per-packet latency at this
+	// point — what the simulated hardware would take, as opposed to
+	// LookupNs, which is what the simulation takes. This is where the
+	// mask-diversity axis separates the architectures: a TCAM compares
+	// every mask in parallel (Tofino stays flat), while the eBPF
+	// mask-set scan pays one section per distinct mask (linear).
+	ModelNs float64
 	// HeapBytes is the heap growth attributable to the populated tables.
 	HeapBytes uint64
 }
@@ -145,6 +155,10 @@ func newSweepTarget(name string) (target.Target, error) {
 		return target.NewTofino(target.DefaultTofinoErrata()), nil
 	case "tofino-fixed":
 		return target.NewTofino(target.FixedTofinoErrata()), nil
+	case "ebpf":
+		return target.NewEBPF(target.DefaultEBPFErrata()), nil
+	case "ebpf-fixed":
+		return target.NewEBPF(target.FixedEBPFErrata()), nil
 	}
 	return nil, fmt.Errorf("scenario: unknown sweep backend %q", name)
 }
@@ -256,6 +270,9 @@ func MillionFlowSweep(opts SweepOptions) ([]SweepPoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario: million-flow program: %w", err)
 	}
+	if opts.DistinctMasks < 0 {
+		return nil, fmt.Errorf("scenario: sweep mask diversity %d is negative", opts.DistinctMasks)
+	}
 	for _, occ := range opts.Occupancies {
 		if occ < 1 {
 			return nil, fmt.Errorf("scenario: sweep occupancy %d is not positive", occ)
@@ -271,9 +288,16 @@ func MillionFlowSweep(opts SweepOptions) ([]SweepPoint, error) {
 			if err := tgt.Load(prog); err != nil {
 				return nil, fmt.Errorf("scenario: %s load: %w", backend, err)
 			}
+			// Each entry carries exactly one mask tuple, so diversity
+			// beyond the occupancy cannot materialize: clamp per point
+			// and record what actually ran.
+			masks := opts.DistinctMasks
+			if masks > occ {
+				masks = occ
+			}
 			pt := SweepPoint{
 				Backend: backend, Occupancy: occ,
-				DistinctMasks: opts.DistinctMasks,
+				DistinctMasks: masks,
 				Installed:     map[string]int{},
 			}
 			heapBefore := heapInUse()
@@ -281,15 +305,22 @@ func MillionFlowSweep(opts SweepOptions) ([]SweepPoint, error) {
 			installs := 0
 			for _, table := range SweepTables {
 				for i := 0; i < occ; i++ {
-					if err := tgt.InstallEntry(sweepEntry(table, i, opts.DistinctMasks)); err != nil {
+					if err := tgt.InstallEntry(sweepEntry(table, i, masks)); err != nil {
 						var capErr *dataplane.CapacityError
-						if errors.As(err, &capErr) {
+						var maskErr *dataplane.MaskSetError
+						switch {
+						case errors.As(err, &capErr):
 							pt.CapacityNote = appendNote(pt.CapacityNote, fmt.Sprintf(
 								"%s full after %d of %d entries (declared size %d)",
 								table, i, occ, opts.TableSize))
-							break
+						case errors.As(err, &maskErr):
+							pt.CapacityNote = appendNote(pt.CapacityNote, fmt.Sprintf(
+								"%s mask set full after %d of %d entries (limit %d distinct masks)",
+								table, i, occ, maskErr.Limit))
+						default:
+							return nil, fmt.Errorf("scenario: %s %s entry %d: %w", backend, table, i, err)
 						}
-						return nil, fmt.Errorf("scenario: %s %s entry %d: %w", backend, table, i, err)
+						break
 					}
 					pt.Installed[table]++
 					installs++
@@ -308,6 +339,10 @@ func MillionFlowSweep(opts SweepOptions) ([]SweepPoint, error) {
 			for i := range frames {
 				frames[i] = sweepFrame(nil, i, occ)
 			}
+			// The modelled latency is per-point state (constant across a
+			// burst): fixed on the hardware pipelines, a function of
+			// program length and installed mask sections on the offload.
+			pt.ModelNs = float64(tgt.Process(frames[0], 0, false).Latency.Nanoseconds())
 			tgt.ProcessBatch(frames, 0, false) // warm up
 			probeStart := time.Now()
 			done := 0
@@ -337,22 +372,47 @@ func appendNote(cur, add string) string {
 // RenderSweep formats sweep points as the occupancy-sweep figure table.
 func RenderSweep(points []SweepPoint) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %10s %10s %8s %12s %12s %10s  %s\n",
-		"backend", "occupancy", "installed", "masks", "install/ns", "lookup/ns", "heap", "finding")
+	fmt.Fprintf(&b, "%-12s %10s %10s %8s %12s %12s %10s %10s  %s\n",
+		"backend", "occupancy", "installed", "masks", "install/ns", "lookup/ns", "model/ns", "heap", "finding")
 	for _, pt := range points {
-		installed := 0
-		for _, table := range SweepTables {
-			if pt.Installed[table] > installed {
-				installed = pt.Installed[table]
-			}
-		}
 		note := pt.CapacityNote
 		if note == "" {
 			note = "-"
 		}
-		fmt.Fprintf(&b, "%-12s %10d %10d %8d %12.0f %12.0f %9.1fM  %s\n",
-			pt.Backend, pt.Occupancy, installed, pt.MaskGroups, pt.InstallNs, pt.LookupNs,
-			float64(pt.HeapBytes)/1e6, note)
+		fmt.Fprintf(&b, "%-12s %10d %10d %8d %12.0f %12.0f %10.0f %9.1fM  %s\n",
+			pt.Backend, pt.Occupancy, pt.MaxInstalled(), pt.MaskGroups, pt.InstallNs, pt.LookupNs,
+			pt.ModelNs, float64(pt.HeapBytes)/1e6, note)
+	}
+	return b.String()
+}
+
+// MaxInstalled returns the largest per-table installed count of the
+// point — the headline occupancy actually reached.
+func (pt SweepPoint) MaxInstalled() int {
+	n := 0
+	for _, table := range SweepTables {
+		if pt.Installed[table] > n {
+			n = pt.Installed[table]
+		}
+	}
+	return n
+}
+
+// SweepCSVHeader is the column row of SweepCSV output.
+const SweepCSVHeader = "backend,occupancy,distinct_masks,mask_groups," +
+	"installed_exact,installed_lpm,installed_acl,install_ns,lookup_ns,model_ns,heap_bytes,finding"
+
+// SweepCSV renders sweep points as machine-readable CSV (one row per
+// point, findings quoted) for external plotting — the companion to the
+// human-readable RenderSweep table.
+func SweepCSV(points []SweepPoint) string {
+	var b strings.Builder
+	b.WriteString(SweepCSVHeader + "\n")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%d,%.0f,%.1f,%.0f,%d,%q\n",
+			pt.Backend, pt.Occupancy, pt.DistinctMasks, pt.MaskGroups,
+			pt.Installed["t_exact"], pt.Installed["t_lpm"], pt.Installed["t_acl"],
+			pt.InstallNs, pt.LookupNs, pt.ModelNs, pt.HeapBytes, pt.CapacityNote)
 	}
 	return b.String()
 }

@@ -155,6 +155,98 @@ func TestMillionFlowSweepTofinoPlacementTrips(t *testing.T) {
 	}
 }
 
+// TestMillionFlowSweepDistinctMaskValidation: diversity beyond the
+// entry count is clamped per point (each entry carries one tuple), and
+// negative values are rejected outright.
+func TestMillionFlowSweepDistinctMaskValidation(t *testing.T) {
+	if _, err := MillionFlowSweep(SweepOptions{DistinctMasks: -1}); err == nil {
+		t.Fatal("negative mask diversity must be rejected")
+	}
+	points, err := MillionFlowSweep(SweepOptions{
+		Backends:      []string{"reference"},
+		Occupancies:   []int{500},
+		TableSize:     1 << 12,
+		Probes:        256,
+		BatchSize:     64,
+		DistinctMasks: 5000, // > occupancy: clamps to 500
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := points[0]
+	if pt.DistinctMasks != 500 || pt.MaskGroups != 500 {
+		t.Fatalf("masks=%d groups=%d, want both clamped to the 500-entry occupancy",
+			pt.DistinctMasks, pt.MaskGroups)
+	}
+}
+
+// TestMillionFlowSweepEBPFMaskSetTrips: the fourth backend column has
+// no TCAM at all — its ternary emulation is a bounded mask-set scan,
+// so driving mask diversity past the verifier budget (1024 sections)
+// trips mid-population and the sweep records the finding, exactly as
+// the capacity errata do on the other backends.
+func TestMillionFlowSweepEBPFMaskSetTrips(t *testing.T) {
+	points, err := MillionFlowSweep(SweepOptions{
+		Backends:      []string{"ebpf"},
+		Occupancies:   []int{2000},
+		TableSize:     1 << 12,
+		Probes:        256,
+		BatchSize:     64,
+		DistinctMasks: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := points[0]
+	if pt.Installed["t_acl"] != 1024 || pt.MaskGroups != 1024 {
+		t.Fatalf("t_acl installed %d with %d groups, want the 1024-mask verifier budget",
+			pt.Installed["t_acl"], pt.MaskGroups)
+	}
+	if !strings.Contains(pt.CapacityNote, "mask set full") {
+		t.Fatalf("finding should record the mask-set trip: %q", pt.CapacityNote)
+	}
+	// The exact and LPM maps are untouched by the ternary bound.
+	if pt.Installed["t_exact"] != 2000 || pt.Installed["t_lpm"] != 2000 {
+		t.Fatalf("hash/lpm maps clipped unexpectedly: %+v", pt.Installed)
+	}
+}
+
+// TestMillionFlowSweepModelLatencyContrast is the cross-target
+// measurement the mask-diversity axis exists for: raising distinct
+// masks 8 -> 512 leaves the Tofino TCAM's modelled latency flat (every
+// mask is compared in parallel in silicon) while the eBPF mask-set
+// scan pays one section per mask — exactly 24 insns x 0.75 ns each.
+func TestMillionFlowSweepModelLatencyContrast(t *testing.T) {
+	run := func(backend string, masks int) SweepPoint {
+		points, err := MillionFlowSweep(SweepOptions{
+			Backends:      []string{backend},
+			Occupancies:   []int{1000},
+			TableSize:     1 << 12,
+			Probes:        256,
+			BatchSize:     64,
+			DistinctMasks: masks,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return points[0]
+	}
+	tfFew, tfMany := run("tofino", 8), run("tofino", 512)
+	if tfFew.ModelNs != 390 || tfMany.ModelNs != 390 {
+		t.Fatalf("tofino modelled latency must stay flat at 390ns: %v -> %v",
+			tfFew.ModelNs, tfMany.ModelNs)
+	}
+	ebFew, ebMany := run("ebpf", 8), run("ebpf", 512)
+	wantDelta := float64(512-8) * 24 * 0.75
+	if got := ebMany.ModelNs - ebFew.ModelNs; got != wantDelta {
+		t.Fatalf("ebpf modelled latency grew %vns over 504 masks, want %vns (one scan section per mask)",
+			got, wantDelta)
+	}
+	if ebFew.ModelNs <= 0 {
+		t.Fatalf("ebpf base latency missing: %+v", ebFew)
+	}
+}
+
 // BenchmarkOccupancySweepPoint measures one mid-scale sweep point end to
 // end (population + probe burst) — the scenario-level cost of the
 // million-flow workload.

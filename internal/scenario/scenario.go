@@ -931,6 +931,83 @@ func comparisonScenarios() []Scenario {
 			},
 		},
 		{
+			Name:    "three-way split: malformed input isolates the sdnet flow",
+			UseCase: Comparison,
+			Run: map[string]func() Outcome{
+				ToolNetDebug: func() Outcome {
+					devs := fourWayRouterDevices()
+					bad := badVersionFrame()
+					if odd := OddOneOut(devs, bad); len(odd) == 1 && odd[0] == "sdnet" {
+						return detected("3 backends drop the malformed probe, sdnet forwards: the reject erratum is localized")
+					} else {
+						return missed("diverging backends %v, want exactly [sdnet]", odd)
+					}
+				},
+				ToolFormal: func() Outcome {
+					return unsupported("all four deployments share one verified program; the deviation is the compiler's")
+				},
+				ToolExternal: func() Outcome {
+					devs := fourWayRouterDevices()
+					if odd := OddOneOutExternal(devs, badVersionFrame(), 1); len(odd) == 1 && odd[0] == "sdnet" {
+						return detected("capture vote across 4 devices: only sdnet emits the malformed frame")
+					} else {
+						return missed("external capture vote names %v, want [sdnet]", odd)
+					}
+				},
+			},
+		},
+		{
+			Name:    "three-way split: default-route traffic isolates the ebpf driver",
+			UseCase: Comparison,
+			Run: map[string]func() Outcome{
+				ToolNetDebug: func() Outcome {
+					devs := fourWayRouterDevices()
+					off := offSubnetFrame()
+					if odd := OddOneOut(devs, off); len(odd) == 1 && odd[0] == "ebpf" {
+						return detected("3 backends forward via the /0 route, ebpf misses: the lpm-trie /0 defect is localized")
+					} else {
+						return missed("diverging backends %v, want exactly [ebpf]", odd)
+					}
+				},
+				ToolFormal: func() Outcome {
+					return unsupported("the /0 miss lives in the map driver; installed routes are invisible to program verification")
+				},
+				ToolExternal: func() Outcome {
+					devs := fourWayRouterDevices()
+					if odd := OddOneOutExternal(devs, offSubnetFrame(), 2); len(odd) == 1 && odd[0] == "ebpf" {
+						return detected("capture vote across 4 devices: only ebpf loses default-route traffic")
+					} else {
+						return missed("external capture vote names %v, want [ebpf]", odd)
+					}
+				},
+			},
+		},
+		{
+			Name:    "three-way split: acl priority tie isolates the tofino driver",
+			UseCase: Comparison,
+			Run: map[string]func() Outcome{
+				ToolNetDebug: func() Outcome {
+					devs := fourWayACLDevices()
+					if odd := OddOneOut(devs, aclTieProbe()); len(odd) == 1 && odd[0] == "tofino" {
+						return detected("3 backends resolve the tie first-installed-wins, tofino drops: the LIFO quirk is localized")
+					} else {
+						return missed("diverging backends %v, want exactly [tofino]", odd)
+					}
+				},
+				ToolFormal: func() Outcome {
+					return unsupported("tie-break order is table-driver state; all four deployments verify identically")
+				},
+				ToolExternal: func() Outcome {
+					devs := fourWayACLDevices()
+					if odd := OddOneOutExternal(devs, aclTieProbe(), 2); len(odd) == 1 && odd[0] == "tofino" {
+						return detected("capture vote across 4 devices: only tofino drops the tied flow")
+					} else {
+						return missed("external capture vote names %v, want [tofino]", odd)
+					}
+				},
+			},
+		},
+		{
 			Name:    "specifications differ only in internal drop stage",
 			UseCase: Comparison,
 			Run: map[string]func() Outcome{
@@ -964,6 +1041,116 @@ func comparisonScenarios() []Scenario {
 			},
 		},
 	}
+}
+
+// shippedBackends builds the four shipped (default-errata) flows — one
+// per hardware model in the comparison matrix.
+func shippedBackends() map[string]target.Target {
+	return map[string]target.Target{
+		"reference": target.NewReference(),
+		"sdnet":     target.NewSDNet(target.DefaultErrata()),
+		"tofino":    target.NewTofino(target.DefaultTofinoErrata()),
+		"ebpf":      target.NewEBPF(target.DefaultEBPFErrata()),
+	}
+}
+
+// defaultRouteEntry is the /0 fallback route every destination misses
+// down to.
+func defaultRouteEntry(port uint64) dataplane.Entry {
+	return dataplane.Entry{
+		Table:  "ipv4_lpm",
+		Keys:   []dataplane.KeyValue{{Value: bitfield.New(0, 32), PrefixLen: 0}},
+		Action: "ipv4_forward",
+		Args:   []bitfield.Value{bitfield.FromBytes(gw[:]), bitfield.New(port, 9)},
+	}
+}
+
+// offSubnetFrame is covered only by the /0 default route.
+func offSubnetFrame() []byte {
+	return packet.BuildUDPv4(macA, macB, ipA, packet.IPv4Addr{172, 16, 5, 9}, 40100, 53, make([]byte, 26))
+}
+
+// fourWayRouterDevices builds one router device per shipped backend,
+// each with the 10/8 route (port 1) and a /0 default route (port 2).
+func fourWayRouterDevices() map[string]*device.Device {
+	devs := make(map[string]*device.Device, 4)
+	for name, tg := range shippedBackends() {
+		devs[name] = routerDevice(p4test.Router, tg, routeEntry(1), defaultRouteEntry(2))
+	}
+	return devs
+}
+
+// fourWayACLDevices builds the overlapping-equal-priority ACL fixture
+// on every shipped backend.
+func fourWayACLDevices() map[string]*device.Device {
+	devs := make(map[string]*device.Device, 4)
+	for name, tg := range shippedBackends() {
+		devs[name] = aclTieDevice(tg)
+	}
+	return devs
+}
+
+// dissenters returns the names whose outcome diverges from the strict
+// majority outcome, sorted. Without a strict majority (e.g. a 2-2
+// split) no deviant can be named, so every name is returned — callers
+// testing len == 1 then correctly report no localization. This one
+// implementation carries the vote semantics for both visibility levels
+// below and for examples/comparison.
+func dissenters[O comparable](got map[string]O) []string {
+	tally := map[O]int{}
+	for _, o := range got {
+		tally[o]++
+	}
+	var majority O
+	best := 0
+	for o, n := range tally {
+		if n > best {
+			majority, best = o, n
+		}
+	}
+	var odd []string
+	for name, o := range got {
+		if best*2 <= len(got) || o != majority {
+			odd = append(odd, name)
+		}
+	}
+	sort.Strings(odd)
+	return odd
+}
+
+// OddOneOut injects frame into every device and returns the backends
+// whose result diverges from the strict majority outcome, sorted — the
+// three-way-split localization a pairwise comparison cannot make. All
+// names come back when no strict majority exists.
+func OddOneOut(devs map[string]*device.Device, frame []byte) []string {
+	type oc struct {
+		dropped bool
+		port    uint64
+		data    string
+	}
+	got := make(map[string]oc, len(devs))
+	for name, dev := range devs {
+		r := dev.InjectInternal(frame, 0, dev.Now(), false)
+		o := oc{dropped: r.Dropped()}
+		if !o.dropped {
+			o.port = r.Outputs[0].Port
+			o.data = string(r.Outputs[0].Data)
+		}
+		got[name] = o
+	}
+	return dissenters(got)
+}
+
+// OddOneOutExternal sends frame through every device's external port 0
+// and votes on the capture count at rxPort — the same localization made
+// with interface-level visibility only.
+func OddOneOutExternal(devs map[string]*device.Device, frame []byte, rxPort int) []string {
+	got := make(map[string]int, len(devs))
+	for name, dev := range devs {
+		dev.SendExternal(0, frame, 0)
+		got[name] = len(dev.Captures(rxPort))
+	}
+	return dissenters(got)
 }
 
 // aclTieDevice loads the firewall with two overlapping equal-priority

@@ -153,6 +153,81 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramMergeIntoEmpty: merging into a fresh histogram adopts
+// the source's extrema — the empty side's sentinel min (MaxInt64) and
+// zero max must not survive the merge.
+func TestHistogramMergeIntoEmpty(t *testing.T) {
+	h, o := NewHistogram(), NewHistogram()
+	for i := 1; i <= 50; i++ {
+		o.Observe(time.Duration(100 * i))
+	}
+	h.Merge(o)
+	if h.Count() != 50 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 100 || h.Max() != 5000 {
+		t.Fatalf("extrema = [%v, %v], want [100ns, 5µs]", h.Min(), h.Max())
+	}
+	if got := h.Quantile(0.5).Nanoseconds(); got < 2300 || got > 2700 {
+		t.Fatalf("p50 = %d, want ~2500", got)
+	}
+	if h.Mean() != o.Mean() {
+		t.Fatalf("mean %v, want the source's %v", h.Mean(), o.Mean())
+	}
+}
+
+// TestHistogramMergeZeroOnlyObservations: a shard whose every
+// observation is 0ns has max==0, which the max-merge fast path skips —
+// its count, sum, and zero min must still carry over.
+func TestHistogramMergeZeroOnlyObservations(t *testing.T) {
+	h, o := NewHistogram(), NewHistogram()
+	o.Observe(0)
+	o.Observe(0)
+	h.Observe(10 * time.Nanosecond)
+	h.Merge(o)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 0 {
+		t.Fatalf("min = %v, want 0 (the zero shard's observations)", h.Min())
+	}
+	if h.Max() != 10 {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("p50 = %v, want 0 (two of three samples are zero)", got)
+	}
+}
+
+// TestHistogramMergeMismatchedCounts: a 10-sample shard merged with a
+// 10000-sample shard must weight quantiles by sample count — the
+// property that makes merged fleet percentiles true percentiles, which
+// averaging the two shards' own p50s (≈5005) cannot provide.
+func TestHistogramMergeMismatchedCounts(t *testing.T) {
+	small, big := NewHistogram(), NewHistogram()
+	for i := 1; i <= 10; i++ {
+		small.Observe(time.Duration(1_000_000 * i)) // 1..10ms: slow outlier shard
+	}
+	for i := 1; i <= 10000; i++ {
+		big.Observe(time.Duration(10 + i%100)) // tight 10..109ns mode
+	}
+	big.Merge(small)
+	if big.Count() != 10010 {
+		t.Fatalf("count = %d", big.Count())
+	}
+	// The fast mode dominates the median…
+	if got := big.Quantile(0.5).Nanoseconds(); got > 200 {
+		t.Fatalf("p50 = %dns, want inside the 10010-sample fast mode", got)
+	}
+	// …while the tail quantiles see the outlier shard.
+	if got := big.Quantile(0.9995).Nanoseconds(); got < 1_000_000 {
+		t.Fatalf("p99.95 = %dns, want in the slow shard", got)
+	}
+	if big.Max() != 10*time.Millisecond {
+		t.Fatalf("max = %v", big.Max())
+	}
+}
+
 func TestHistogramReset(t *testing.T) {
 	h := NewHistogram()
 	h.Observe(time.Second)

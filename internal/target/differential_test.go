@@ -1,15 +1,19 @@
 package target
 
-// Cross-target differential tests: the three backends are only useful
+// Cross-target differential tests: the four backends are only useful
 // as a comparison matrix if their disagreements are exactly the
 // documented errata. On erratum-free configurations (reference, SDNet
-// with FixedErrata, Tofino with FixedTofinoErrata) every probe must
-// produce identical results packet-for-packet; with a default erratum
-// enabled, the backends must disagree on precisely the predicted probe
-// set and nowhere else.
+// with FixedErrata, Tofino with FixedTofinoErrata, eBPF with
+// FixedEBPFErrata) every probe must produce identical results
+// packet-for-packet; with a default erratum enabled, the backends must
+// disagree on precisely the predicted probe set and nowhere else. The
+// three-way split tests run all four shipped (default-errata) flows at
+// once and require every predicted probe set to isolate exactly one
+// backend — the localization step pairwise comparison cannot provide.
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"netdebug/internal/bitfield"
@@ -76,12 +80,13 @@ func loadedRouter(t *testing.T, tgt Target) Target {
 }
 
 // TestCrossTargetRouterAgreement: with every erratum repaired, the
-// three backends compute the same function packet-for-packet.
+// four backends compute the same function packet-for-packet.
 func TestCrossTargetRouterAgreement(t *testing.T) {
 	ref := loadedRouter(t, NewReference())
 	others := map[string]Target{
 		"sdnet-fixed":  loadedRouter(t, NewSDNet(FixedErrata())),
 		"tofino-fixed": loadedRouter(t, NewTofino(FixedTofinoErrata())),
+		"ebpf-fixed":   loadedRouter(t, NewEBPF(FixedEBPFErrata())),
 	}
 	for i, p := range routerProbes(300) {
 		want := ref.Process(p.frame, 0, false)
@@ -182,19 +187,209 @@ func TestCrossTargetCapacityDivergence(t *testing.T) {
 	}
 	smallTofino := DefaultTofinoErrata()
 	smallTofino.Stages, smallTofino.SRAMBlocks = 1, 3
+	smallEBPF := FixedEBPFErrata() // fixed: the shipped flow lies instead of failing
+	smallEBPF.MemlockBytes = 72 * 1500
 	got := map[string]int{
 		"reference": fill(NewReference()),
 		"sdnet":     fill(NewSDNet(DefaultErrata())),
 		"tofino":    fill(NewTofino(smallTofino)),
+		"ebpf":      fill(NewEBPF(smallEBPF)),
 	}
 	want := map[string]int{
 		"reference": 4096,          // declared size, exactly
 		"sdnet":     4096 * 9 / 10, // usable-capacity erratum
 		"tofino":    3 * 1024,      // 3 granted blocks x 1024 rows
+		"ebpf":      1500,          // memlock grant / 72-byte hash entries
 	}
 	for name, n := range want {
 		if got[name] != n {
 			t.Errorf("%s capacity = %d, want %d", name, got[name], n)
 		}
 	}
+}
+
+// TestCrossTargetEBPFZeroPrefixDisagreement: with a /0 default route
+// installed alongside the 10/8 route, the shipped eBPF flow must
+// disagree with the reference exactly on well-formed frames covered
+// only by the default route (the LPM-trie /0 miss) and agree
+// everywhere else.
+func TestCrossTargetEBPFZeroPrefixDisagreement(t *testing.T) {
+	withDefaultRoute := func(tgt Target) Target {
+		loadRouter(t, tgt)
+		if err := tgt.InstallEntry(defaultRouteEntry(2)); err != nil {
+			t.Fatal(err)
+		}
+		return tgt
+	}
+	ref := withDefaultRoute(NewReference())
+	eb := withDefaultRoute(NewEBPF(DefaultEBPFErrata()))
+	fixed := withDefaultRoute(NewEBPF(FixedEBPFErrata()))
+	for i, p := range routerProbes(300) {
+		ra := ref.Process(p.frame, 0, false)
+		rb := eb.Process(p.frame, 0, false)
+		rc := fixed.Process(p.frame, 0, false)
+		// Only frames that parse and miss the 10/8 route reach the /0
+		// entry — that is the predicted probe set.
+		wantDisagree := !p.routable && !p.malformed && !p.trunc
+		if disagree := !sameOutputs(ra, rb); disagree != wantDisagree {
+			t.Fatalf("probe %d (%+v): shipped ebpf disagree=%v, want %v",
+				i, p, disagree, wantDisagree)
+		}
+		if !sameOutputs(ra, rc) {
+			t.Fatalf("probe %d: fixed ebpf flow diverges from the reference", i)
+		}
+	}
+}
+
+// TestCrossTargetEBPFMapFullDisagreement: past the hash map's memlock
+// capacity the shipped flow acknowledges installs it discards; the
+// control-plane view agrees with the reference (both "hold" the
+// entries) while the data plane disagrees exactly on the discarded
+// flows — only probing can see the defect.
+func TestCrossTargetEBPFMapFullDisagreement(t *testing.T) {
+	prog := mustProg(t, p4test.BigExactTable)
+	shipped := DefaultEBPFErrata()
+	shipped.MemlockBytes = 72 * 100
+	eb := NewEBPF(shipped)
+	ref := NewReference()
+	for _, tgt := range []Target{eb, ref} {
+		if err := tgt.Load(prog); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 120; i++ {
+			if err := tgt.InstallEntry(dataplane.Entry{
+				Table:  "big",
+				Keys:   []dataplane.KeyValue{{Value: bitfield.New(uint64(i), 32)}},
+				Action: "fwd",
+				Args:   []bitfield.Value{bitfield.New(1, 9)},
+			}); err != nil {
+				t.Fatalf("%s: install %d must report success: %v", tgt.Name(), i, err)
+			}
+		}
+	}
+	for i := 0; i < 120; i++ {
+		frame := []byte{byte(i >> 24), byte(i >> 16), byte(i >> 8), byte(i)}
+		ra := ref.Process(frame, 0, false)
+		rb := eb.Process(frame, 0, false)
+		if disagree, want := !sameOutputs(ra, rb), i >= 100; disagree != want {
+			t.Fatalf("flow %d: disagree=%v, want %v (capacity 100, installs acknowledged to 120)",
+				i, disagree, want)
+		}
+	}
+}
+
+// outcome is a comparable snapshot of a Result (Results alias
+// per-target scratch, so they must be captured before reuse).
+type outcome struct {
+	dropped bool
+	port    uint64
+	data    string
+}
+
+func snapshot(r Result) outcome {
+	if r.Dropped() {
+		return outcome{dropped: true}
+	}
+	return outcome{port: r.Outputs[0].Port, data: string(r.Outputs[0].Data)}
+}
+
+// splitOn runs one probe through every backend and reports which
+// backends diverge from the majority outcome. It fails the test if the
+// outcomes do not split into a strict majority plus dissenters.
+// (scenario.OddOneOut carries the same vote for device-level callers;
+// it cannot be reused here because package scenario imports target.)
+func splitOn(t *testing.T, backends map[string]Target, frame []byte) []string {
+	t.Helper()
+	got := make(map[string]outcome, len(backends))
+	tally := map[outcome]int{}
+	for name, tgt := range backends {
+		o := snapshot(tgt.Process(frame, 0, false))
+		got[name] = o
+		tally[o]++
+	}
+	var majority outcome
+	best := 0
+	for o, n := range tally {
+		if n > best {
+			majority, best = o, n
+		}
+	}
+	if best*2 <= len(backends) {
+		t.Fatalf("no majority outcome: %v", tally)
+	}
+	var odd []string
+	for name, o := range got {
+		if o != majority {
+			odd = append(odd, name)
+		}
+	}
+	sort.Strings(odd)
+	return odd
+}
+
+// TestCrossTargetThreeWaySplits is the headline of the four-backend
+// matrix: each shipped flow's signature defect isolates exactly that
+// backend against the agreement of the other three. Pairwise
+// comparison can only say "A and B differ"; a three-way split names
+// the deviant.
+func TestCrossTargetThreeWaySplits(t *testing.T) {
+	t.Run("router", func(t *testing.T) {
+		backends := map[string]Target{
+			"reference": NewReference(),
+			"sdnet":     NewSDNet(DefaultErrata()),
+			"tofino":    NewTofino(DefaultTofinoErrata()),
+			"ebpf":      NewEBPF(DefaultEBPFErrata()),
+		}
+		for _, tgt := range backends {
+			loadRouter(t, tgt)
+			if err := tgt.InstallEntry(defaultRouteEntry(2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			// Control probes: well-formed, on the 10/8 route — all four
+			// must agree.
+			ctl := packet.BuildUDPv4(macA, macB, ipA,
+				packet.IPv4Addr{10, 0, byte(i), 7}, uint16(3000+i), 53, []byte{byte(i)})
+			if odd := splitOn(t, backends, ctl); len(odd) != 0 {
+				t.Fatalf("control probe %d: unexpected split, %v diverge", i, odd)
+			}
+			// Split 1: malformed but routable — only the SDNet flow
+			// (reject compiled as accept) forwards.
+			bad := append([]byte(nil), ctl...)
+			bad[14] = 0x65
+			if odd := splitOn(t, backends, bad); len(odd) != 1 || odd[0] != "sdnet" {
+				t.Fatalf("malformed probe %d: %v diverge, want exactly [sdnet]", i, odd)
+			}
+			// Split 2: well-formed, covered only by the /0 route — only
+			// the eBPF flow (LPM-trie /0 miss) drops.
+			off := packet.BuildUDPv4(macA, macB, ipA,
+				packet.IPv4Addr{192, 168, byte(i), 4}, uint16(3100+i), 53, []byte{byte(i)})
+			if odd := splitOn(t, backends, off); len(odd) != 1 || odd[0] != "ebpf" {
+				t.Fatalf("default-route probe %d: %v diverge, want exactly [ebpf]", i, odd)
+			}
+		}
+	})
+	t.Run("firewall", func(t *testing.T) {
+		// Split 3: overlapping equal-priority ACL entries — only the
+		// Tofino driver (LIFO tie-break) drops the tied probe.
+		backends := map[string]Target{
+			"reference": NewReference(),
+			"sdnet":     NewSDNet(DefaultErrata()),
+			"tofino":    NewTofino(DefaultTofinoErrata()),
+			"ebpf":      NewEBPF(DefaultEBPFErrata()),
+		}
+		for _, tgt := range backends {
+			firewallFixture(t, tgt)
+		}
+		tie := packet.BuildUDPv4(macA, macB, ipA, ipB, 40000, 53, make([]byte, 6))
+		if odd := splitOn(t, backends, tie); len(odd) != 1 || odd[0] != "tofino" {
+			t.Fatalf("acl tie probe: %v diverge, want exactly [tofino]", odd)
+		}
+		// An untied destination forwards identically everywhere.
+		clear := packet.BuildUDPv4(macA, macB, ipA, packet.IPv4Addr{10, 0, 1, 77}, 40000, 53, make([]byte, 6))
+		if odd := splitOn(t, backends, clear); len(odd) != 0 {
+			t.Fatalf("untied probe: unexpected split, %v diverge", odd)
+		}
+	})
 }

@@ -120,6 +120,11 @@ type ResourceReport struct {
 	// assigned to header fields. Zero on FPGA targets.
 	Stages, SRAMBlocks, TCAMBlocks, PHVBits int
 	StagePct, SRAMPct, TCAMPct, PHVPct      float64
+	// Software-offload footprint (eBPF): generated program length
+	// against the verifier budget, and BPF map count/bytes against the
+	// memlock budget. Zero on hardware targets.
+	Insns, Maps, MapBytes int
+	InsnPct, MemlockPct   float64
 }
 
 // String renders the estimate.
@@ -127,6 +132,10 @@ func (r ResourceReport) String() string {
 	if r.Stages > 0 {
 		return fmt.Sprintf("stages %d (%.1f%%), SRAM %d (%.1f%%), TCAM %d (%.1f%%), PHV %db (%.1f%%)",
 			r.Stages, r.StagePct, r.SRAMBlocks, r.SRAMPct, r.TCAMBlocks, r.TCAMPct, r.PHVBits, r.PHVPct)
+	}
+	if r.Maps > 0 {
+		return fmt.Sprintf("insns %d (%.2f%%), maps %d, map bytes %d (%.1f%% of memlock)",
+			r.Insns, r.InsnPct, r.Maps, r.MapBytes, r.MemlockPct)
 	}
 	if r.LUTs == 0 && r.FFs == 0 && r.BRAMs == 0 {
 		return "no hardware cost (software target)"

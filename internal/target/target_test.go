@@ -236,6 +236,7 @@ func TestProcessSteadyStateAllocs(t *testing.T) {
 		{"reference", NewReference()},
 		{"sdnet", NewSDNet(DefaultErrata())},
 		{"tofino", NewTofino(DefaultTofinoErrata())},
+		{"ebpf", NewEBPF(DefaultEBPFErrata())},
 	} {
 		loadRouter(t, tc.tgt)
 		frame := goodFrame()

@@ -86,6 +86,7 @@ func TestRunAcrossBackends(t *testing.T) {
 		{"reference", target.NewReference()},
 		{"sdnet", target.NewSDNet(target.DefaultErrata())},
 		{"tofino", target.NewTofino(target.DefaultTofinoErrata())},
+		{"ebpf", target.NewEBPF(target.DefaultEBPFErrata())},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			tst := New(newDeviceOn(t, tc.tg))

@@ -111,6 +111,15 @@ const (
 	// TargetTofinoFixed is the Tofino-style flow with the driver quirk
 	// repaired; the placement and PHV limits remain.
 	TargetTofinoFixed TargetKind = "tofino-fixed"
+	// TargetEBPF models an eBPF/XDP-style software offload: per-map-type
+	// capacity charged against a memlock budget, a mask-set scan (no
+	// TCAM) for ternary tables, a tail-call chain depth limit, latency
+	// that follows program length, and the shipped drivers' LPM /0 miss
+	// and map-full silent-update defects.
+	TargetEBPF TargetKind = "ebpf"
+	// TargetEBPFFixed is the offload flow with both driver defects
+	// repaired; the memlock, mask-set, and tail-call limits remain.
+	TargetEBPFFixed TargetKind = "ebpf-fixed"
 )
 
 // Options configures Open.
@@ -150,6 +159,10 @@ func Open(p4src string, opts Options) (*System, error) {
 		tgt = target.NewTofino(target.DefaultTofinoErrata())
 	case TargetTofinoFixed:
 		tgt = target.NewTofino(target.FixedTofinoErrata())
+	case TargetEBPF:
+		tgt = target.NewEBPF(target.DefaultEBPFErrata())
+	case TargetEBPFFixed:
+		tgt = target.NewEBPF(target.FixedEBPFErrata())
 	default:
 		return nil, fmt.Errorf("netdebug: unknown target %q", opts.Target)
 	}
@@ -207,16 +220,21 @@ func (s *System) Resources() (ResourceReport, error) {
 		TCAMBlocks: r.TCAMBlocks, PHVBits: r.PHVBits,
 		StagePct: r.StagePct, SRAMPct: r.SRAMPct,
 		TCAMPct: r.TCAMPct, PHVPct: r.PHVPct,
+		Insns: r.Insns, Maps: r.Maps, MapBytes: r.MapBytes,
+		InsnPct: r.InsnPct, MemlockPct: r.MemlockPct,
 	}, nil
 }
 
 // ResourceReport estimates hardware resource consumption: LUT/FF/BRAM
-// on FPGA targets, stages/SRAM/TCAM/PHV on fixed-pipeline ASIC targets.
+// on FPGA targets, stages/SRAM/TCAM/PHV on fixed-pipeline ASIC
+// targets, and program/map footprint on software-offload targets.
 type ResourceReport struct {
 	LUTs, FFs, BRAMs                        int
 	LUTPct, FFPct, BRAMPct                  float64
 	Stages, SRAMBlocks, TCAMBlocks, PHVBits int
 	StagePct, SRAMPct, TCAMPct, PHVPct      float64
+	Insns, Maps, MapBytes                   int
+	InsnPct, MemlockPct                     float64
 }
 
 // InjectFault injects a hardware fault into the device.

@@ -83,6 +83,63 @@ func TestFacadeTofinoTarget(t *testing.T) {
 	}
 }
 
+// TestFacadeEBPFTarget opens the router on the software-offload
+// backend: malformed packets drop (reject is implemented), the /0
+// default-route defect is visible through Validate on the shipped flow
+// and repaired on the fixed one, and the resource report is the
+// program/map form.
+func TestFacadeEBPFTarget(t *testing.T) {
+	for _, tc := range []struct {
+		kind netdebug.TargetKind
+		// zeroRouteWorks is false on the shipped flow: the LPM-trie
+		// driver never matches a /0 entry.
+		zeroRouteWorks bool
+	}{
+		{netdebug.TargetEBPF, false},
+		{netdebug.TargetEBPFFixed, true},
+	} {
+		sys := openRouterT(t, tc.kind)
+		if sys.TargetName() != "ebpf" {
+			t.Fatalf("target = %q", sys.TargetName())
+		}
+		if err := sys.InstallEntry(netdebug.Entry{
+			Table:  "ipv4_lpm",
+			Keys:   []netdebug.KeyValue{{Value: netdebug.NewValue(0, 32), PrefixLen: 0}},
+			Action: "ipv4_forward",
+			Args:   []netdebug.Value{netdebug.ValueFromBytes(gwMAC[:]), netdebug.NewValue(2, 9)},
+		}); err != nil {
+			t.Fatalf("%s: the /0 install must be acknowledged: %v", tc.kind, err)
+		}
+		off := packet.BuildUDPv4(srcMAC, gwMAC, srcIP, packet.IPv4Addr{172, 16, 9, 9}, 4100, 53, nil)
+		rep, err := sys.Validate(&netdebug.TestSpec{
+			Name: "ebpf-default-route",
+			Gen: netdebug.GenSpec{Streams: []netdebug.StreamSpec{{
+				Name: "off-subnet", Template: off, Count: 20, RatePPS: 1e6,
+			}}},
+			Check: netdebug.CheckSpec{Rules: []netdebug.Rule{{
+				Name: "via-default-route", Stream: "off-subnet", ExpectPort: 2,
+			}}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Pass != tc.zeroRouteWorks {
+			t.Fatalf("%s: default-route validation pass=%v, want %v (%v)",
+				tc.kind, rep.Pass, tc.zeroRouteWorks, rep)
+		}
+		res, err := sys.Resources()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Insns < 1 || res.Maps != 1 || res.MapBytes < 1 || res.MemlockPct <= 0 {
+			t.Fatalf("%s resources: %+v", tc.kind, res)
+		}
+		if res.LUTs != 0 || res.Stages != 0 {
+			t.Fatalf("%s reports hardware fields: %+v", tc.kind, res)
+		}
+	}
+}
+
 func TestFacadeEndToEnd(t *testing.T) {
 	sys := openRouterT(t, netdebug.TargetSDNet)
 	layout, err := sys.Layout("ethernet", "ipv4")
