@@ -7,6 +7,7 @@
 //	figures -exp T3        fault localization accuracy
 //	figures -exp T4        comparison of alternative specifications
 //	figures -exp T5        million-flow table-occupancy sweep
+//	figures -exp V1        verify-side throughput (parallel path exploration)
 //	figures -all           everything, in order
 //
 // The -parallel flag runs the suite-shaped experiments across a worker
@@ -23,6 +24,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strings"
+	"time"
 
 	"netdebug"
 	"netdebug/internal/p4/compile"
@@ -30,11 +34,13 @@ import (
 	"netdebug/internal/packet"
 	"netdebug/internal/scenario"
 	"netdebug/internal/target"
+	"netdebug/internal/verify"
+	"netdebug/internal/verify/solver"
 )
 
 var (
 	figure   = flag.Int("figure", 0, "regenerate a figure (2)")
-	exp      = flag.String("exp", "", "regenerate an experiment (E1, T1, T2, T3, T4, T5)")
+	exp      = flag.String("exp", "", "regenerate an experiment (E1, T1, T2, T3, T4, T5, V1)")
 	all      = flag.Bool("all", false, "regenerate everything")
 	details  = flag.Bool("details", false, "print per-scenario detail lines for Figure 2")
 	parallel = flag.Int("parallel", 0, "suite workers: 0 sequential, <0 one per CPU")
@@ -50,9 +56,9 @@ func main() {
 		figure2()
 		ran = true
 	}
-	runs := map[string]func(){"E1": e1, "T1": t1, "T2": t2, "T3": t3, "T4": t4, "T5": t5}
+	runs := map[string]func(){"E1": e1, "T1": t1, "T2": t2, "T3": t3, "T4": t4, "T5": t5, "V1": v1}
 	if *all {
-		for _, id := range []string{"E1", "T1", "T2", "T3", "T4", "T5"} {
+		for _, id := range []string{"E1", "T1", "T2", "T3", "T4", "T5", "V1"} {
 			runs[id]()
 		}
 		ran = true
@@ -413,3 +419,131 @@ func t4() {
 	}
 	fmt.Printf("router vs router-split: %d probes, %d divergences\n", probes, diverged)
 }
+
+// v1 measures the verify side: parallel path exploration throughput
+// (paths/s at 1..N workers with per-path feasibility solving) and the
+// CDCL solver rebuild against the retired DPLL reference on a
+// router-like path formula. Results are identical at every worker
+// count — only the wall clock moves.
+func v1() {
+	header("V1 — verify-side throughput (CDCL solver + parallel exploration)")
+
+	// Solver micro: the router-like path condition that anchors the
+	// pinned benchmark set.
+	constraints := []solver.BV{
+		solver.Eq(solver.Var("ethernet.etherType", 16), solver.ConstUint(0x0800, 16)),
+		solver.Neq(solver.Var("ipv4.version", 4), solver.ConstUint(4, 4)),
+		solver.Bin(solver.OpUge, solver.Var("ipv4.ihl", 4), solver.ConstUint(5, 4)),
+		solver.Neq(solver.Var("ipv4.ttl", 8), solver.ConstUint(0, 8)),
+	}
+	const reps = 200
+	t0 := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, st := solver.Solve(constraints); st != solver.Sat {
+			log.Fatal("router-like formula must be sat")
+		}
+	}
+	cdclNs := time.Since(t0).Nanoseconds() / reps
+	t0 = time.Now()
+	for i := 0; i < reps; i++ {
+		if _, st := solver.SolveReference(constraints); st != solver.Sat {
+			log.Fatal("router-like formula must be sat")
+		}
+	}
+	refNs := time.Since(t0).Nanoseconds() / reps
+	fmt.Printf("router-like solve: cdcl %6dns/op  reference-dpll %8dns/op  speedup %.1fx\n\n",
+		cdclNs, refNs, float64(refNs)/float64(cdclNs))
+
+	fmt.Printf("%-12s %8s %7s %7s %7s %10s %10s %9s %8s %8s\n",
+		"program", "workers", "paths", "pruned", "ms", "paths/s", "props", "conflicts", "learned", "peakcls")
+	progs := []struct {
+		name string
+		src  string
+	}{
+		{"router", p4test.Router},
+		{"router-split", p4test.RouterSplit},
+		{"firewall", p4test.Firewall},
+		{"synth-splits", v1SynthFlow},
+	}
+	// digest captures everything observable about an exploration —
+	// path order, verdicts, action choices, constraints, and sorted
+	// models — so the cross-worker-count comparison below catches any
+	// divergence, not just a changed path count.
+	digest := func(exp *verify.Exploration) string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%d/%d/%d|", len(exp.Paths), exp.Pruned, exp.Truncated)
+		for _, p := range exp.Paths {
+			fmt.Fprintf(&b, "#%d %s %v %v %v |", p.ID, p.Verdict, p.ParserPath, p.Actions, p.Dropped)
+			for _, c := range p.Constraints {
+				fmt.Fprintf(&b, "%s;", c)
+			}
+			names := make([]string, 0, len(p.Model))
+			for name := range p.Model {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				fmt.Fprintf(&b, "%s=%s;", name, p.Model[name])
+			}
+		}
+		return b.String()
+	}
+	for _, pr := range progs {
+		prog, err := compile.Compile(pr.src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var base string
+		for _, workers := range []int{1, 2, 4, 8} {
+			t0 := time.Now()
+			exp, err := verify.ExploreWithStats(prog, verify.Options{Workers: workers, SolvePaths: true})
+			if err != nil {
+				log.Fatal(err)
+			}
+			wall := time.Since(t0)
+			explored := len(exp.Paths) + exp.Pruned
+			fmt.Printf("%-12s %8d %7d %7d %7.1f %10.0f %10d %9d %8d %8d\n",
+				pr.name, workers, len(exp.Paths), exp.Pruned,
+				float64(wall.Microseconds())/1000, float64(explored)/wall.Seconds(),
+				exp.Solver.Propagations, exp.Solver.Conflicts, exp.Solver.Learned, exp.Solver.PeakClauses)
+			d := digest(exp)
+			if workers == 1 {
+				base = d
+			} else if d != base {
+				log.Fatalf("%s: %d workers changed the explored result (paths, order, constraints, or models differ from sequential)",
+					pr.name, workers)
+			}
+		}
+	}
+}
+
+// v1SynthFlow is a fixed many-path flow (32 if/else combinations times 4
+// table outcomes) whose conditions exercise the solver's adders — the
+// workload behind BenchmarkExploreParallel.
+const v1SynthFlow = `
+header flow_t { bit<8> f0; bit<8> f1; bit<8> f2; bit<8> f3; }
+struct hs { flow_t flow; }
+parser P(packet_in pkt, out hs hdr, inout standard_metadata_t sm) {
+  state start { pkt.extract(hdr.flow); transition accept; }
+}
+control I(inout hs hdr, inout standard_metadata_t sm) {
+  action bump(bit<8> d) { hdr.flow.f2 = hdr.flow.f2 + d; }
+  action drop() { mark_to_drop(); }
+  table steer {
+    key = { hdr.flow.f0: exact; }
+    actions = { bump; drop; NoAction; }
+    default_action = NoAction();
+  }
+  apply {
+    sm.egress_spec = 9w1;
+    if (hdr.flow.f0 + hdr.flow.f1 < 8w117) { hdr.flow.f3 = hdr.flow.f3 + 8w1; } else { hdr.flow.f3 = hdr.flow.f3 - 8w3; }
+    if (hdr.flow.f1 + hdr.flow.f2 >= 8w60) { hdr.flow.f3 = hdr.flow.f3 + 8w1; } else { hdr.flow.f3 = hdr.flow.f3 - 8w3; }
+    if (hdr.flow.f2 + hdr.flow.f3 <= 8w200) { hdr.flow.f3 = hdr.flow.f3 + 8w1; } else { hdr.flow.f3 = hdr.flow.f3 - 8w3; }
+    if (hdr.flow.f0 + hdr.flow.f3 > 8w31) { hdr.flow.f3 = hdr.flow.f3 + 8w1; } else { hdr.flow.f3 = hdr.flow.f3 - 8w3; }
+    if (hdr.flow.f1 + hdr.flow.f3 < 8w188) { hdr.flow.f3 = hdr.flow.f3 + 8w1; } else { hdr.flow.f3 = hdr.flow.f3 - 8w3; }
+    steer.apply();
+  }
+}
+control D(packet_out pkt, in hs hdr) { apply { pkt.emit(hdr.flow); } }
+S(P(), I(), D()) main;
+`

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"time"
 
 	"netdebug/internal/control"
 	"netdebug/internal/device"
@@ -64,6 +65,12 @@ type Agent struct {
 	mu     sync.Mutex
 	spec   *TestSpec
 	report *Report
+
+	// batch staging reused across runs: frames/ats carve each
+	// same-ingress-port run of the generated stream into one
+	// InjectInternalBatch call.
+	batchFrames [][]byte
+	batchAts    []time.Duration
 }
 
 // NewAgent attaches NetDebug to a device.
@@ -89,10 +96,15 @@ func (a *Agent) Configure(spec *TestSpec) error {
 	return nil
 }
 
-// Run executes the configured test: the generator injects each test packet
-// directly into the data plane under test at its scheduled virtual time,
-// and the checker validates every result in real time. The report is
-// retained for collection.
+// maxInjectBatch bounds one InjectInternalBatch run so the target's
+// batch scratch (one context per slot) stays modest on huge streams.
+const maxInjectBatch = 512
+
+// Run executes the configured test: the generator materializes every
+// test packet into its arena, consecutive same-ingress-port packets are
+// injected as one batch through the target's batched data-plane path
+// (Engine.ProcessBatch under the hood), and the checker validates every
+// result in real time. The report is retained for collection.
 func (a *Agent) Run() (*Report, error) {
 	a.mu.Lock()
 	spec := a.spec
@@ -108,10 +120,31 @@ func (a *Agent) Run() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, tp := range gen.Packets(a.dev.Now()) {
-		res := a.dev.InjectInternal(tp.Data, tp.IngressPort, tp.At, true)
-		checker.OnResult(tp, res, tp.At)
+	pkts := gen.Packets(a.dev.Now())
+	for start := 0; start < len(pkts); {
+		port := pkts[start].IngressPort
+		end := start + 1
+		for end < len(pkts) && end-start < maxInjectBatch && pkts[end].IngressPort == port {
+			end++
+		}
+		frames := a.batchFrames[:0]
+		ats := a.batchAts[:0]
+		for _, tp := range pkts[start:end] {
+			frames = append(frames, tp.Data)
+			ats = append(ats, tp.At)
+		}
+		a.batchFrames, a.batchAts = frames, ats
+		results := a.dev.InjectInternalBatch(frames, port, ats, true)
+		for i := range results {
+			checker.OnResult(pkts[start+i], results[i], ats[i])
+		}
+		start = end
 	}
+	// Drop the frame pointers — over the full capacity, not just the
+	// final batch's length — so the agent does not pin this run's
+	// generator slab until the next Run.
+	clear(a.batchFrames[:cap(a.batchFrames)])
+	a.batchFrames = a.batchFrames[:0]
 	report := checker.Finish()
 	a.mu.Lock()
 	a.report = report

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"time"
 
 	"netdebug/internal/bitfield"
@@ -69,8 +68,18 @@ type TestPacket struct {
 }
 
 // Generator produces the timed packet sequence described by a GenSpec.
+// Packet data and the returned packet slice live in arenas owned by the
+// generator and are reused by the next Packets call, so steady-state
+// generation allocates nothing per packet.
 type Generator struct {
 	spec GenSpec
+
+	// arenas reused across Packets calls.
+	slab    []byte       // packet bytes, carved per packet
+	gen     []TestPacket // per-stream generation order
+	out     []TestPacket // time-merged output order
+	fuzzers []*rand.Rand // one per (stream, fuzz field), reseeded per call
+	heads   []int        // per-stream merge cursors
 }
 
 // NewGenerator validates the spec and returns a generator.
@@ -133,8 +142,31 @@ func lineRatePPS(n int) float64 {
 // Packet generation is fully deterministic for a given spec. Sequence tags
 // (Seq) are unique across all streams so the checker can attribute any
 // output packet to its injected original.
+//
+// The returned slice and the packet Data buffers are owned by the
+// generator's arena: they are valid until the next Packets call.
 func (g *Generator) Packets(start time.Duration) []TestPacket {
-	var out []TestPacket
+	total, bytes, nFuzz := 0, 0, 0
+	for _, s := range g.spec.Streams {
+		total += s.Count
+		bytes += s.Count * len(s.Template)
+		nFuzz += len(s.Fuzz)
+	}
+	if cap(g.slab) < bytes {
+		g.slab = make([]byte, bytes)
+	}
+	if cap(g.gen) < total {
+		g.gen = make([]TestPacket, total)
+		g.out = make([]TestPacket, total)
+	}
+	for len(g.fuzzers) < nFuzz {
+		g.fuzzers = append(g.fuzzers, rand.New(rand.NewSource(0)))
+	}
+	slab := g.slab[:bytes]
+	gen := g.gen[:0]
+	used := 0
+	fzIdx := 0
+
 	gid := uint64(0)
 	for _, s := range g.spec.Streams {
 		rate := s.RatePPS
@@ -142,12 +174,15 @@ func (g *Generator) Packets(start time.Duration) []TestPacket {
 			rate = lineRatePPS(len(s.Template))
 		}
 		interval := time.Duration(1e9 / rate)
-		fuzzers := make([]*rand.Rand, len(s.Fuzz))
+		fuzzers := g.fuzzers[fzIdx : fzIdx+len(s.Fuzz)]
+		fzIdx += len(s.Fuzz)
 		for i, fz := range s.Fuzz {
-			fuzzers[i] = rand.New(rand.NewSource(fz.Seed))
+			fuzzers[i].Seed(fz.Seed)
 		}
 		for i := 0; i < s.Count; i++ {
-			data := append([]byte(nil), s.Template...)
+			data := slab[used : used+len(s.Template)]
+			used += len(s.Template)
+			copy(data, s.Template)
 			for _, sw := range s.Sweeps {
 				v := sw.Start + uint64(i)*sw.Step
 				bitfield.MustInject(data, sw.Loc.BitOff, sw.Loc.Bits, bitfield.New(v, sw.Loc.Bits))
@@ -171,10 +206,47 @@ func (g *Generator) Packets(start time.Duration) []TestPacket {
 				fixIPv4Checksum(data)
 			}
 			tp.Data = data
-			out = append(out, tp)
+			gen = append(gen, tp)
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	g.gen = gen
+	return g.mergeByTime(gen, total)
+}
+
+// mergeByTime k-way merges the per-stream runs of gen (each run is
+// non-decreasing in At) into g.out. Ties keep stream order, matching the
+// stable sort this replaces, without the sort's per-call allocations.
+func (g *Generator) mergeByTime(gen []TestPacket, total int) []TestPacket {
+	nStreams := len(g.spec.Streams)
+	if nStreams == 1 {
+		return gen
+	}
+	if cap(g.heads) < 2*nStreams {
+		g.heads = make([]int, 2*nStreams)
+	}
+	heads := g.heads[:nStreams]
+	ends := g.heads[nStreams : 2*nStreams]
+	pos := 0
+	for i, s := range g.spec.Streams {
+		heads[i] = pos
+		pos += s.Count
+		ends[i] = pos
+	}
+	out := g.out[:0]
+	for len(out) < total {
+		best := -1
+		for i := 0; i < nStreams; i++ {
+			if heads[i] >= ends[i] {
+				continue
+			}
+			if best < 0 || gen[heads[i]].At < gen[heads[best]].At {
+				best = i
+			}
+		}
+		out = append(out, gen[heads[best]])
+		heads[best]++
+	}
+	g.out = out
 	return out
 }
 

@@ -391,6 +391,37 @@ func (d *Device) InjectInternal(frame []byte, ingressPort uint64, at time.Durati
 	return d.process(frame, ingressPort, at, trace)
 }
 
+// InjectInternalBatch pushes a run of frames from one ingress port
+// through the batched data-plane path (target.ProcessBatch) — how the
+// in-device generator drives its probe streams. Frame i is injected at
+// at[i]. It is behaviourally equivalent to one InjectInternal call per
+// frame — the same counters, the same per-frame dataplane taps in order
+// — but amortizes per-packet dispatch over the run; as with
+// SendExternalBurst, the whole run executes before the first tap fires.
+// The returned results (and the output bytes they reference) are valid
+// until the next batch on this device's target.
+func (d *Device) InjectInternalBatch(frames [][]byte, ingressPort uint64, at []time.Duration, trace bool) []target.Result {
+	for _, t := range at {
+		d.AdvanceTo(t)
+	}
+	d.cInjected.Add(uint64(len(frames)))
+	results := d.cfg.Target.ProcessBatch(frames, ingressPort, trace)
+	for i := range results {
+		res := &results[i]
+		d.fire(TapEvent{Point: TapDataplaneIn, Port: int(ingressPort), Data: frames[i], At: at[i]})
+		done := at[i] + res.Latency
+		if res.Dropped() {
+			d.cDropped.Inc()
+			d.fire(TapEvent{Point: TapDataplaneOut, Port: -1, Data: nil, At: done, Result: res})
+			continue
+		}
+		for _, out := range res.Outputs {
+			d.fire(TapEvent{Point: TapDataplaneOut, Port: int(out.Port), Data: out.Data, At: done, Result: res})
+		}
+	}
+	return results
+}
+
 // process runs the data plane and fires dataplane taps; it returns the
 // result without queueing outputs. The result is staged in a
 // depth-indexed scratch slot so tap events can carry a pointer without

@@ -1040,6 +1040,82 @@ func comparisonScenarios() []Scenario {
 				},
 			},
 		},
+		{
+			// The verify-throughput cell: each tool compares its fast path
+			// against its reference path on the same workload and must get
+			// identical results — parallel path exploration vs sequential
+			// for the verifier, batched probe injection vs per-packet for
+			// NetDebug.
+			Name:    "fast paths reproduce the reference results",
+			UseCase: Comparison,
+			Run: map[string]func() Outcome{
+				ToolNetDebug: func() Outcome {
+					spec := &core.TestSpec{
+						Name: "batched-vs-sequential",
+						Gen: core.GenSpec{Streams: []core.StreamSpec{{
+							Name: "probe", Template: goodFrame(), Count: 2000, RatePPS: 1e6,
+						}}},
+						Check: core.CheckSpec{Rules: []core.Rule{{Name: "fwd", Stream: "probe", ExpectPort: 1}}},
+					}
+					// Batched agent run (Engine.ProcessBatch under the hood).
+					agent := core.NewAgent(routerDevice(p4test.Router, target.NewReference()))
+					if err := agent.Configure(spec); err != nil {
+						return missed("configure: %v", err)
+					}
+					batched, err := agent.Run()
+					if err != nil {
+						return missed("batched run: %v", err)
+					}
+					// Reference: the same stream injected one packet at a time.
+					dev := routerDevice(p4test.Router, target.NewReference())
+					gen, err := core.NewGenerator(spec.Gen)
+					if err != nil {
+						return missed("generator: %v", err)
+					}
+					checker, err := core.NewChecker(spec.Check)
+					if err != nil {
+						return missed("checker: %v", err)
+					}
+					for _, tp := range gen.Packets(dev.Now()) {
+						checker.OnResult(tp, dev.InjectInternal(tp.Data, tp.IngressPort, tp.At, true), tp.At)
+					}
+					seq := checker.Finish()
+					if !batched.Pass || !seq.Pass ||
+						batched.Forwarded != seq.Forwarded || batched.LatP99Ns != seq.LatP99Ns {
+						return missed("batched path diverged: %v vs %v", batched, seq)
+					}
+					return detected("batched generator path matches per-packet injection on %d probes at %.0f pps",
+						batched.Injected, batched.OutPPS)
+				},
+				ToolFormal: func() Outcome {
+					prog := mustProg(p4test.Firewall)
+					digest := func(exp *verify.Exploration) string {
+						var b strings.Builder
+						fmt.Fprintf(&b, "%d/%d|", len(exp.Paths), exp.Pruned)
+						for _, p := range exp.Paths {
+							fmt.Fprintf(&b, "%s:%v:%d;", p.Verdict, p.Actions, len(p.Model))
+						}
+						return b.String()
+					}
+					seq, err := verify.ExploreWithStats(prog, verify.Options{Workers: 1, SolvePaths: true})
+					if err != nil {
+						return missed("sequential explore: %v", err)
+					}
+					par, err := verify.ExploreWithStats(prog, verify.Options{Workers: 8, SolvePaths: true})
+					if err != nil {
+						return missed("parallel explore: %v", err)
+					}
+					if digest(par) != digest(seq) {
+						return missed("parallel exploration diverged from sequential")
+					}
+					return detected("8-worker exploration matches sequential: %d feasible paths (%d pruned), %d propagations",
+						len(par.Paths), par.Pruned, par.Solver.Propagations)
+				},
+				ToolExternal: func() Outcome {
+					return unsupported("the tester observes wire traffic; program paths and the in-device generator are out of reach")
+				},
+			},
+		},
 	}
 }
 

@@ -3,6 +3,7 @@ package verify
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"netdebug/internal/p4/ir"
 	"netdebug/internal/verify/solver"
@@ -64,33 +65,69 @@ func (r Result) counterexampleString() string {
 	return strings.Join(parts, " ")
 }
 
-// Check verifies one property over every explored path.
+// Check verifies one property over every explored path. Exploration and
+// candidate-counterexample solving both run on Options.Workers lanes;
+// the result is the same at any worker count (the lowest-ID feasible
+// violation wins).
 func Check(prog *ir.Program, prop Property, opts Options) (Result, error) {
+	opts.fill()
 	paths, truncated, err := Explore(prog, opts)
 	if err != nil {
 		return Result{}, err
 	}
 	res := Result{Property: prop.Name, Holds: true, PathsChecked: len(paths), Truncated: truncated}
-	for _, p := range paths {
-		violated, extra := prop.Violation(prog, p)
-		if !violated {
-			continue
+
+	// Walk paths in order, gathering violation candidates lazily into
+	// blocks of Workers and solving each block concurrently: the
+	// earliest feasible violation short-circuits both the remaining
+	// Violation sweeps and the remaining solves.
+	type candidate struct {
+		path *Path
+		cons []solver.BV
+	}
+	cands := make([]candidate, 0, opts.Workers)
+	models := make([]solver.Model, opts.Workers)
+	statuses := make([]solver.Status, opts.Workers)
+	for pi := 0; pi < len(paths); {
+		cands = cands[:0]
+		for pi < len(paths) && len(cands) < opts.Workers {
+			p := paths[pi]
+			pi++
+			violated, extra := prop.Violation(prog, p)
+			if !violated {
+				continue
+			}
+			cons := append(append([]solver.BV(nil), p.Constraints...), extra...)
+			cands = append(cands, candidate{path: p, cons: cons})
 		}
-		cons := append(append([]solver.BV(nil), p.Constraints...), extra...)
-		model, status := solver.Solve(cons)
-		switch status {
-		case solver.Sat:
-			res.Holds = false
-			res.Counterexample = model
-			res.Path = p
-			return res, nil
-		case solver.Unknown:
-			res.Holds = false
-			res.Inconclusive = true
-			res.Path = p
-			return res, nil
+		if len(cands) == 1 {
+			models[0], statuses[0] = solver.Solve(cands[0].cons)
+		} else if len(cands) > 1 {
+			var wg sync.WaitGroup
+			for i := range cands {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					models[i], statuses[i] = solver.Solve(cands[i].cons)
+				}(i)
+			}
+			wg.Wait()
 		}
-		// Unsat: the violating path is infeasible; keep looking.
+		for i := range cands {
+			switch statuses[i] {
+			case solver.Sat:
+				res.Holds = false
+				res.Counterexample = models[i]
+				res.Path = cands[i].path
+				return res, nil
+			case solver.Unknown:
+				res.Holds = false
+				res.Inconclusive = true
+				res.Path = cands[i].path
+				return res, nil
+			}
+			// Unsat: the violating path is infeasible; keep looking.
+		}
 	}
 	return res, nil
 }
@@ -169,17 +206,17 @@ func PropFieldNonZeroOnForward(instName, fieldName string) Property {
 }
 
 // RejectReachable reports whether any feasible path reaches the parser's
-// reject state — parser coverage information.
+// reject state — parser coverage information. Feasibility is decided
+// during exploration itself (SolvePaths), so the reject paths arrive
+// already solved on the worker pool.
 func RejectReachable(prog *ir.Program, opts Options) (bool, error) {
-	paths, _, err := Explore(prog, opts)
+	opts.SolvePaths = true
+	exp, err := ExploreWithStats(prog, opts)
 	if err != nil {
 		return false, err
 	}
-	for _, p := range paths {
-		if p.Verdict != "reject" {
-			continue
-		}
-		if _, status := solver.Solve(p.Constraints); status == solver.Sat {
+	for _, p := range exp.Paths {
+		if p.Verdict == "reject" && p.Model != nil {
 			return true, nil
 		}
 	}

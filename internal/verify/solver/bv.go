@@ -1,6 +1,9 @@
 // Package solver implements a small decision procedure for fixed-width
-// bit-vector constraints: terms are bit-blasted to CNF and decided with a
-// DPLL SAT solver.
+// bit-vector constraints: terms are bit-blasted to CNF through a
+// structurally-hashed Tseitin encoder and decided by a two-watched-
+// literal CDCL SAT core (conflict-driven backjumping, activity-ordered
+// branching, arena-backed clause storage). The retired naive pipeline is
+// kept as SolveReference and serves as the differential-testing oracle.
 //
 // It is the engine behind NetDebug's software formal-verification baseline
 // (package verify), standing in for the SMT solvers used by tools like

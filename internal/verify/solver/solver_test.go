@@ -233,20 +233,40 @@ func TestStringRendering(t *testing.T) {
 	}
 }
 
-func BenchmarkSolveRouterLikePath(b *testing.B) {
-	// Constraint shape typical of a parser path condition.
+// routerLikeConstraints is the constraint shape typical of a parser path
+// condition; shared by the CDCL and reference solver benchmarks so the
+// bench gate can assert the rebuild's speedup within one run.
+func routerLikeConstraints() []BV {
 	etherType := Var("ethernet.etherType", 16)
 	version := Var("ipv4.version", 4)
 	ihl := Var("ipv4.ihl", 4)
 	ttl := Var("ipv4.ttl", 8)
-	constraints := []BV{
+	return []BV{
 		Eq(etherType, ConstUint(0x0800, 16)),
 		Neq(version, ConstUint(4, 4)),
 		Bin(OpUge, ihl, ConstUint(5, 4)),
 		Neq(ttl, ConstUint(0, 8)),
 	}
+}
+
+func BenchmarkSolveRouterLikePath(b *testing.B) {
+	constraints := routerLikeConstraints()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, st := Solve(constraints); st != Sat {
+			b.Fatal(st)
+		}
+	}
+}
+
+// BenchmarkSolveReferenceRouterLikePath measures the retired DPLL
+// pipeline on the identical formula; cmd/benchgate asserts Solve stays
+// >= 5x faster than this within the same run.
+func BenchmarkSolveReferenceRouterLikePath(b *testing.B) {
+	constraints := routerLikeConstraints()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, st := SolveReference(constraints); st != Sat {
 			b.Fatal(st)
 		}
 	}

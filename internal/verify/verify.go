@@ -10,10 +10,25 @@
 // parser rejects malformed packets verifies as correct even when the
 // deployed compiler never implemented reject. NetDebug catches exactly the
 // bugs this tool cannot.
+//
+// Exploration is parallel: branch subtrees are handed to a bounded worker
+// pool (Options.Workers), each worker carrying its own solver context so
+// paths solve concurrently. Sibling branches share their constraint
+// prefix through the context's scoped push/pop API instead of re-encoding
+// it from scratch. The output contract is strict determinism — the same
+// paths, in the same order, with the same models, at any worker count.
+// Whether exploration fails is equally deterministic (an unsupported
+// construct is always reached; a budget overflow always fires), but when
+// several lanes fail concurrently the error reported is the first one
+// recorded, which may differ run to run.
 package verify
 
 import (
+	"errors"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"netdebug/internal/bitfield"
 	"netdebug/internal/p4/ir"
@@ -22,11 +37,24 @@ import (
 
 // Options bounds exploration.
 type Options struct {
-	// MaxPaths caps the number of explored paths (default 4096).
+	// MaxPaths caps the number of completed paths (default 4096). Paths
+	// pruned as infeasible by SolvePaths count against the budget too —
+	// it bounds exploration work, not output size. Exceeding the budget
+	// is an error, and deterministically so: Explore fails if and only
+	// if the program completes more than MaxPaths paths, at any worker
+	// count.
 	MaxPaths int
 	// MaxStateVisits bounds repeated visits to the same parser state on a
 	// single path, so cyclic parse graphs terminate (default 2).
 	MaxStateVisits int
+	// Workers bounds the branch-exploration worker pool (default 1,
+	// sequential). Output — path order, constraints, models — is
+	// identical at any worker count.
+	Workers int
+	// SolvePaths solves every completed path on its worker's solver
+	// context: infeasible paths are dropped (counted in
+	// Exploration.Pruned) and feasible ones carry a satisfying Model.
+	SolvePaths bool
 }
 
 func (o *Options) fill() {
@@ -36,10 +64,16 @@ func (o *Options) fill() {
 	if o.MaxStateVisits == 0 {
 		o.MaxStateVisits = 2
 	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
 }
 
 // Path is one fully-explored execution path.
 type Path struct {
+	// ID is the path's index in the deterministic output order (the
+	// sequential depth-first order, independent of Options.Workers).
+	ID int
 	// Constraints is the path condition: width-1 terms all true.
 	Constraints []solver.BV
 	// Verdict is the parser outcome on this path.
@@ -59,6 +93,23 @@ type Path struct {
 	Fields [][]solver.BV
 	// Valid exposes final header validity.
 	Valid []bool
+	// Model is a satisfying assignment of Constraints, present when
+	// Options.SolvePaths is set and the path solved Sat (a nil Model
+	// with SolvePaths set means the solver returned Unknown).
+	Model solver.Model
+}
+
+// Exploration is the full result of a symbolic-execution run.
+type Exploration struct {
+	// Paths holds every completed path in deterministic order.
+	Paths []*Path
+	// Truncated counts paths cut off by bounds (reported, not silently
+	// dropped).
+	Truncated int
+	// Pruned counts infeasible paths dropped by SolvePaths.
+	Pruned int
+	// Solver aggregates solver effort across every worker context.
+	Solver solver.Stats
 }
 
 // state is the mutable symbolic machine state during exploration.
@@ -74,11 +125,21 @@ type state struct {
 	parserPath []string
 	actions    []string
 	visits     map[int]int
+	// fresh numbers this path's symbolic variables. It is path-local so
+	// variable names depend only on the path's own history, never on
+	// exploration order across paths.
+	fresh int
+	// decisions encodes the branch taken at every fork (two bytes per
+	// fork, big-endian); its lexicographic order is exactly the
+	// sequential depth-first path order, which is how parallel results
+	// are put back in deterministic order.
+	decisions []byte
 }
 
 func (s *state) clone() *state {
 	ns := &state{
 		dropped: s.dropped, dropStage: s.dropStage, egressSet: s.egressSet,
+		fresh: s.fresh,
 	}
 	ns.fields = make([][]solver.BV, len(s.fields))
 	for i := range s.fields {
@@ -97,25 +158,72 @@ func (s *state) clone() *state {
 	for k, v := range s.visits {
 		ns.visits[k] = v
 	}
+	ns.decisions = append([]byte(nil), s.decisions...)
 	return ns
+}
+
+func (s *state) decide(i int) {
+	s.decisions = append(s.decisions, byte(i>>8), byte(i))
+}
+
+// worker is one exploration lane: a goroutine slot plus its private
+// solver context (nil unless Options.SolvePaths).
+type worker struct {
+	ctx *solver.Ctx
 }
 
 // explorer drives symbolic execution.
 type explorer struct {
-	prog  *ir.Program
-	opts  Options
-	paths []*Path
-	fresh int
-	// truncated counts paths cut off by bounds (reported, not silently
-	// dropped).
-	truncated int
+	prog *ir.Program
+	opts Options
+
+	// spare holds idle workers a fork can hand a branch subtree to; nil
+	// when running sequentially.
+	spare   chan *worker
+	workers []*worker
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	finished []finishedPath
+	firstErr error
+
+	npaths    atomic.Int64
+	truncated atomic.Int64
+	pruned    atomic.Int64
+	aborted   atomic.Bool
+}
+
+type finishedPath struct {
+	key string
+	p   *Path
 }
 
 // Explore symbolically executes the program and returns every completed
-// path. The error reports unsupported constructs.
+// path plus the truncated-path count. The error reports unsupported
+// constructs.
 func Explore(prog *ir.Program, opts Options) ([]*Path, int, error) {
+	exp, err := ExploreWithStats(prog, opts)
+	if err != nil {
+		return nil, exp.Truncated, err
+	}
+	return exp.Paths, exp.Truncated, nil
+}
+
+// ExploreWithStats is Explore with the full Exploration result: pruning
+// counts and aggregated solver-effort statistics. On error the returned
+// Exploration still carries the counters observed before the abort.
+func ExploreWithStats(prog *ir.Program, opts Options) (*Exploration, error) {
 	opts.fill()
 	ex := &explorer{prog: prog, opts: opts}
+	if opts.Workers > 1 {
+		ex.spare = make(chan *worker, opts.Workers-1)
+		for i := 0; i < opts.Workers-1; i++ {
+			w := ex.newWorker()
+			ex.spare <- w
+		}
+	}
+	w := ex.newWorker()
+
 	st := &state{visits: map[int]int{}}
 	st.fields = make([][]solver.BV, len(prog.Instances))
 	st.valid = make([]bool, len(prog.Instances))
@@ -128,36 +236,125 @@ func Explore(prog *ir.Program, opts Options) ([]*Path, int, error) {
 		}
 		st.valid[i] = inst.Metadata
 	}
-	if err := ex.runParser(st, prog.Parser.Start); err != nil {
-		return nil, ex.truncated, err
+	if err := ex.runParser(w, st, prog.Parser.Start); err != nil {
+		ex.fail(err)
 	}
-	return ex.paths, ex.truncated, nil
+	ex.wg.Wait()
+
+	exp := &Exploration{
+		Truncated: int(ex.truncated.Load()),
+		Pruned:    int(ex.pruned.Load()),
+	}
+	for _, wk := range ex.workers {
+		if wk.ctx != nil {
+			exp.Solver.Add(wk.ctx.Stats())
+		}
+	}
+	if err := ex.err(); err != nil {
+		return exp, err
+	}
+	sort.Slice(ex.finished, func(i, j int) bool { return ex.finished[i].key < ex.finished[j].key })
+	exp.Paths = make([]*Path, len(ex.finished))
+	for i, f := range ex.finished {
+		f.p.ID = i
+		exp.Paths[i] = f.p
+	}
+	return exp, nil
 }
 
-func (ex *explorer) freshVar(name string, w int) solver.BV {
-	ex.fresh++
-	return solver.Var(fmt.Sprintf("%s#%d", name, ex.fresh), w)
+func (ex *explorer) newWorker() *worker {
+	w := &worker{}
+	if ex.opts.SolvePaths {
+		w.ctx = solver.NewCtx()
+	}
+	ex.workers = append(ex.workers, w)
+	return w
 }
 
-var errTooManyPaths = fmt.Errorf("verify: path budget exhausted")
+var (
+	errTooManyPaths = fmt.Errorf("verify: path budget exhausted")
+	// errAbort unwinds a lane after another lane already recorded the
+	// real failure.
+	errAbort = errors.New("verify: exploration aborted")
+)
 
-func (ex *explorer) runParser(st *state, stateIdx int) error {
-	if len(ex.paths) >= ex.opts.MaxPaths {
-		return errTooManyPaths
+// fail records the first real error and aborts every lane.
+func (ex *explorer) fail(err error) error {
+	if err == nil || err == errAbort {
+		return err
+	}
+	ex.mu.Lock()
+	if ex.firstErr == nil {
+		ex.firstErr = err
+	}
+	ex.mu.Unlock()
+	ex.aborted.Store(true)
+	return err
+}
+
+func (ex *explorer) err() error {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.firstErr
+}
+
+// fork dispatches one branch subtree. The branch state already carries
+// its decision bytes; newCons of its trailing constraints are new
+// relative to the parent. If a spare worker is idle the subtree runs on
+// it (replaying the full constraint prefix into its context once);
+// otherwise it runs inline on w inside a solver scope, sharing the
+// already-encoded prefix.
+func (ex *explorer) fork(w *worker, branch *state, newCons int, fn func(*worker, *state) error) error {
+	if ex.spare != nil {
+		select {
+		case w2 := <-ex.spare:
+			ex.wg.Add(1)
+			go func() {
+				defer ex.wg.Done()
+				if w2.ctx != nil {
+					w2.ctx.Reset()
+					w2.ctx.Assert(branch.cons...)
+				}
+				if err := fn(w2, branch); err != nil {
+					ex.fail(err)
+				}
+				ex.spare <- w2
+			}()
+			return nil
+		default:
+		}
+	}
+	if w.ctx == nil || newCons == 0 {
+		return fn(w, branch)
+	}
+	w.ctx.Push()
+	w.ctx.Assert(branch.cons[len(branch.cons)-newCons:]...)
+	defer w.ctx.Pop()
+	return fn(w, branch)
+}
+
+func (ex *explorer) freshVar(st *state, name string, w int) solver.BV {
+	st.fresh++
+	return solver.Var(fmt.Sprintf("%s#%d", name, st.fresh), w)
+}
+
+func (ex *explorer) runParser(w *worker, st *state, stateIdx int) error {
+	if ex.aborted.Load() {
+		return errAbort
 	}
 	switch stateIdx {
 	case ir.StateAccept:
-		return ex.runPipeline(st)
+		return ex.runPipeline(w, st)
 	case ir.StateReject:
 		// Specification semantics: reject drops the packet.
 		st.dropped = true
 		st.dropStage = "parser"
-		ex.finish(st, "reject")
+		ex.finish(w, st, "reject")
 		return nil
 	}
 	ps := ex.prog.Parser.States[stateIdx]
 	if st.visits[stateIdx] >= ex.opts.MaxStateVisits {
-		ex.truncated++
+		ex.truncated.Add(1)
 		return nil
 	}
 	st.visits[stateIdx]++
@@ -167,7 +364,7 @@ func (ex *explorer) runParser(st *state, stateIdx int) error {
 		case *ir.Extract:
 			inst := ex.prog.Instances[op.Inst]
 			for j, f := range inst.Type.Fields {
-				st.fields[op.Inst][j] = ex.freshVar(inst.Name+"."+f.Name, f.Width)
+				st.fields[op.Inst][j] = ex.freshVar(st, inst.Name+"."+f.Name, f.Width)
 			}
 			st.valid[op.Inst] = true
 		case *ir.AssignField:
@@ -180,12 +377,12 @@ func (ex *explorer) runParser(st *state, stateIdx int) error {
 			return fmt.Errorf("verify: unsupported parser op %T", op)
 		}
 	}
-	return ex.runTransition(st, ps.Trans)
+	return ex.runTransition(w, st, ps.Trans)
 }
 
-func (ex *explorer) runTransition(st *state, tr ir.Transition) error {
+func (ex *explorer) runTransition(w *worker, st *state, tr ir.Transition) error {
 	if len(tr.Keys) == 0 {
-		return ex.runParser(st, tr.Default)
+		return ex.runParser(w, st, tr.Default)
 	}
 	keys := make([]solver.BV, len(tr.Keys))
 	for i, k := range tr.Keys {
@@ -198,13 +395,19 @@ func (ex *explorer) runTransition(st *state, tr ir.Transition) error {
 	// Each case forks a path constrained to match it and to mismatch all
 	// earlier cases; the default path mismatches everything.
 	negated := []solver.BV{}
-	for _, c := range tr.Cases {
+	for ci, c := range tr.Cases {
 		branch := st.clone()
+		branch.decide(ci)
+		n0 := len(branch.cons)
 		branch.cons = append(branch.cons, negated...)
 		for i := range keys {
 			branch.cons = append(branch.cons, maskEq(keys[i], c.Values[i], c.Masks[i]))
 		}
-		if err := ex.runParser(branch, c.Next); err != nil {
+		next := c.Next
+		err := ex.fork(w, branch, len(branch.cons)-n0, func(w *worker, st *state) error {
+			return ex.runParser(w, st, next)
+		})
+		if err != nil {
 			return err
 		}
 		// Build the negation of this case for subsequent branches: the
@@ -212,8 +415,12 @@ func (ex *explorer) runTransition(st *state, tr ir.Transition) error {
 		negated = append(negated, solver.Not(conj(matchTerms(keys, c))))
 	}
 	def := st.clone()
+	def.decide(len(tr.Cases))
+	n0 := len(def.cons)
 	def.cons = append(def.cons, negated...)
-	return ex.runParser(def, tr.Default)
+	return ex.fork(w, def, len(def.cons)-n0, func(w *worker, st *state) error {
+		return ex.runParser(w, st, tr.Default)
+	})
 }
 
 func matchTerms(keys []solver.BV, c ir.TransCase) []solver.BV {
@@ -242,31 +449,34 @@ func maskEq(key solver.BV, value, mask bitfield.Value) solver.BV {
 	return solver.Eq(mk, solver.Const(value.And(mask)))
 }
 
-func (ex *explorer) runPipeline(st *state) error {
-	return ex.runControls(st, 0)
+func (ex *explorer) runPipeline(w *worker, st *state) error {
+	return ex.runControls(w, st, 0)
 }
 
 // runControls executes controls[idx:]; forking statements recurse with a
 // continuation-style walker.
-func (ex *explorer) runControls(st *state, idx int) error {
+func (ex *explorer) runControls(w *worker, st *state, idx int) error {
 	if idx >= len(ex.prog.Controls) {
-		ex.finish(st, "accept")
+		ex.finish(w, st, "accept")
 		return nil
 	}
 	c := ex.prog.Controls[idx]
-	return ex.runStmts(st, c.Apply, c.Name, func(st *state) error {
-		return ex.runControls(st, idx+1)
+	return ex.runStmts(w, st, c.Apply, c.Name, func(w *worker, st *state) error {
+		return ex.runControls(w, st, idx+1)
 	})
 }
 
 // runStmts symbolically executes stmts then calls k with each resulting
 // path state.
-func (ex *explorer) runStmts(st *state, stmts []ir.Stmt, stage string, k func(*state) error) error {
+func (ex *explorer) runStmts(w *worker, st *state, stmts []ir.Stmt, stage string, k func(*worker, *state) error) error {
+	if ex.aborted.Load() {
+		return errAbort
+	}
 	if len(stmts) == 0 {
-		return k(st)
+		return k(w, st)
 	}
 	s, rest := stmts[0], stmts[1:]
-	next := func(st *state) error { return ex.runStmts(st, rest, stage, k) }
+	next := func(w *worker, st *state) error { return ex.runStmts(w, st, rest, stage, k) }
 	switch s := s.(type) {
 	case *ir.AssignField:
 		v, err := ex.eval(st, s.RHS)
@@ -277,7 +487,7 @@ func (ex *explorer) runStmts(st *state, stmts []ir.Stmt, stage string, k func(*s
 		if s.Inst == ex.prog.StdMeta && s.Field == ir.StdMetaEgressSpec {
 			st.egressSet = true
 		}
-		return next(st)
+		return next(w, st)
 	case *ir.AssignLocal:
 		v, err := ex.eval(st, s.RHS)
 		if err != nil {
@@ -287,31 +497,40 @@ func (ex *explorer) runStmts(st *state, stmts []ir.Stmt, stage string, k func(*s
 			st.locals = append(st.locals, nil)
 		}
 		st.locals[s.Idx] = v
-		return next(st)
+		return next(w, st)
 	case *ir.SetValid:
 		st.valid[s.Inst] = s.Valid
-		return next(st)
+		return next(w, st)
 	case *ir.MarkToDrop:
 		if !st.dropped {
 			st.dropped = true
 			st.dropStage = stage
 		}
-		return next(st)
+		return next(w, st)
 	case *ir.If:
 		cond, err := ex.eval(st, s.Cond)
 		if err != nil {
 			return err
 		}
 		thenSt := st.clone()
+		thenSt.decide(0)
 		thenSt.cons = append(thenSt.cons, cond)
-		if err := ex.runStmts(thenSt, s.Then, stage, next); err != nil {
+		thenBody := s.Then
+		err = ex.fork(w, thenSt, 1, func(w *worker, st *state) error {
+			return ex.runStmts(w, st, thenBody, stage, next)
+		})
+		if err != nil {
 			return err
 		}
 		elseSt := st
+		elseSt.decide(1)
 		elseSt.cons = append(elseSt.cons, solver.Not(cond))
-		return ex.runStmts(elseSt, s.Else, stage, next)
+		elseBody := s.Else
+		return ex.fork(w, elseSt, 1, func(w *worker, st *state) error {
+			return ex.runStmts(w, st, elseBody, stage, next)
+		})
 	case *ir.ApplyTable:
-		return ex.applyTable(st, s.Table, stage, next)
+		return ex.applyTable(w, st, s.Table, stage, next)
 	case *ir.CallAction:
 		args := make([]solver.BV, len(s.Args))
 		for i, a := range s.Args {
@@ -322,13 +541,13 @@ func (ex *explorer) runStmts(st *state, stmts []ir.Stmt, stage string, k func(*s
 			args[i] = v
 		}
 		st.args = append(st.args, args)
-		return ex.runStmts(st, s.Action.Body, stage, func(st *state) error {
+		return ex.runStmts(w, st, s.Action.Body, stage, func(w *worker, st *state) error {
 			st.args = st.args[:len(st.args)-1]
-			return next(st)
+			return next(w, st)
 		})
 	case *ir.Return:
 		// Return exits the enclosing body: skip the rest of stmts.
-		return k(st)
+		return k(w, st)
 	}
 	return fmt.Errorf("verify: unsupported statement %T", s)
 }
@@ -336,40 +555,71 @@ func (ex *explorer) runStmts(st *state, stmts []ir.Stmt, stage string, k func(*s
 // applyTable forks one path per allowed action (table contents are
 // unknown, so any row may match — the standard havoc model) plus the
 // default action for a miss.
-func (ex *explorer) applyTable(st *state, t *ir.Table, stage string, k func(*state) error) error {
-	run := func(base *state, a *ir.Action, args []solver.BV, label string) error {
+func (ex *explorer) applyTable(w *worker, st *state, t *ir.Table, stage string, k func(*worker, *state) error) error {
+	run := func(w *worker, base *state, a *ir.Action, args []solver.BV, label string) error {
 		base.actions = append(base.actions, t.Name+":"+label)
 		base.args = append(base.args, args)
-		return ex.runStmts(base, a.Body, stage, func(st *state) error {
+		return ex.runStmts(w, base, a.Body, stage, func(w *worker, st *state) error {
 			st.args = st.args[:len(st.args)-1]
-			return k(st)
+			return k(w, st)
 		})
 	}
-	for _, a := range t.Actions {
+	for ai, a := range t.Actions {
 		branch := st.clone()
+		branch.decide(ai)
 		args := make([]solver.BV, len(a.Params))
 		for i, p := range a.Params {
-			args[i] = ex.freshVar(t.Name+"."+a.Name+"."+p.Name, p.Width)
+			args[i] = ex.freshVar(branch, t.Name+"."+a.Name+"."+p.Name, p.Width)
 		}
-		if err := run(branch, a, args, a.Name); err != nil {
+		action, label := a, a.Name
+		err := ex.fork(w, branch, 0, func(w *worker, st *state) error {
+			return run(w, st, action, args, label)
+		})
+		if err != nil {
 			return err
 		}
 	}
 	// Miss: default action with its bound constant arguments.
 	miss := st.clone()
+	miss.decide(len(t.Actions))
 	args := make([]solver.BV, len(t.Default.Args))
 	for i, v := range t.Default.Args {
 		args[i] = solver.Const(v)
 	}
-	return run(miss, t.Default.Action, args, t.Default.Action.Name+"(default)")
+	return ex.fork(w, miss, 0, func(w *worker, st *state) error {
+		return run(w, st, t.Default.Action, args, t.Default.Action.Name+"(default)")
+	})
 }
 
-func (ex *explorer) finish(st *state, verdict string) {
-	if len(ex.paths) >= ex.opts.MaxPaths {
-		ex.truncated++
+// finish completes one path: under SolvePaths it is checked on the
+// worker's context (whose asserted scope is exactly this path's
+// constraint set), infeasible paths are pruned, feasible ones keep their
+// model.
+//
+// The budget is charged here, before the feasibility check, so MaxPaths
+// bounds exploration *work* — including paths that would have been
+// pruned — and overflow is a deterministic property of the program:
+// whether the (MaxPaths+1)-th completion happens does not depend on
+// scheduling, so Explore errors at every worker count or at none.
+func (ex *explorer) finish(w *worker, st *state, verdict string) {
+	if ex.npaths.Add(1) > int64(ex.opts.MaxPaths) {
+		ex.truncated.Add(1)
+		ex.fail(errTooManyPaths)
 		return
 	}
-	ex.paths = append(ex.paths, &Path{
+	var model solver.Model
+	if w.ctx != nil {
+		m, status := w.ctx.Check()
+		switch status {
+		case solver.Unsat:
+			ex.pruned.Add(1)
+			return
+		case solver.Sat:
+			model = m
+		}
+		// Unknown: keep the path; Model stays nil.
+	}
+	p := &Path{
 		Constraints:    st.cons,
 		Verdict:        verdict,
 		Dropped:        st.dropped,
@@ -379,7 +629,11 @@ func (ex *explorer) finish(st *state, verdict string) {
 		Actions:        st.actions,
 		Fields:         st.fields,
 		Valid:          st.valid,
-	})
+		Model:          model,
+	}
+	ex.mu.Lock()
+	ex.finished = append(ex.finished, finishedPath{key: string(st.decisions), p: p})
+	ex.mu.Unlock()
 }
 
 // eval translates an IR expression to a solver term under the current

@@ -357,8 +357,16 @@ type VerifyResult struct {
 // style) over the program source: standard properties are checked by
 // symbolic execution against the P4 specification semantics. It sees the
 // program, not the hardware — programs whose deployed target is buggy
-// still verify.
+// still verify. Path exploration and counterexample solving run on one
+// worker per CPU; the verify layer guarantees worker-count-independent
+// results, so the parallelism is invisible beyond the speedup.
 func VerifyProgram(p4src string) ([]VerifyResult, error) {
+	return VerifyProgramWorkers(p4src, runtime.GOMAXPROCS(0))
+}
+
+// VerifyProgramWorkers is VerifyProgram with an explicit verification
+// worker count (minimum 1).
+func VerifyProgramWorkers(p4src string, workers int) ([]VerifyResult, error) {
 	prog, err := compile.Compile(p4src)
 	if err != nil {
 		return nil, fmt.Errorf("netdebug: compiling program: %w", err)
@@ -372,7 +380,7 @@ func VerifyProgram(p4src string) ([]VerifyResult, error) {
 	}
 	var out []VerifyResult
 	for _, p := range props {
-		res, err := verify.Check(prog, p, verify.Options{})
+		res, err := verify.Check(prog, p, verify.Options{Workers: workers})
 		if err != nil {
 			return nil, err
 		}
