@@ -56,8 +56,9 @@ import (
 // reference for the in-run speedup assertion) and sequential
 // feasibility-solved path exploration (the parallel variants are
 // asserted via -speedup, not pinned, because their allocation counts
-// depend on goroutine scheduling).
-const defaultPin = `^Benchmark(ProcessRouter|ProcessFirewallTernary|RouterProcess|FirewallProcess|(Tofino|EBPF)Process(Router|FirewallTernary)|DeviceForward(Burst|NoCapture)?|TernaryLookupTupleSpace/.*|Solve(Reference)?RouterLikePath|ExploreParallel/workers1)$`
+// depend on goroutine scheduling) — plus the resident session layer's
+// end-to-end throughput (boot-free warm-host session execution).
+const defaultPin = `^Benchmark(ProcessRouter|ProcessFirewallTernary|RouterProcess|FirewallProcess|(Tofino|EBPF)Process(Router|FirewallTernary)|DeviceForward(Burst|NoCapture)?|TernaryLookupTupleSpace/.*|Solve(Reference)?RouterLikePath|ExploreParallel/workers1|SessionThroughput)$`
 
 // defaultSpeedup asserts the scaling wins within the current run (so
 // machine speed cancels out): the tuple-space ternary lookup >= 10x the

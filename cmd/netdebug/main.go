@@ -7,14 +7,26 @@
 //	netdebug -program router.p4 -suite perf
 //	netdebug -serve :9000 -program router.p4      # expose an agent over TCP
 //	netdebug -connect host:9000 -suite status     # drive a remote agent
+//
+// Resident service mode keeps a pool of systems alive and runs
+// concurrent validation sessions with scheduled faults and table churn,
+// streaming versioned JSONL events; SIGINT/SIGTERM drains gracefully.
+// A recorded stream replays deterministically:
+//
+//	netdebug -program router.p4 -resident -record run.jsonl
+//	netdebug -replay run.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"netdebug"
 	"netdebug/internal/control"
@@ -29,6 +41,18 @@ var (
 	suite   = flag.String("suite", "", "validation suite: reject, perf, status")
 	serve   = flag.String("serve", "", "serve the device agent on a TCP address instead of running a suite")
 	connect = flag.String("connect", "", "connect to a remote agent instead of booting a device")
+
+	resident = flag.Bool("resident", false,
+		"resident service mode: run concurrent fault/churn validation sessions until drained")
+	replayPath = flag.String("replay", "",
+		"replay a recorded session stream and verify it is byte-identical")
+	recordPath = flag.String("record", "",
+		"write the resident session stream to this file (default stdout)")
+	hosts   = flag.Int("hosts", 2, "resident mode: pooled systems running sessions concurrently")
+	batches = flag.Int("batches", 0, "resident mode: stop after N session batches (0 = run until signal)")
+
+	callTimeout = flag.Duration("call-timeout", 5*time.Second, "control-channel request deadline (0 = none)")
+	retries     = flag.Int("retries", 3, "control-channel attempts for transient (retryable) errors")
 )
 
 var (
@@ -42,19 +66,42 @@ func main() {
 
 	var ctl *core.Controller
 	switch {
+	case *replayPath != "":
+		runReplay(*replayPath)
+		return
 	case *connect != "":
 		cli, err := control.DialTCP(*connect)
 		if err != nil {
 			log.Fatal(err)
 		}
+		if *callTimeout > 0 {
+			cli.SetCallTimeout(*callTimeout)
+		}
+		if *retries > 1 {
+			cli.SetRetryPolicy(control.RetryPolicy{MaxAttempts: *retries})
+		}
 		ctl = core.NewController(cli)
 		defer ctl.Close()
+	case *resident:
+		if *programPath == "" {
+			log.Fatal("resident mode needs -program")
+		}
+		src, err := os.ReadFile(*programPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runResident(string(src))
+		return
 	case *programPath != "":
 		src, err := os.ReadFile(*programPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sys, err := netdebug.Open(string(src), netdebug.Options{Target: netdebug.TargetKind(*targetKind)})
+		sys, err := netdebug.Open(string(src), netdebug.Options{
+			Target:      netdebug.TargetKind(*targetKind),
+			CallTimeout: *callTimeout,
+			Retry:       netdebug.RetryPolicy{MaxAttempts: *retries},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -163,6 +210,153 @@ func runSuiteOnSystem(sys *netdebug.System) {
 	printReport(rep)
 	if !rep.Pass {
 		os.Exit(1)
+	}
+}
+
+// runReplay re-executes a recorded stream and verifies byte identity.
+func runReplay(path string) {
+	stream, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs, err := netdebug.ParseSessionStream(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := netdebug.ReplayCheck(stream); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("replayed %s: %d records, byte-identical", path, len(recs))
+}
+
+// runResident boots a session pool over the program and runs batches of
+// churn/fault sessions until a signal (or -batches) drains it.
+func runResident(src string) {
+	var w io.Writer = os.Stdout
+	if *recordPath != "" {
+		f, err := os.Create(*recordPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	mgr, err := netdebug.NewSessionManager(netdebug.SessionHostConfig{
+		Source:      src,
+		Target:      *targetKind,
+		Baseline:    []netdebug.Entry{defaultRouteEntry()},
+		CallTimeout: *callTimeout,
+		Retry: netdebug.RetrySpec{
+			MaxAttempts: *retries,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  50 * time.Millisecond,
+		},
+	}, *hosts, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	go func() {
+		s := <-sig
+		log.Printf("%v: draining in-flight sessions", s)
+		close(stop)
+	}()
+	log.Printf("resident: %d pooled %s systems; batches of %d sessions", *hosts, *targetKind, len(residentBatch()))
+	failed := false
+	for round := 1; ; round++ {
+		select {
+		case <-stop:
+			mgr.Drain()
+			if err := mgr.Close(); err != nil {
+				log.Fatal(err)
+			}
+			if failed {
+				os.Exit(1)
+			}
+			return
+		default:
+		}
+		results, err := mgr.RunAll(residentBatch())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, res := range results {
+			verdict := "pass"
+			if !res.Pass {
+				verdict, failed = "DEGRADED", true
+			}
+			log.Printf("batch %d session %-12s %s (p99 %dns over %d packets)",
+				round, res.Name, verdict, res.SLO.P99Ns, res.SLO.Count)
+		}
+		if *batches > 0 && round >= *batches {
+			mgr.Drain()
+			if err := mgr.Close(); err != nil {
+				log.Fatal(err)
+			}
+			if failed {
+				os.Exit(1)
+			}
+			return
+		}
+	}
+}
+
+// defaultRouteEntry is the 10/8 -> port 1 route the built-in specs use.
+func defaultRouteEntry() netdebug.Entry {
+	return netdebug.Entry{
+		Table:  "ipv4_lpm",
+		Keys:   []netdebug.KeyValue{{Value: netdebug.NewValue(0x0a000000, 32), PrefixLen: 8}},
+		Action: "ipv4_forward",
+		Args:   []netdebug.Value{netdebug.ValueFromBytes(gwMAC[:]), netdebug.NewValue(1, 9)},
+	}
+}
+
+// residentBatch is the scripted session mix the daemon runs: validation
+// under rule churn, then the same validation through scheduled
+// port-down + map-full + install-flap + queue-stuck faults with an
+// external probe leg, so degradation is graceful and visible per
+// session rather than fatal.
+func residentBatch() []netdebug.SessionSpec {
+	goodFrame := func() []byte {
+		return packet.BuildUDPv4(srcMAC, gwMAC, packet.IPv4Addr{10, 0, 0, 1},
+			packet.IPv4Addr{10, 0, 1, 2}, 4000, 53, make([]byte, 26))
+	}
+	spec := func(name string) netdebug.TestSpec {
+		return netdebug.TestSpec{
+			Name: name,
+			Gen: netdebug.GenSpec{Streams: []netdebug.StreamSpec{{
+				Name: "probe", Template: goodFrame(), Count: 50, RatePPS: 1e6,
+			}}},
+			Check: netdebug.CheckSpec{Rules: []netdebug.Rule{{
+				Name: "fwd", Stream: "probe", ExpectPort: 1,
+			}}},
+		}
+	}
+	return []netdebug.SessionSpec{
+		{
+			Name:     "churn",
+			Spec:     spec("churn-fwd"),
+			Rounds:   4,
+			Churn:    &netdebug.ChurnSpec{Table: "ipv4_lpm", Installs: 8, Deletes: 4},
+			SLOBound: time.Millisecond,
+		},
+		{
+			Name:   "faults",
+			Spec:   spec("fault-fwd"),
+			Rounds: 4,
+			Plan: netdebug.FaultPlan{Events: []netdebug.FaultEvent{
+				{At: 0, Kind: netdebug.FaultPlanInstallFlap, Count: 2},
+				{At: 0, Kind: netdebug.FaultPlanPortDown, Port: 0},
+				{At: 60 * time.Microsecond, Kind: netdebug.FaultPlanClearFaults},
+				{At: 60 * time.Microsecond, Kind: netdebug.FaultPlanMapFull, Table: "ipv4_lpm"},
+				{At: 120 * time.Microsecond, Kind: netdebug.FaultPlanMapFullClear, Table: "ipv4_lpm"},
+			}},
+			Churn:    &netdebug.ChurnSpec{Table: "ipv4_lpm", Installs: 6, Deletes: 3},
+			Probe:    &netdebug.ProbeSpec{Port: 0, Frame: goodFrame(), Count: 8},
+			SLOBound: time.Millisecond,
+		},
 	}
 }
 

@@ -15,9 +15,11 @@ package control
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"netdebug/internal/dataplane"
 )
@@ -37,6 +39,7 @@ const (
 	ReqInjectFault
 	ReqClearFaults
 	ReqReadResources
+	ReqDeleteEntry
 )
 
 // String names the request kind.
@@ -47,6 +50,7 @@ func (k ReqKind) String() string {
 		ReqConfigureGen: "configure-gen", ReqRunTest: "run-test",
 		ReqFetchReport: "fetch-report", ReqInjectFault: "inject-fault",
 		ReqClearFaults: "clear-faults", ReqReadResources: "read-resources",
+		ReqDeleteEntry: "delete-entry",
 	}
 	if n, ok := names[k]; ok {
 		return n
@@ -94,8 +98,13 @@ type HelloInfo struct {
 
 // Response is one device-to-host message.
 type Response struct {
-	ID        uint64
-	Err       string
+	ID  uint64
+	Err string
+	// Retryable marks an error response as transient: the operation
+	// failed for a reason the agent expects to clear (a flapping install
+	// path, a momentarily exhausted resource), so the host may re-issue
+	// the identical request. The client's retry policy acts on this flag.
+	Retryable bool
 	Hello     *HelloInfo
 	Status    map[string]uint64
 	Report    []byte // gob-encoded core.Report for ReqFetchReport
@@ -105,12 +114,85 @@ type Response struct {
 // OK reports whether the response carries no error.
 func (r *Response) OK() bool { return r.Err == "" }
 
-// Error converts the response error string to an error value.
+// Error converts the response error string to an error value. Error
+// responses come back as *RemoteError, preserving the Retryable flag.
 func (r *Response) Error() error {
 	if r.Err == "" {
 		return nil
 	}
-	return fmt.Errorf("control: %s", r.Err)
+	return &RemoteError{Msg: r.Err, Retryable: r.Retryable}
+}
+
+// RemoteError is an error reported by the device agent (as opposed to a
+// transport failure). Retryable remote errors also implement the
+// Transient marker recognised by IsTransient.
+type RemoteError struct {
+	Msg       string
+	Retryable bool
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "control: " + e.Msg }
+
+// Transient reports whether the agent marked the failure retryable.
+func (e *RemoteError) Transient() bool { return e.Retryable }
+
+// IsTransient reports whether err (or anything it wraps) marks itself
+// transient via a `Transient() bool` method — the seam the device agent
+// uses to classify errors and the host uses to decide on retry.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// ErrChannelBroken marks a client whose gob stream was poisoned by an
+// earlier transport failure (typically a call deadline expiring with
+// bytes in flight). Every subsequent call fails fast with an error
+// wrapping this sentinel; the only recovery is a fresh connection.
+var ErrChannelBroken = errors.New("control: channel broken by earlier transport failure")
+
+// TimeoutError reports a call that did not complete within the client's
+// call timeout.
+type TimeoutError struct {
+	Kind  ReqKind
+	After time.Duration
+	Err   error
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("control: %s timed out after %v", e.Kind, e.After)
+}
+
+// Unwrap exposes the underlying transport error.
+func (e *TimeoutError) Unwrap() error { return e.Err }
+
+// Timeout implements the net.Error convention.
+func (e *TimeoutError) Timeout() bool { return true }
+
+// RetryPolicy bounds the client's automatic re-issue of requests the
+// agent answered with a retryable error. The zero value disables retry.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call, including the
+	// first; values below 1 mean one attempt (no retry).
+	MaxAttempts int
+	// BaseBackoff is the wait before the first retry; each further retry
+	// doubles it, capped at MaxBackoff (if positive).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Sleep, if non-nil, replaces time.Sleep between attempts (test seam).
+	Sleep func(time.Duration)
+}
+
+func (p *RetryPolicy) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return
+	}
+	time.Sleep(d)
 }
 
 // Handler serves requests on the device side.
@@ -121,11 +203,14 @@ type Handler interface {
 // Client is the host side of the channel. It is safe for concurrent use;
 // requests are serialized.
 type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	enc    *gob.Encoder
-	dec    *gob.Decoder
-	nextID uint64
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	nextID  uint64
+	timeout time.Duration
+	retry   RetryPolicy
+	broken  error
 }
 
 // NewClient wraps an established connection.
@@ -136,23 +221,92 @@ func NewClient(conn net.Conn) *Client {
 // Close shuts the channel down.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// Call sends one request and waits for its response.
+// SetCallTimeout bounds every subsequent call: a request whose response
+// does not arrive within d fails with *TimeoutError. Because a timed-out
+// call leaves the gob stream mid-message, it also breaks the client —
+// later calls fail fast wrapping ErrChannelBroken. Zero disables the
+// deadline (the default).
+func (c *Client) SetCallTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+}
+
+// SetRetryPolicy enables bounded automatic retry of calls the agent
+// answers with a retryable (transient) error. Transport failures are
+// never retried: the stream state after a failed encode or decode is
+// unknown, so they break the client instead.
+func (c *Client) SetRetryPolicy(p RetryPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retry = p
+}
+
+// Call sends one request and waits for its response, re-issuing it under
+// the retry policy while the agent reports the failure as transient.
 func (c *Client) Call(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := c.retry.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		resp, err := c.callLocked(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.OK() || !resp.Retryable || attempt >= attempts {
+			return resp, nil
+		}
+		c.retry.sleep(backoff)
+		backoff *= 2
+		if c.retry.MaxBackoff > 0 && backoff > c.retry.MaxBackoff {
+			backoff = c.retry.MaxBackoff
+		}
+	}
+}
+
+// callLocked performs one request/response exchange. The caller holds
+// c.mu.
+func (c *Client) callLocked(req *Request) (*Response, error) {
+	if c.broken != nil {
+		return nil, fmt.Errorf("control: %s: %w (first failure: %v)", req.Kind, ErrChannelBroken, c.broken)
+	}
 	c.nextID++
 	req.ID = c.nextID
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, fmt.Errorf("control: set deadline: %w", err)
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("control: send %s: %w", req.Kind, err)
+		return nil, c.breakWith(req.Kind, "send", err)
 	}
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("control: receive %s reply: %w", req.Kind, err)
+		return nil, c.breakWith(req.Kind, "receive", err)
 	}
 	if resp.ID != req.ID {
-		return nil, fmt.Errorf("control: response id %d for request %d", resp.ID, req.ID)
+		return nil, c.breakWith(req.Kind, "match", fmt.Errorf("response id %d for request %d", resp.ID, req.ID))
 	}
 	return &resp, nil
+}
+
+// breakWith marks the client broken — a transport failure leaves the gob
+// stream in an unknown state, so no further call can trust it — and
+// converts deadline expiries to *TimeoutError.
+func (c *Client) breakWith(kind ReqKind, stage string, err error) error {
+	var werr error
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		werr = &TimeoutError{Kind: kind, After: c.timeout, Err: err}
+	} else {
+		werr = fmt.Errorf("control: %s %s: %w", stage, kind, err)
+	}
+	c.broken = werr
+	return werr
 }
 
 // Hello fetches device identity.
@@ -170,6 +324,15 @@ func (c *Client) Hello() (*HelloInfo, error) {
 // InstallEntry installs a table entry on the device.
 func (c *Client) InstallEntry(e dataplane.Entry) error {
 	resp, err := c.Call(&Request{Kind: ReqInstallEntry, Entry: &e})
+	if err != nil {
+		return err
+	}
+	return resp.Error()
+}
+
+// DeleteEntry removes a table entry from the device by match identity.
+func (c *Client) DeleteEntry(e dataplane.Entry) error {
+	resp, err := c.Call(&Request{Kind: ReqDeleteEntry, Entry: &e})
 	if err != nil {
 		return err
 	}

@@ -1,9 +1,11 @@
 package control
 
 import (
+	"errors"
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"netdebug/internal/bitfield"
 	"netdebug/internal/dataplane"
@@ -204,3 +206,130 @@ func TestUnhandledRequest(t *testing.T) {
 type handlerFunc func(*Request) *Response
 
 func (f handlerFunc) Handle(req *Request) *Response { return f(req) }
+
+// TestCallTimeoutBreaksClient: a stalled agent trips the call deadline
+// with a typed *TimeoutError, and because the gob stream is now
+// mid-message, every later call fails fast wrapping ErrChannelBroken.
+func TestCallTimeoutBreaksClient(t *testing.T) {
+	release := make(chan struct{})
+	cli := Pipe(handlerFunc(func(req *Request) *Response {
+		<-release // stall forever (until test cleanup)
+		return &Response{}
+	}))
+	defer cli.Close()
+	defer close(release)
+
+	cli.SetCallTimeout(20 * time.Millisecond)
+	_, err := cli.Call(&Request{Kind: ReqReadStatus})
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *TimeoutError", err)
+	}
+	if te.Kind != ReqReadStatus || !te.Timeout() {
+		t.Fatalf("timeout error = %+v", te)
+	}
+	if _, err := cli.Call(&Request{Kind: ReqHello}); !errors.Is(err, ErrChannelBroken) {
+		t.Fatalf("call after timeout = %v, want ErrChannelBroken", err)
+	}
+}
+
+// TestRetryableErrorsRetryWithBackoff: the client re-issues requests the
+// agent marks retryable, with exponential backoff, and stops as soon as
+// one attempt succeeds.
+func TestRetryableErrorsRetryWithBackoff(t *testing.T) {
+	var calls int
+	cli := Pipe(handlerFunc(func(req *Request) *Response {
+		calls++
+		if calls <= 2 {
+			return &Response{Err: "install path flapping", Retryable: true}
+		}
+		return &Response{}
+	}))
+	defer cli.Close()
+
+	var waits []time.Duration
+	cli.SetRetryPolicy(RetryPolicy{
+		MaxAttempts: 5,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  15 * time.Millisecond,
+		Sleep:       func(d time.Duration) { waits = append(waits, d) },
+	})
+	resp, err := cli.Call(&Request{Kind: ReqInstallEntry, Entry: &dataplane.Entry{Table: "t"}})
+	if err != nil || !resp.OK() {
+		t.Fatalf("call = %+v, %v", resp, err)
+	}
+	if calls != 3 {
+		t.Fatalf("agent saw %d attempts, want 3", calls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 15 * time.Millisecond} // doubled then capped
+	if len(waits) != len(want) || waits[0] != want[0] || waits[1] != want[1] {
+		t.Fatalf("backoff waits = %v, want %v", waits, want)
+	}
+}
+
+// TestRetryExhaustionSurfacesTransientError: when every attempt fails
+// retryably, the final response error is a *RemoteError that still
+// reports itself transient.
+func TestRetryExhaustionSurfacesTransientError(t *testing.T) {
+	var calls int
+	cli := Pipe(handlerFunc(func(req *Request) *Response {
+		calls++
+		return &Response{Err: "still flapping", Retryable: true}
+	}))
+	defer cli.Close()
+	cli.SetRetryPolicy(RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}})
+	err := cli.InstallEntry(dataplane.Entry{Table: "t"})
+	if err == nil || calls != 3 {
+		t.Fatalf("err = %v after %d calls, want failure after 3", err, calls)
+	}
+	if !IsTransient(err) {
+		t.Fatalf("exhausted retryable error not transient: %v", err)
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) || !re.Retryable {
+		t.Fatalf("err = %v, want retryable *RemoteError", err)
+	}
+}
+
+// TestNonRetryableErrorNotRetried: permanent agent errors are returned
+// on the first attempt even with a retry policy installed.
+func TestNonRetryableErrorNotRetried(t *testing.T) {
+	var calls int
+	cli := Pipe(handlerFunc(func(req *Request) *Response {
+		calls++
+		return &Response{Err: "no such table"}
+	}))
+	defer cli.Close()
+	cli.SetRetryPolicy(RetryPolicy{MaxAttempts: 5, Sleep: func(time.Duration) {}})
+	err := cli.ClearTable("ghost")
+	if err == nil || calls != 1 {
+		t.Fatalf("err = %v after %d calls, want 1 call", err, calls)
+	}
+	if IsTransient(err) {
+		t.Fatalf("permanent error classified transient: %v", err)
+	}
+}
+
+// TestDeleteEntryRoundTrip covers the new request kind end to end.
+func TestDeleteEntryRoundTrip(t *testing.T) {
+	var got *dataplane.Entry
+	cli := Pipe(handlerFunc(func(req *Request) *Response {
+		if req.Kind != ReqDeleteEntry {
+			return &Response{Err: "wrong kind " + req.Kind.String()}
+		}
+		got = req.Entry
+		return &Response{}
+	}))
+	defer cli.Close()
+	e := dataplane.Entry{
+		Table:  "ipv4_lpm",
+		Keys:   []dataplane.KeyValue{{Value: bitfield.New(0x0a000000, 32), PrefixLen: 8}},
+		Action: "ipv4_forward",
+	}
+	if err := cli.DeleteEntry(e); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Table != "ipv4_lpm" || got.Keys[0].PrefixLen != 8 {
+		t.Fatalf("delete entry arrived as %+v", got)
+	}
+}

@@ -159,10 +159,12 @@ func (a *Agent) LastReport() *Report {
 	return a.report
 }
 
-// Handle implements control.Handler, serving the host tool.
+// Handle implements control.Handler, serving the host tool. Errors that
+// mark themselves transient (control.IsTransient) come back with the
+// Retryable flag so the host's retry policy can re-issue the request.
 func (a *Agent) Handle(req *control.Request) *control.Response {
 	fail := func(err error) *control.Response {
-		return &control.Response{Err: err.Error()}
+		return &control.Response{Err: err.Error(), Retryable: control.IsTransient(err)}
 	}
 	switch req.Kind {
 	case control.ReqHello:
@@ -181,6 +183,14 @@ func (a *Agent) Handle(req *control.Request) *control.Response {
 			return fail(fmt.Errorf("install-entry without entry"))
 		}
 		if err := a.dev.Target().InstallEntry(*req.Entry); err != nil {
+			return fail(err)
+		}
+		return &control.Response{}
+	case control.ReqDeleteEntry:
+		if req.Entry == nil {
+			return fail(fmt.Errorf("delete-entry without entry"))
+		}
+		if err := a.dev.Target().DeleteEntry(*req.Entry); err != nil {
 			return fail(err)
 		}
 		return &control.Response{}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"netdebug/internal/control"
 	"netdebug/internal/dataplane"
@@ -27,6 +28,14 @@ func Connect(agent *Agent) *Controller {
 // Close shuts the channel down.
 func (c *Controller) Close() error { return c.cli.Close() }
 
+// SetCallTimeout bounds every control-channel call; see
+// control.Client.SetCallTimeout.
+func (c *Controller) SetCallTimeout(d time.Duration) { c.cli.SetCallTimeout(d) }
+
+// SetRetryPolicy enables bounded retry of transient agent errors; see
+// control.Client.SetRetryPolicy.
+func (c *Controller) SetRetryPolicy(p control.RetryPolicy) { c.cli.SetRetryPolicy(p) }
+
 // Hello fetches device identity.
 func (c *Controller) Hello() (*control.HelloInfo, error) { return c.cli.Hello() }
 
@@ -42,6 +51,9 @@ func (c *Controller) InstallEntries(entries []dataplane.Entry) error {
 	}
 	return nil
 }
+
+// DeleteEntry removes one table entry from the device by match identity.
+func (c *Controller) DeleteEntry(e dataplane.Entry) error { return c.cli.DeleteEntry(e) }
 
 // ClearTable empties a device table.
 func (c *Controller) ClearTable(name string) error { return c.cli.ClearTable(name) }

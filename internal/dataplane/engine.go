@@ -696,6 +696,18 @@ func (e *Engine) ValidateEntry(entry Entry) error {
 	return ts.validate(entry, action)
 }
 
+// DeleteEntry validates and removes a table entry by its match
+// identity (full key for exact tables, key/prefix for lpm tables,
+// mask-tuple/masked-value/priority for ternary tables). Deleting a key
+// that is not installed returns a *NoSuchEntryError.
+func (e *Engine) DeleteEntry(entry Entry) error {
+	ts, action, err := e.resolveEntry(entry)
+	if err != nil {
+		return err
+	}
+	return ts.delete(entry, action)
+}
+
 // ClearTable removes all entries from a table.
 func (e *Engine) ClearTable(name string) error {
 	ts, ok := e.tables[name]

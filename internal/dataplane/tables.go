@@ -267,6 +267,147 @@ func (ts *tableState) install(e Entry, action *ir.Action) error {
 	return nil
 }
 
+// delete removes the entry (or, for ternary tables, every shadowed
+// duplicate) identified by e's match key. Identity follows the install
+// identity: the full key tuple for exact tables, the (key, prefix
+// length) pair for lpm tables, and the (mask tuple, masked value
+// tuple, priority) triple for ternary tables. The entry's action and
+// arguments are validated exactly as on install — a conforming driver
+// rejects a malformed delete the same way it rejects a malformed
+// insert — but do not participate in identity.
+func (ts *tableState) delete(e Entry, action *ir.Action) error {
+	if err := ts.validate(e, action); err != nil {
+		return err
+	}
+	switch ts.kind {
+	case kindExact:
+		vals := make([]bitfield.Value, len(e.Keys))
+		for i := range e.Keys {
+			vals[i] = e.Keys[i].Value
+		}
+		k := string(appendKeyBytes(nil, vals, -1))
+		if _, ok := ts.exact[k]; !ok {
+			return &NoSuchEntryError{Table: ts.def.Name}
+		}
+		delete(ts.exact, k)
+		ts.count--
+	case kindLPM:
+		vals := make([]bitfield.Value, len(e.Keys))
+		for i := range e.Keys {
+			vals[i] = e.Keys[i].Value
+		}
+		group := string(appendKeyBytes(nil, vals, ts.lpmIdx))
+		trie := ts.tries[group]
+		if trie == nil {
+			return &NoSuchEntryError{Table: ts.def.Name}
+		}
+		lk := e.Keys[ts.lpmIdx]
+		if !trie.remove(lk.Value, lk.PrefixLen) {
+			return &NoSuchEntryError{Table: ts.def.Name}
+		}
+		ts.count--
+	case kindTernary:
+		return ts.deleteTernary(e)
+	}
+	return nil
+}
+
+// deleteTernary removes every ternary entry matching e's identity and
+// repairs the tuple-space group the entries lived in: the dominant
+// entry per masked key is recomputed from the surviving entries, the
+// group's maxPrio bound is re-derived, and an emptied group is removed
+// from the index (freeing its mask-set slot under a mask limit). The
+// group ordering is conservatively invalidated so the next lookup
+// re-runs the lazy maxPrio sort.
+func (ts *tableState) deleteTernary(e Entry) error {
+	masks := make([]bitfield.Value, len(e.Keys))
+	want := make([]bitfield.Value, len(e.Keys))
+	for i, kv := range e.Keys {
+		w := ts.def.Keys[i].Expr.Width()
+		var mask bitfield.Value
+		switch ts.def.Keys[i].Kind {
+		case ir.MatchExact:
+			mask = bitfield.Mask(w)
+		case ir.MatchLPM:
+			mask = prefixMask(w, kv.PrefixLen)
+		case ir.MatchTernary:
+			mask = kv.Mask
+			if mask.Width() == 0 {
+				mask = bitfield.Mask(w)
+			}
+		}
+		masks[i] = mask
+		want[i] = kv.Value.And(mask)
+	}
+	sameTuple := func(a, b []bitfield.Value) bool {
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	// Order-preserving filter: removal keeps any existing (priority,
+	// order) sort valid, so ternarySorted survives unchanged.
+	kept := ts.ternary[:0]
+	removed := 0
+	for _, be := range ts.ternary {
+		if be.Priority == e.Priority && sameTuple(be.masks, masks) && sameTuple(be.want, want) {
+			removed++
+			continue
+		}
+		kept = append(kept, be)
+	}
+	if removed == 0 {
+		return &NoSuchEntryError{Table: ts.def.Name}
+	}
+	for i := len(kept); i < len(ts.ternary); i++ {
+		ts.ternary[i] = nil
+	}
+	ts.ternary = kept
+	ts.count -= removed
+
+	gk := string(appendKeyBytes(nil, masks, -1))
+	g := ts.groupIdx[gk]
+	if g == nil {
+		// The index and the entry list disagree; rebuilding from the
+		// list below would hide the inconsistency, so fail loudly.
+		panic(fmt.Sprintf("dataplane: table %s: deleted ternary entry had no tuple-space group", ts.def.Name))
+	}
+	// Rebuild the group's dominance map from the surviving entries.
+	g.entries = make(map[string]*boundEntry)
+	g.maxPrio = 0
+	live := 0
+	var buf []byte
+	for _, be := range ts.ternary {
+		buf = appendKeyBytes(buf[:0], be.masks, -1)
+		if string(buf) != gk {
+			continue
+		}
+		live++
+		if live == 1 || be.Priority > g.maxPrio {
+			g.maxPrio = be.Priority
+		}
+		buf = appendKeyBytes(buf[:0], be.want, -1)
+		ek := string(buf)
+		if cur, ok := g.entries[ek]; !ok || ts.beats(be, cur) {
+			g.entries[ek] = be
+		}
+	}
+	if live == 0 {
+		delete(ts.groupIdx, gk)
+		for i, other := range ts.groups {
+			if other == g {
+				ts.groups = append(ts.groups[:i], ts.groups[i+1:]...)
+				break
+			}
+		}
+	}
+	// maxPrio may have dropped; force the lazy re-sort.
+	ts.groupsSorted = len(ts.groups) <= 1
+	return nil
+}
+
 // lookup matches the evaluated key values against installed entries. It
 // performs no heap allocations.
 func (ts *tableState) lookup(vals []bitfield.Value) *boundEntry {
@@ -386,6 +527,18 @@ func (ts *tableState) clear() {
 	ts.count = 0
 }
 
+// NoSuchEntryError reports a delete whose match key identifies no
+// installed entry — the signal a churn driver sees when it races a
+// concurrent clear, and therefore a typed (rather than string-matched)
+// condition.
+type NoSuchEntryError struct {
+	Table string
+}
+
+func (e *NoSuchEntryError) Error() string {
+	return fmt.Sprintf("table %s: no entry with that match key", e.Table)
+}
+
 // CapacityError reports an install into a full table — the signal the
 // architecture-check use case looks for.
 type CapacityError struct {
@@ -441,6 +594,26 @@ func (t *lpmTrie) insert(val bitfield.Value, plen int, be *boundEntry) bool {
 		return false
 	}
 	n.entry = be
+	return true
+}
+
+// remove clears the entry at a prefix; it returns false when no entry
+// is installed there. Emptied interior nodes are left in place — churn
+// workloads reinstall into the same region, and lookup correctness
+// only depends on entry pointers.
+func (t *lpmTrie) remove(val bitfield.Value, plen int) bool {
+	n := &t.root
+	w := val.Width()
+	for i := 0; i < plen; i++ {
+		n = n.children[val.Bit(w-1-i)]
+		if n == nil {
+			return false
+		}
+	}
+	if n.entry == nil {
+		return false
+	}
+	n.entry = nil
 	return true
 }
 

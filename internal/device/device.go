@@ -123,7 +123,9 @@ const (
 	// before the data plane sees it.
 	FaultBitFlip
 	// FaultQueueStuck freezes the port's output queue: frames enqueue
-	// until the queue fills, then tail-drop.
+	// until the queue fills, then tail-drop. Frames held in the frozen
+	// queue are not lost — ClearFaults releases them through normal TX
+	// serialization starting at the clear time.
 	FaultQueueStuck
 )
 
@@ -147,14 +149,23 @@ type Fault struct {
 	Seed int64 // for FaultBitFlip
 }
 
+// stuckFrame is one frame held in a frozen output queue, retained so a
+// later ClearFaults can release it. Data is an owned copy: the enqueue
+// path's bytes alias the target's per-packet scratch.
+type stuckFrame struct {
+	data  []byte
+	ready time.Duration
+}
+
 type portState struct {
 	up         bool
 	bitFlip    *rand.Rand
 	queueStuck bool
 	// nextTxFree is when the TX line finishes its current frame.
 	nextTxFree time.Duration
-	// queued is the current output queue occupancy in frames.
-	queued   int
+	// stuck holds the frames frozen in the output queue under
+	// FaultQueueStuck, in arrival order; its length is the occupancy.
+	stuck    []stuckFrame
 	captures []CapturedFrame
 	// Per-port counters, resolved once at boot so the packet path never
 	// formats counter names.
@@ -270,13 +281,31 @@ func (d *Device) InjectFault(f Fault) error {
 	return nil
 }
 
-// ClearFaults restores healthy hardware.
+// ClearFaults restores healthy hardware. Frames held in a frozen output
+// queue (FaultQueueStuck) are not discarded: they drain through normal
+// TX serialization in arrival order, starting no earlier than the
+// current virtual time, exactly as a real queue resumes when its
+// scheduler unwedges. Frames that still overflow the restored queue
+// tail-drop and are counted.
 func (d *Device) ClearFaults() {
 	for _, p := range d.ports {
 		p.up = true
 		p.bitFlip = nil
 		p.queueStuck = false
-		p.queued = 0
+	}
+	for port, p := range d.ports {
+		if len(p.stuck) == 0 {
+			continue
+		}
+		stuck := p.stuck
+		p.stuck = nil
+		for _, f := range stuck {
+			ready := f.ready
+			if d.now > ready {
+				ready = d.now
+			}
+			d.enqueue(port, f.data, ready)
+		}
 	}
 }
 
@@ -471,8 +500,11 @@ func (d *Device) enqueue(port int, data []byte, ready time.Duration) {
 		return
 	}
 	if p.queueStuck {
-		if p.queued < d.cfg.QueueDepth {
-			p.queued++ // enqueued, never drained
+		if len(p.stuck) < d.cfg.QueueDepth {
+			p.stuck = append(p.stuck, stuckFrame{
+				data:  append([]byte(nil), data...),
+				ready: ready,
+			})
 		} else {
 			p.cTxQueueDrops.Inc()
 		}
@@ -528,12 +560,12 @@ func (d *Device) Captures(port int) []CapturedFrame {
 }
 
 // QueueOccupancy returns the stuck-queue depth of a port (nonzero only
-// under FaultQueueStuck).
+// under FaultQueueStuck; ClearFaults drains it back to zero).
 func (d *Device) QueueOccupancy(port int) int {
 	if port < 0 || port >= len(d.ports) {
 		return 0
 	}
-	return d.ports[port].queued
+	return len(d.ports[port].stuck)
 }
 
 // LinkUp reports port link state.
@@ -552,7 +584,7 @@ func (d *Device) Status() map[string]uint64 {
 		out["target."+k] = v
 	}
 	for i, p := range d.ports {
-		out[fmt.Sprintf("port%d.queue_occupancy", i)] = uint64(p.queued)
+		out[fmt.Sprintf("port%d.queue_occupancy", i)] = uint64(len(p.stuck))
 		if p.up {
 			out[fmt.Sprintf("port%d.link_up", i)] = 1
 		} else {

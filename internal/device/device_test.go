@@ -287,6 +287,52 @@ func TestQueueStuckFault(t *testing.T) {
 	}
 }
 
+// TestQueueStuckDrainsOnClear: frames frozen in a stuck queue are not
+// lost — ClearFaults releases them through normal TX serialization in
+// arrival order, starting at the clear time, and occupancy returns to
+// zero. Only overflow beyond the queue depth is dropped (and counted).
+func TestQueueStuckDrainsOnClear(t *testing.T) {
+	d := newRouterDevice(t, target.NewReference())
+	d.InjectFault(Fault{Kind: FaultQueueStuck, Port: 1})
+	const sent = 200 // QueueDepth (128) frozen + 72 tail-dropped
+	for i := 0; i < sent; i++ {
+		d.SendExternal(0, testFrame(64), time.Duration(i)*time.Microsecond)
+	}
+	if got := len(d.Captures(1)); got != 0 {
+		t.Fatalf("stuck queue emitted %d frames before clear", got)
+	}
+	clearAt := d.Now()
+	d.ClearFaults()
+	caps := d.Captures(1)
+	if len(caps) != 128 {
+		t.Fatalf("drained %d frames, want 128 (queue depth)", len(caps))
+	}
+	for i, c := range caps {
+		if c.At <= clearAt {
+			t.Fatalf("frame %d transmitted at %v, before clear at %v", i, c.At, clearAt)
+		}
+		if i > 0 && c.At <= caps[i-1].At {
+			t.Fatalf("drain not serialized: frame %d at %v after frame %d at %v",
+				i, c.At, i-1, caps[i-1].At)
+		}
+	}
+	if occ := d.QueueOccupancy(1); occ != 0 {
+		t.Fatalf("queue occupancy after clear = %d, want 0", occ)
+	}
+	st := d.Status()
+	if st["port1.tx.queue_drops"] != sent-128 {
+		t.Fatalf("queue drops = %d, want %d", st["port1.tx.queue_drops"], sent-128)
+	}
+	if st["port1.tx.frames"] != 128 {
+		t.Fatalf("tx frames = %d, want 128", st["port1.tx.frames"])
+	}
+	// The port is healthy again: new traffic flows immediately.
+	d.SendExternal(0, testFrame(64), d.Now())
+	if got := len(d.Captures(1)); got != 1 {
+		t.Fatalf("post-clear traffic: %d captures, want 1", got)
+	}
+}
+
 func TestQueueOverflowUnderBurst(t *testing.T) {
 	// Two ingress ports flooding one egress port at line rate must
 	// eventually overflow the output queue.

@@ -39,7 +39,9 @@ import (
 // UseCase enumerates the paper's §3 use cases.
 type UseCase string
 
-// The seven use cases of Figure 2.
+// The seven use cases of Figure 2, plus the resident-service row this
+// reproduction adds (long-lived sessions, churn, scheduled faults,
+// record/replay — §Resident in docs/robustness.md).
 const (
 	Functional   UseCase = "functional testing"
 	Performance  UseCase = "performance testing"
@@ -48,11 +50,13 @@ const (
 	Resources    UseCase = "resources quantification"
 	Status       UseCase = "status monitoring"
 	Comparison   UseCase = "comparison"
+	Resident     UseCase = "resident validation"
 )
 
-// UseCases lists the rows of Figure 2 in paper order.
+// UseCases lists the rows of Figure 2 in paper order, with the added
+// resident-validation row last.
 var UseCases = []UseCase{
-	Functional, Performance, Compiler, Architecture, Resources, Status, Comparison,
+	Functional, Performance, Compiler, Architecture, Resources, Status, Comparison, Resident,
 }
 
 // Tool names (columns of Figure 2).
@@ -211,6 +215,7 @@ func All() []Scenario {
 	out = append(out, resourceScenarios()...)
 	out = append(out, statusScenarios()...)
 	out = append(out, comparisonScenarios()...)
+	out = append(out, residentScenarios()...)
 	return out
 }
 

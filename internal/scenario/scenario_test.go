@@ -27,6 +27,7 @@ func TestFigure2Matrix(t *testing.T) {
 		Resources:    None,
 		Status:       None,
 		Comparison:   Partial,
+		Resident:     None, // sessions, churn, faults, replay: all runtime
 	}
 	for uc, want := range formalWant {
 		if got := m.Cells[uc][ToolFormal]; got != want {
@@ -42,6 +43,7 @@ func TestFigure2Matrix(t *testing.T) {
 		Resources:    None,
 		Status:       None,
 		Comparison:   Partial,
+		Resident:     Partial, // sees fault windows as loss; no control plane or stream
 	}
 	for uc, want := range externalWant {
 		if got := m.Cells[uc][ToolExternal]; got != want {

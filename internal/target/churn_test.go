@@ -1,0 +1,181 @@
+package target
+
+// Install/delete churn against the backends' architectural models: the
+// Tofino water-filling placement grant must be respected exactly as
+// entries come and go (deletes free slots, the grant never inflates),
+// and the eBPF mask-set scan program must shrink when a delete retires
+// a distinct mask — with concurrent ProcessBatch traffic serialized by
+// a lock, the resident session layer's access pattern, under -race.
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"netdebug/internal/bitfield"
+	"netdebug/internal/dataplane"
+	"netdebug/internal/p4/compile"
+	"netdebug/internal/p4/p4test"
+	"netdebug/internal/packet"
+)
+
+func mustLoad(t testing.TB, tgt Target, src string) {
+	t.Helper()
+	prog, err := compile.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := tgt.Load(prog); err != nil {
+		t.Fatalf("load onto %s: %v", tgt.Name(), err)
+	}
+}
+
+func bigEntry(dst uint64, port uint64) dataplane.Entry {
+	return dataplane.Entry{
+		Table:  "big",
+		Keys:   []dataplane.KeyValue{{Value: bitfield.New(dst, 32)}},
+		Action: "fwd",
+		Args:   []bitfield.Value{bitfield.New(port, 9)},
+	}
+}
+
+// TestTofinoWaterfillGrantUnderChurn fills the placed table to its
+// water-filling grant, then churns deletes and reinstalls while a
+// traffic goroutine (serialized by the session-layer lock discipline)
+// keeps probing: the grant must behave as an exact high-water mark —
+// deletes free exactly the removed slots, and the grant never grows.
+func TestTofinoWaterfillGrantUnderChurn(t *testing.T) {
+	tgt := NewTofino(FixedTofinoErrata())
+	mustLoad(t, tgt, p4test.BigExactTable)
+
+	var mu sync.Mutex
+	grant := 0
+	for i := 0; ; i++ {
+		if err := tgt.InstallEntry(bigEntry(uint64(i), 1)); err != nil {
+			var capErr *dataplane.CapacityError
+			if !errors.As(err, &capErr) {
+				t.Fatalf("install %d: %v", i, err)
+			}
+			grant = i
+			break
+		}
+		if i > 1<<16 {
+			t.Fatalf("no capacity limit hit after %d installs", i)
+		}
+	}
+	if grant == 0 || grant > 4096 {
+		t.Fatalf("implausible waterfill grant %d", grant)
+	}
+
+	frame := []byte{0, 0, 0, 5} // dst=5, installed for the whole test
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for round := 0; round < 200; round++ {
+			// Delete a batch of high keys, reinstall the same count, and
+			// verify the grant boundary is exact again.
+			k := 1 + rng.Intn(16)
+			mu.Lock()
+			for j := 0; j < k; j++ {
+				if err := tgt.DeleteEntry(bigEntry(uint64(grant-1-j), 1)); err != nil {
+					t.Errorf("round %d delete %d: %v", round, j, err)
+					mu.Unlock()
+					return
+				}
+			}
+			for j := 0; j < k; j++ {
+				if err := tgt.InstallEntry(bigEntry(uint64(grant-1-j), 1)); err != nil {
+					t.Errorf("round %d reinstall %d: %v", round, j, err)
+					mu.Unlock()
+					return
+				}
+			}
+			var capErr *dataplane.CapacityError
+			if err := tgt.InstallEntry(bigEntry(1<<20, 1)); !errors.As(err, &capErr) {
+				t.Errorf("round %d: install past grant got %v, want CapacityError", round, err)
+				mu.Unlock()
+				return
+			}
+			mu.Unlock()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		frames := [][]byte{frame, frame, frame, frame}
+		for round := 0; round < 200; round++ {
+			mu.Lock()
+			results := tgt.ProcessBatch(frames, 0, false)
+			for _, res := range results {
+				if res.Dropped() || res.Outputs[0].Port != 1 {
+					t.Errorf("traffic round %d: unexpected result %+v", round, res)
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Unlock()
+		}
+	}()
+	wg.Wait()
+}
+
+// TestEBPFMaskScanShrinksOnDelete pins the offload latency model across
+// churn: installing a new distinct mask grows the generated scan
+// program (latency up), deleting the last entry of that mask retires
+// its section (latency back down).
+func TestEBPFMaskScanShrinksOnDelete(t *testing.T) {
+	tgt := NewEBPF(FixedEBPFErrata())
+	mustLoad(t, tgt, p4test.Firewall)
+
+	aclEntry := func(mask uint64, prio int) dataplane.Entry {
+		return dataplane.Entry{
+			Table:    "acl",
+			Priority: prio,
+			Keys: []dataplane.KeyValue{
+				{Value: bitfield.New(0x0a000001, 32), Mask: bitfield.New(mask, 32)},
+				{Value: bitfield.New(0, 32), Mask: bitfield.New(0, 32)},
+				{Value: bitfield.New(0, 16), Mask: bitfield.New(0, 16)},
+			},
+			Action: "allow",
+		}
+	}
+	probeLatency := func() int64 {
+		frame := packet.BuildUDPv4(packet.MAC{2, 0, 0, 0, 0, 1}, packet.MAC{2, 0, 0, 0, 0, 2},
+			packet.IPv4Addr{10, 0, 0, 1}, packet.IPv4Addr{10, 0, 1, 2}, 4000, 53, make([]byte, 26))
+		res := tgt.Process(frame, 0, false)
+		return res.Latency.Nanoseconds()
+	}
+
+	base := probeLatency()
+	if err := tgt.InstallEntry(aclEntry(0xffffffff, 10)); err != nil {
+		t.Fatal(err)
+	}
+	oneMask := probeLatency()
+	if oneMask <= base {
+		t.Fatalf("latency did not grow with a new mask: base %d, one-mask %d", base, oneMask)
+	}
+	if err := tgt.InstallEntry(aclEntry(0xffff0000, 9)); err != nil {
+		t.Fatal(err)
+	}
+	twoMasks := probeLatency()
+	if twoMasks <= oneMask {
+		t.Fatalf("latency did not grow with a second mask: %d -> %d", oneMask, twoMasks)
+	}
+	if err := tgt.DeleteEntry(aclEntry(0xffff0000, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if got := probeLatency(); got != oneMask {
+		t.Fatalf("latency after retiring a mask: %d, want %d", got, oneMask)
+	}
+	if got := tgt.TernaryGroups("acl"); got != 1 {
+		t.Fatalf("ternary groups after delete: %d, want 1", got)
+	}
+	if err := tgt.DeleteEntry(aclEntry(0xffffffff, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if got := probeLatency(); got != base {
+		t.Fatalf("latency after full drain: %d, want base %d", got, base)
+	}
+}

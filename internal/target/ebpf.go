@@ -238,6 +238,19 @@ func (t *ebpf) InstallEntry(e dataplane.Entry) error {
 	return err
 }
 
+// DeleteEntry removes a map entry. A delete that shrinks a mask-set
+// scan table's distinct-mask set shrinks the generated program, so the
+// modelled latency is recomputed just as on install.
+func (t *ebpf) DeleteEntry(e dataplane.Entry) error {
+	err := t.deleteEntry(e)
+	if err == nil {
+		if m := t.maps[e.Table]; m != nil && m.kind == mapMaskScan {
+			t.updateLatency()
+		}
+	}
+	return err
+}
+
 func (t *ebpf) ClearTable(name string) error {
 	err := t.clearTable(name)
 	if err == nil {

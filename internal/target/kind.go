@@ -1,0 +1,39 @@
+package target
+
+import "fmt"
+
+// Kind names for ForKind, mirroring the netdebug facade's TargetKind
+// vocabulary so lower-level harnesses (the resident session layer, the
+// CLI) can construct backends from the same strings.
+const (
+	KindReference   = "reference"
+	KindSDNet       = "sdnet"
+	KindSDNetFixed  = "sdnet-fixed"
+	KindTofino      = "tofino"
+	KindTofinoFixed = "tofino-fixed"
+	KindEBPF        = "ebpf"
+	KindEBPFFixed   = "ebpf-fixed"
+)
+
+// ForKind constructs the backend named by kind with its default (or,
+// for the -fixed variants, fully repaired) errata. The empty string
+// selects the reference target.
+func ForKind(kind string) (Target, error) {
+	switch kind {
+	case "", KindReference:
+		return NewReference(), nil
+	case KindSDNet:
+		return NewSDNet(DefaultErrata()), nil
+	case KindSDNetFixed:
+		return NewSDNet(FixedErrata()), nil
+	case KindTofino:
+		return NewTofino(DefaultTofinoErrata()), nil
+	case KindTofinoFixed:
+		return NewTofino(FixedTofinoErrata()), nil
+	case KindEBPF:
+		return NewEBPF(DefaultEBPFErrata()), nil
+	case KindEBPFFixed:
+		return NewEBPF(FixedEBPFErrata()), nil
+	}
+	return nil, fmt.Errorf("target: unknown kind %q", kind)
+}

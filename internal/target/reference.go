@@ -83,6 +83,13 @@ func (p *pipeline) installEntry(e dataplane.Entry) error {
 	return p.eng.InstallEntry(e)
 }
 
+func (p *pipeline) deleteEntry(e dataplane.Entry) error {
+	if p.eng == nil {
+		return fmt.Errorf("target: no program loaded")
+	}
+	return p.eng.DeleteEntry(e)
+}
+
 func (p *pipeline) clearTable(name string) error {
 	if p.eng == nil {
 		return fmt.Errorf("target: no program loaded")
@@ -142,6 +149,7 @@ func (r *reference) ProcessBatch(frames [][]byte, ingressPort uint64, trace bool
 }
 
 func (r *reference) InstallEntry(e dataplane.Entry) error { return r.installEntry(e) }
+func (r *reference) DeleteEntry(e dataplane.Entry) error  { return r.deleteEntry(e) }
 func (r *reference) ClearTable(name string) error         { return r.clearTable(name) }
 func (r *reference) Status() map[string]uint64            { return r.status() }
 func (r *reference) TernaryGroups(name string) int        { return r.ternaryGroups(name) }

@@ -116,6 +116,7 @@ func (s *sdnet) ProcessBatch(frames [][]byte, ingressPort uint64, trace bool) []
 }
 
 func (s *sdnet) InstallEntry(e dataplane.Entry) error { return s.installEntry(e) }
+func (s *sdnet) DeleteEntry(e dataplane.Entry) error  { return s.deleteEntry(e) }
 func (s *sdnet) ClearTable(name string) error         { return s.clearTable(name) }
 func (s *sdnet) Status() map[string]uint64            { return s.status() }
 func (s *sdnet) Resources() ResourceReport            { return s.resources }

@@ -94,6 +94,11 @@ type Target interface {
 	ProcessBatch(frames [][]byte, ingressPort uint64, trace bool) []Result
 	// InstallEntry installs a match-action table entry.
 	InstallEntry(e dataplane.Entry) error
+	// DeleteEntry removes one table entry by its match identity (see
+	// dataplane.Engine.DeleteEntry) — the control-plane write rule
+	// churn is made of. Deleting an absent key returns a
+	// *dataplane.NoSuchEntryError.
+	DeleteEntry(e dataplane.Entry) error
 	// ClearTable removes every entry from a table.
 	ClearTable(name string) error
 	// Status reads the target's internal counters.

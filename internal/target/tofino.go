@@ -164,6 +164,7 @@ func (t *tofino) ProcessBatch(frames [][]byte, ingressPort uint64, trace bool) [
 }
 
 func (t *tofino) InstallEntry(e dataplane.Entry) error { return t.installEntry(e) }
+func (t *tofino) DeleteEntry(e dataplane.Entry) error  { return t.deleteEntry(e) }
 func (t *tofino) ClearTable(name string) error         { return t.clearTable(name) }
 func (t *tofino) Status() map[string]uint64            { return t.status() }
 func (t *tofino) Resources() ResourceReport            { return t.resources }

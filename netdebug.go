@@ -27,15 +27,20 @@ package netdebug
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"netdebug/internal/bitfield"
+	"netdebug/internal/control"
 	"netdebug/internal/core"
 	"netdebug/internal/dataplane"
 	"netdebug/internal/device"
+	"netdebug/internal/faultplan"
 	"netdebug/internal/p4/compile"
 	"netdebug/internal/p4/ir"
+	"netdebug/internal/session"
 	"netdebug/internal/target"
 	"netdebug/internal/tester"
 	"netdebug/internal/verify"
@@ -77,6 +82,39 @@ type (
 	ExternalReport = tester.Report
 	// ExternalStream describes an externally-injected stream.
 	ExternalStream = tester.Stream
+	// RetryPolicy bounds the control channel's retry-with-backoff loop.
+	RetryPolicy = control.RetryPolicy
+	// FaultPlan schedules faults on the device's virtual clock.
+	FaultPlan = faultplan.Plan
+	// FaultEvent is one scheduled fault.
+	FaultEvent = faultplan.Event
+	// SessionSpec describes one resident validation session.
+	SessionSpec = session.SessionSpec
+	// SessionHostConfig describes the pooled device/target systems a
+	// session manager boots.
+	SessionHostConfig = session.HostConfig
+	// SessionResult is one completed session's verdict.
+	SessionResult = session.Result
+	// SessionRecord is one line of the versioned JSONL event stream.
+	SessionRecord = session.Record
+	// ChurnSpec drives table install/delete churn under traffic.
+	ChurnSpec = session.ChurnSpec
+	// ProbeSpec drives the external probe leg of a session.
+	ProbeSpec = session.ProbeSpec
+	// RetrySpec is the serializable retry policy in a SessionHostConfig.
+	RetrySpec = session.RetrySpec
+)
+
+// Scheduled fault kinds, re-exported from the fault plan vocabulary.
+const (
+	FaultPlanPortDown     = faultplan.PortDown
+	FaultPlanBitFlip      = faultplan.BitFlip
+	FaultPlanQueueStuck   = faultplan.QueueStuck
+	FaultPlanClearFaults  = faultplan.ClearFaults
+	FaultPlanMapFull      = faultplan.MapFull
+	FaultPlanMapFullClear = faultplan.MapFullClear
+	FaultPlanMaskBudget   = faultplan.MaskBudget
+	FaultPlanInstallFlap  = faultplan.InstallFlap
 )
 
 // Fault kinds, re-exported from the device model.
@@ -129,6 +167,11 @@ type Options struct {
 	// NumPorts and QueueDepth size the device (defaults: 4 ports, 128).
 	NumPorts   int
 	QueueDepth int
+	// CallTimeout bounds each control-channel request (0 = no deadline).
+	CallTimeout time.Duration
+	// Retry, when MaxAttempts > 1, retries control-channel requests that
+	// fail with transient (retryable) errors, with exponential backoff.
+	Retry RetryPolicy
 }
 
 // System is a booted device with NetDebug attached.
@@ -147,24 +190,9 @@ func Open(p4src string, opts Options) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netdebug: compiling program: %w", err)
 	}
-	var tgt target.Target
-	switch opts.Target {
-	case "", TargetReference:
-		tgt = target.NewReference()
-	case TargetSDNet:
-		tgt = target.NewSDNet(target.DefaultErrata())
-	case TargetSDNetFixed:
-		tgt = target.NewSDNet(target.FixedErrata())
-	case TargetTofino:
-		tgt = target.NewTofino(target.DefaultTofinoErrata())
-	case TargetTofinoFixed:
-		tgt = target.NewTofino(target.FixedTofinoErrata())
-	case TargetEBPF:
-		tgt = target.NewEBPF(target.DefaultEBPFErrata())
-	case TargetEBPFFixed:
-		tgt = target.NewEBPF(target.FixedEBPFErrata())
-	default:
-		return nil, fmt.Errorf("netdebug: unknown target %q", opts.Target)
+	tgt, err := target.ForKind(string(opts.Target))
+	if err != nil {
+		return nil, fmt.Errorf("netdebug: %w", err)
 	}
 	if err := tgt.Load(prog); err != nil {
 		return nil, fmt.Errorf("netdebug: loading onto %s: %w", tgt.Name(), err)
@@ -178,7 +206,14 @@ func Open(p4src string, opts Options) (*System, error) {
 		return nil, err
 	}
 	agt := core.NewAgent(dev)
-	return &System{dev: dev, tgt: tgt, agt: agt, ctl: core.Connect(agt), prog: prog}, nil
+	ctl := core.Connect(agt)
+	if opts.CallTimeout > 0 {
+		ctl.SetCallTimeout(opts.CallTimeout)
+	}
+	if opts.Retry.MaxAttempts > 1 {
+		ctl.SetRetryPolicy(opts.Retry)
+	}
+	return &System{dev: dev, tgt: tgt, agt: agt, ctl: ctl, prog: prog}, nil
 }
 
 // Close releases the control channel.
@@ -196,6 +231,9 @@ func (s *System) InstallEntry(e Entry) error { return s.ctl.InstallEntry(e) }
 
 // InstallEntries installs entries, stopping at the first error.
 func (s *System) InstallEntries(entries []Entry) error { return s.ctl.InstallEntries(entries) }
+
+// DeleteEntry removes a table entry through the control channel.
+func (s *System) DeleteEntry(e Entry) error { return s.ctl.DeleteEntry(e) }
 
 // ClearTable empties a table.
 func (s *System) ClearTable(name string) error { return s.ctl.ClearTable(name) }
@@ -344,6 +382,58 @@ func RunSuite(newSystem func() (*System, error), specs []*TestSpec, workers int)
 		}
 	}
 	return reports, nil
+}
+
+// SessionManager runs concurrent resident validation sessions over a
+// pool of identically configured device/target systems, streaming each
+// session's events as versioned JSONL in canonical order. It is the
+// service core behind `netdebug -resident`.
+type SessionManager struct {
+	m *session.Manager
+}
+
+// NewSessionManager boots numHosts systems from cfg. If w is non-nil,
+// every session's records are appended to it as JSONL; the stream is
+// byte-deterministic for a given spec sequence regardless of numHosts.
+func NewSessionManager(cfg SessionHostConfig, numHosts int, w io.Writer) (*SessionManager, error) {
+	var rec *session.Recorder
+	if w != nil {
+		rec = session.NewRecorder(w)
+	}
+	m, err := session.NewManager(cfg, numHosts, rec)
+	if err != nil {
+		return nil, err
+	}
+	return &SessionManager{m: m}, nil
+}
+
+// Run executes one session, blocking until a pooled host is free.
+func (s *SessionManager) Run(spec SessionSpec) (*SessionResult, error) { return s.m.Run(spec) }
+
+// RunAll executes specs concurrently across the pool; results (and the
+// recorded stream) are ordered by spec position, not completion.
+func (s *SessionManager) RunAll(specs []SessionSpec) ([]*SessionResult, error) {
+	return s.m.RunAll(specs)
+}
+
+// Drain stops admitting sessions and waits for in-flight ones; new runs
+// fail with session.ErrDraining.
+func (s *SessionManager) Drain() { s.m.Drain() }
+
+// Close drains and releases the pool.
+func (s *SessionManager) Close() error { return s.m.Close() }
+
+// ReplaySession re-executes a recorded session stream on freshly booted
+// systems and returns the re-recorded stream.
+func ReplaySession(stream []byte) ([]byte, error) { return session.Replay(stream) }
+
+// ReplayCheck replays a recorded stream and verifies the result is
+// byte-identical — the determinism contract of docs/robustness.md.
+func ReplayCheck(stream []byte) error { return session.ReplayCheck(stream) }
+
+// ParseSessionStream decodes a recorded JSONL stream.
+func ParseSessionStream(stream []byte) ([]SessionRecord, error) {
+	return session.ParseStream(stream)
 }
 
 // VerifyResult is a formal-verification verdict.

@@ -1,0 +1,136 @@
+package netdebug_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"netdebug"
+	"netdebug/internal/p4/p4test"
+	"netdebug/internal/packet"
+)
+
+// TestDeleteEntryFacade: deleting the only route flips forwarding back
+// to the default drop action, through a client configured with the
+// timeout/retry options.
+func TestDeleteEntryFacade(t *testing.T) {
+	sys, err := netdebug.Open(p4test.Router, netdebug.Options{
+		CallTimeout: time.Second,
+		Retry:       netdebug.RetryPolicy{MaxAttempts: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	route := netdebug.Entry{
+		Table:  "ipv4_lpm",
+		Keys:   []netdebug.KeyValue{{Value: netdebug.NewValue(0x0a000000, 32), PrefixLen: 8}},
+		Action: "ipv4_forward",
+		Args:   []netdebug.Value{netdebug.ValueFromBytes(gwMAC[:]), netdebug.NewValue(1, 9)},
+	}
+	if err := sys.InstallEntry(route); err != nil {
+		t.Fatal(err)
+	}
+	frame := packet.BuildUDPv4(srcMAC, gwMAC, srcIP, dstIP, 4000, 53, make([]byte, 26))
+	spec := func(name string, drop bool) *netdebug.TestSpec {
+		r := netdebug.Rule{Name: "verdict", Stream: "probe"}
+		if drop {
+			r.ExpectDrop = true
+		} else {
+			r.ExpectPort = 1
+		}
+		return &netdebug.TestSpec{
+			Name:  name,
+			Gen:   netdebug.GenSpec{Streams: []netdebug.StreamSpec{{Name: "probe", Template: frame, Count: 10, RatePPS: 1e6}}},
+			Check: netdebug.CheckSpec{Rules: []netdebug.Rule{r}},
+		}
+	}
+	if rep, err := sys.Validate(spec("with-route", false)); err != nil || !rep.Pass {
+		t.Fatalf("with route: %v %v", rep, err)
+	}
+	if err := sys.DeleteEntry(route); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err := sys.Validate(spec("without-route", true)); err != nil || !rep.Pass {
+		t.Fatalf("after delete: %v %v", rep, err)
+	}
+	if err := sys.DeleteEntry(route); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+// TestSessionManagerFacade drives the resident session surface through
+// the public API: a recorded churn+fault session parses, degrades
+// gracefully, and replays byte-identically.
+func TestSessionManagerFacade(t *testing.T) {
+	var buf bytes.Buffer
+	mgr, err := netdebug.NewSessionManager(netdebug.SessionHostConfig{
+		Source: p4test.Router,
+		Target: "reference",
+		Baseline: []netdebug.Entry{{
+			Table:  "ipv4_lpm",
+			Keys:   []netdebug.KeyValue{{Value: netdebug.NewValue(0x0a000000, 32), PrefixLen: 8}},
+			Action: "ipv4_forward",
+			Args:   []netdebug.Value{netdebug.ValueFromBytes(gwMAC[:]), netdebug.NewValue(1, 9)},
+		}},
+		CallTimeout: time.Second,
+		Retry:       netdebug.RetrySpec{MaxAttempts: 3, BaseBackoff: time.Microsecond, MaxBackoff: 4 * time.Microsecond},
+	}, 2, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := packet.BuildUDPv4(srcMAC, gwMAC, srcIP, dstIP, 4000, 53, make([]byte, 26))
+	specs := []netdebug.SessionSpec{
+		{
+			Name: "steady",
+			Spec: netdebug.TestSpec{
+				Name:  "fwd",
+				Gen:   netdebug.GenSpec{Streams: []netdebug.StreamSpec{{Name: "probe", Template: frame, Count: 20, RatePPS: 1e6}}},
+				Check: netdebug.CheckSpec{Rules: []netdebug.Rule{{Name: "fwd", Stream: "probe", ExpectPort: 1}}},
+			},
+			Rounds:   2,
+			Churn:    &netdebug.ChurnSpec{Table: "ipv4_lpm", Installs: 3, Deletes: 1},
+			SLOBound: time.Millisecond,
+		},
+		{
+			Name: "faulted",
+			Spec: netdebug.TestSpec{
+				Name:  "fwd",
+				Gen:   netdebug.GenSpec{Streams: []netdebug.StreamSpec{{Name: "probe", Template: frame, Count: 20, RatePPS: 1e6}}},
+				Check: netdebug.CheckSpec{Rules: []netdebug.Rule{{Name: "fwd", Stream: "probe", ExpectPort: 1}}},
+			},
+			Rounds: 2,
+			Plan: netdebug.FaultPlan{Events: []netdebug.FaultEvent{
+				{At: 0, Kind: netdebug.FaultPlanMapFull, Table: "ipv4_lpm"},
+			}},
+			Churn: &netdebug.ChurnSpec{Table: "ipv4_lpm", Installs: 2, Deletes: 1},
+		},
+	}
+	results, err := mgr.RunAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Pass {
+		t.Fatalf("steady session failed: %+v", results[0])
+	}
+	if results[1].Pass {
+		t.Fatal("map-full session passed despite denied churn")
+	}
+	mgr.Drain()
+	if _, err := mgr.Run(specs[0]); err == nil {
+		t.Fatal("drained manager accepted a session")
+	}
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := netdebug.ParseSessionStream(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || recs[0].Session != "steady" {
+		t.Fatalf("stream shape: %d records", len(recs))
+	}
+	if err := netdebug.ReplayCheck(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
