@@ -87,10 +87,10 @@ func BenchmarkFigure2CapabilityMatrixParallel(b *testing.B) {
 
 // BenchmarkSuiteValidation runs a T1-style 16-spec validation suite
 // through netdebug.RunSuite sequentially and across workers, one System
-// (device + target + engine) per worker. Factory and specs are shared
+// (device + target + engine) per worker. Options and specs are shared
 // with the RunSuite correctness tests (suite_test.go).
 func BenchmarkSuiteValidation(b *testing.B) {
-	factory := routerSuiteFactory
+	opts := routerSuiteOptions()
 	specs := suiteSpecs(16, 500)
 	workerCounts := []int{1, 8}
 	if n := runtime.GOMAXPROCS(0); n != 1 && n != 8 {
@@ -99,7 +99,7 @@ func BenchmarkSuiteValidation(b *testing.B) {
 	for _, workers := range workerCounts {
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				reps, err := netdebug.RunSuite(factory, specs, workers)
+				reps, err := netdebug.RunSuite(p4test.Router, opts, specs, workers)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -57,8 +57,10 @@ import (
 // feasibility-solved path exploration (the parallel variants are
 // asserted via -speedup, not pinned, because their allocation counts
 // depend on goroutine scheduling) — plus the resident session layer's
-// end-to-end throughput (boot-free warm-host session execution).
-const defaultPin = `^Benchmark(ProcessRouter|ProcessFirewallTernary|RouterProcess|FirewallProcess|(Tofino|EBPF)Process(Router|FirewallTernary)|DeviceForward(Burst|NoCapture)?|TernaryLookupTupleSpace/.*|Solve(Reference)?RouterLikePath|ExploreParallel/workers1|SessionThroughput)$`
+// end-to-end throughput (boot-free warm-host session execution) and the
+// fuzz fleet's lockstep probe path (one batch through all four
+// backends).
+const defaultPin = `^Benchmark(ProcessRouter|ProcessFirewallTernary|RouterProcess|FirewallProcess|(Tofino|EBPF)Process(Router|FirewallTernary)|DeviceForward(Burst|NoCapture)?|TernaryLookupTupleSpace/.*|Solve(Reference)?RouterLikePath|ExploreParallel/workers1|SessionThroughput|FuzzFleetThroughput)$`
 
 // defaultSpeedup asserts the scaling wins within the current run (so
 // machine speed cancels out): the tuple-space ternary lookup >= 10x the

@@ -180,16 +180,9 @@ func t1() {
 	var err error
 	if *parallel != 0 {
 		// Suite mode: one freshly opened System per worker.
-		reps, err = netdebug.RunSuite(func() (*netdebug.System, error) {
-			sys, oerr := netdebug.Open(p4test.Router, netdebug.Options{Target: netdebug.TargetSDNet})
-			if oerr != nil {
-				return nil, oerr
-			}
-			if ierr := sys.InstallEntry(routeEntry()); ierr != nil {
-				sys.Close()
-				return nil, ierr
-			}
-			return sys, nil
+		reps, err = netdebug.RunSuite(p4test.Router, netdebug.Options{
+			Target:   netdebug.TargetSDNet,
+			Baseline: []netdebug.Entry{routeEntry()},
 		}, specs, *parallel)
 	} else {
 		sys := openRouter(netdebug.TargetSDNet)

@@ -15,6 +15,12 @@
 //
 //	netdebug -program router.p4 -resident -record run.jsonl
 //	netdebug -replay run.jsonl
+//
+// Fuzz mode runs the coverage-guided differential fuzzing fleet: the
+// same generated stream through every shipped backend in lockstep,
+// majority-voting disagreements to name the divergent backend:
+//
+//	netdebug -program router.p4 -fuzz -fuzz-budget 2048 -fuzz-shards 4
 package main
 
 import (
@@ -53,6 +59,12 @@ var (
 
 	callTimeout = flag.Duration("call-timeout", 5*time.Second, "control-channel request deadline (0 = none)")
 	retries     = flag.Int("retries", 3, "control-channel attempts for transient (retryable) errors")
+
+	fuzzMode = flag.Bool("fuzz", false,
+		"differential fuzzing mode: drive the generated stream through every shipped backend in lockstep")
+	fuzzBudget = flag.Int("fuzz-budget", 1024, "fuzz mode: total probe budget")
+	fuzzShards = flag.Int("fuzz-shards", 1, "fuzz mode: worker shards (report is shard-count independent)")
+	fuzzSeed   = flag.Int64("fuzz-seed", 1, "fuzz mode: random seed (fixed seed = identical report)")
 )
 
 var (
@@ -91,6 +103,16 @@ func main() {
 			log.Fatal(err)
 		}
 		runResident(string(src))
+		return
+	case *fuzzMode:
+		if *programPath == "" {
+			log.Fatal("fuzz mode needs -program")
+		}
+		src, err := os.ReadFile(*programPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runFuzz(string(src))
 		return
 	case *programPath != "":
 		src, err := os.ReadFile(*programPath)
@@ -303,6 +325,45 @@ func runResident(src string) {
 	}
 }
 
+// runFuzz drives the differential fuzzing fleet over the program with
+// the built-in route baseline and prints the divergence ledger. Exit
+// status is 0 when the run completes (finding divergences is the
+// point, not a failure); CI asserts on the printed ledger.
+func runFuzz(src string) {
+	rep, err := netdebug.FuzzFleet(src,
+		netdebug.WithFuzzBaseline(defaultRouteEntry(), fallbackRouteEntry()),
+		netdebug.WithFuzzBudget(*fuzzBudget),
+		netdebug.WithFuzzShards(*fuzzShards),
+		netdebug.WithFuzzSeed(*fuzzSeed),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fuzz: %d probes (%d mutation, %d solver) in %v, %.0f probes/s across backends\n",
+		rep.Probes, rep.MutationProbes, rep.SolverProbes, rep.Elapsed.Round(time.Millisecond), rep.ProbesPerSec)
+	fmt.Printf("coverage: %d behaviour signatures, corpus %d frames, %d paths explored, %d solver-first signatures\n",
+		rep.Coverage, len(rep.Corpus), rep.PathsExplored, rep.SolverDiscovered)
+	if len(rep.Divergences) == 0 {
+		fmt.Println("no divergences: all backends agree on every probe")
+	}
+	for _, kind := range []string{"reference", "sdnet", "tofino", "ebpf"} {
+		if n := rep.Divergences[kind]; n > 0 {
+			fmt.Printf("divergent backend %s: outvoted on %d probes\n", kind, n)
+		}
+	}
+	if rep.Ties > 0 {
+		fmt.Printf("ties (no majority): %d probes\n", rep.Ties)
+	}
+	printed := map[string]int{}
+	for _, ex := range rep.Examples {
+		if printed[ex.Backend] >= 3 {
+			continue
+		}
+		printed[ex.Backend]++
+		fmt.Printf("  example probe %d (%s): %s disagrees — %s\n", ex.Probe, ex.Origin, ex.Backend, ex.Detail)
+	}
+}
+
 // defaultRouteEntry is the 10/8 -> port 1 route the built-in specs use.
 func defaultRouteEntry() netdebug.Entry {
 	return netdebug.Entry{
@@ -310,6 +371,18 @@ func defaultRouteEntry() netdebug.Entry {
 		Keys:   []netdebug.KeyValue{{Value: netdebug.NewValue(0x0a000000, 32), PrefixLen: 8}},
 		Action: "ipv4_forward",
 		Args:   []netdebug.Value{netdebug.ValueFromBytes(gwMAC[:]), netdebug.NewValue(1, 9)},
+	}
+}
+
+// fallbackRouteEntry is the /0 -> port 2 default route, giving the
+// fuzzer's off-subnet probes an expected egress (and the ebpf /0 trie
+// erratum a probe surface).
+func fallbackRouteEntry() netdebug.Entry {
+	return netdebug.Entry{
+		Table:  "ipv4_lpm",
+		Keys:   []netdebug.KeyValue{{Value: netdebug.NewValue(0, 32), PrefixLen: 0}},
+		Action: "ipv4_forward",
+		Args:   []netdebug.Value{netdebug.ValueFromBytes(gwMAC[:]), netdebug.NewValue(2, 9)},
 	}
 }
 

@@ -1,0 +1,143 @@
+package netdebug_test
+
+import (
+	"reflect"
+	"testing"
+
+	"netdebug"
+	"netdebug/internal/p4/p4test"
+)
+
+// TestOpenErrorPaths covers the facade's failure modes: an unknown
+// target kind, unparsable P4 source, and a baseline entry naming a
+// table the program does not declare. Each must fail Open without
+// leaking a booted system.
+func TestOpenErrorPaths(t *testing.T) {
+	if _, err := netdebug.Open(p4test.Router, netdebug.Options{Target: "fpga-9000"}); err == nil {
+		t.Error("unknown target kind accepted")
+	}
+	if _, err := netdebug.Open("control gibberish {", netdebug.Options{}); err == nil {
+		t.Error("unparsable program accepted")
+	}
+	opts := routerSuiteOptions()
+	opts.Baseline[0].Table = "no_such_table"
+	if _, err := netdebug.Open(p4test.Router, opts); err == nil {
+		t.Error("baseline entry for undeclared table accepted")
+	}
+	opts = routerSuiteOptions()
+	opts.Baseline[0].Action = "no_such_action"
+	if _, err := netdebug.Open(p4test.Router, opts); err == nil {
+		t.Error("baseline entry with undeclared action accepted")
+	}
+}
+
+// TestOpenInstallsBaseline: a system opened with a Baseline behaves
+// like one whose entries were installed by hand.
+func TestOpenInstallsBaseline(t *testing.T) {
+	sys, err := netdebug.Open(p4test.Router, routerSuiteOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	rep, err := sys.Validate(suiteSpecs(1, 20)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("baseline route not installed: %v", rep)
+	}
+}
+
+// TestVerifyProgramOptionForms pins the redesigned verification entry
+// point: the zero-option call, the deprecated worker-count wrapper, and
+// the explicit option form must agree verdict for verdict.
+func TestVerifyProgramOptionForms(t *testing.T) {
+	plain, err := netdebug.VerifyProgram(p4test.Router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) == 0 {
+		t.Fatal("no properties checked")
+	}
+	withOpts, err := netdebug.VerifyProgram(p4test.Router, netdebug.WithWorkers(2), netdebug.WithSolvePaths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deprecated, err := netdebug.VerifyProgramWorkers(p4test.Router, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Detail strings carry run statistics (path counts, model rendering)
+	// that legitimately vary with options; the verdicts must not.
+	verdicts := func(rs []netdebug.VerifyResult) map[string]bool {
+		out := make(map[string]bool, len(rs))
+		for _, r := range rs {
+			out[r.Property] = r.Holds
+		}
+		return out
+	}
+	if !reflect.DeepEqual(verdicts(plain), verdicts(withOpts)) || !reflect.DeepEqual(verdicts(plain), verdicts(deprecated)) {
+		t.Fatalf("entry points disagree:\nplain:      %v\nwith opts:  %v\ndeprecated: %v", plain, withOpts, deprecated)
+	}
+	if _, err := netdebug.VerifyProgram("not p4"); err == nil {
+		t.Fatal("unparsable source accepted")
+	}
+}
+
+// TestFuzzFleetFacade drives the fuzzing fleet through the public
+// option-style entry point: deterministic across repeat runs, shard
+// count invisible in the report, and the known sdnet/ebpf errata
+// localized by majority vote.
+func TestFuzzFleetFacade(t *testing.T) {
+	opts := func(shards int) []netdebug.FuzzOption {
+		return []netdebug.FuzzOption{
+			netdebug.WithFuzzBaseline(routerSuiteOptions().Baseline[0], fallbackRoute()),
+			netdebug.WithFuzzBudget(512),
+			netdebug.WithFuzzSeed(11),
+			netdebug.WithFuzzShards(shards),
+		}
+	}
+	one, err := netdebug.FuzzFleet(p4test.Router, opts(1)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := netdebug.FuzzFleet(p4test.Router, opts(4)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one.Elapsed, four.Elapsed = 0, 0
+	one.ProbesPerSec, four.ProbesPerSec = 0, 0
+	if !reflect.DeepEqual(one, four) {
+		t.Fatalf("report depends on shard count:\n1: %+v\n4: %+v", one, four)
+	}
+	if one.Divergences["sdnet"] == 0 || one.Divergences["ebpf"] == 0 {
+		t.Fatalf("router errata not localized: %v", one.Divergences)
+	}
+	if one.Divergences["reference"] != 0 {
+		t.Fatalf("reference voted divergent: %v", one.Divergences)
+	}
+
+	quiet, err := netdebug.FuzzFleet(p4test.Router,
+		append(opts(1), netdebug.WithoutSolverProbes())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.SolverProbes != 0 {
+		t.Fatalf("solver probes despite WithoutSolverProbes: %d", quiet.SolverProbes)
+	}
+
+	if _, err := netdebug.FuzzFleet(p4test.Router,
+		netdebug.WithFuzzTargets(netdebug.TargetReference, netdebug.TargetSDNet)); err == nil {
+		t.Fatal("two-target vote accepted")
+	}
+}
+
+// fallbackRoute is the /0 default route (port 2) used by fuzz tests.
+func fallbackRoute() netdebug.Entry {
+	return netdebug.Entry{
+		Table:  "ipv4_lpm",
+		Keys:   []netdebug.KeyValue{{Value: netdebug.NewValue(0, 32), PrefixLen: 0}},
+		Action: "ipv4_forward",
+		Args:   []netdebug.Value{netdebug.ValueFromBytes(gwMAC[:]), netdebug.NewValue(2, 9)},
+	}
+}

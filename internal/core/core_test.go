@@ -155,6 +155,42 @@ func TestGeneratorFuzzDeterministic(t *testing.T) {
 	}
 }
 
+func TestGeneratorFuzzBoundaries(t *testing.T) {
+	prog := routerProgram(t)
+	l, _ := LayoutFor(prog, "ethernet", "ipv4")
+	loc := l.MustField("ipv4.srcAddr")
+	spec := func(boundaries bool) GenSpec {
+		return GenSpec{Streams: []StreamSpec{{
+			Name:     "fuzz",
+			Template: goodFrame(26),
+			Count:    256,
+			Fuzz:     []FieldFuzz{{Loc: loc, Seed: 7, Boundaries: boundaries}},
+		}}}
+	}
+	gb, _ := NewGenerator(spec(true))
+	gp, _ := NewGenerator(spec(false))
+	pb, pp := gb.Packets(0), gp.Packets(0)
+	max := uint64(1)<<uint(loc.Bits) - 1
+	boundary := map[uint64]int{0: 0, max: 0, 1: 0, max - 1: 0}
+	for i := range pb {
+		vb, _ := bitfield.Extract(pb[i].Data, loc.BitOff, loc.Bits)
+		vp, _ := bitfield.Extract(pp[i].Data, loc.BitOff, loc.Bits)
+		if n, hit := boundary[vb.Uint64()]; hit && vb.Uint64() != vp.Uint64() {
+			// A biased draw: replaced by one of the four boundary values.
+			boundary[vb.Uint64()] = n + 1
+		} else if vb.Uint64() != vp.Uint64() {
+			// Non-boundary draws must be byte-identical to the unbiased
+			// sequence — Boundaries may not perturb the base stream.
+			t.Fatalf("pkt %d: non-boundary draw changed: %#x vs %#x", i, vb.Uint64(), vp.Uint64())
+		}
+	}
+	for v, n := range boundary {
+		if n == 0 {
+			t.Errorf("boundary value %#x never drawn in 256 packets", v)
+		}
+	}
+}
+
 func TestGeneratorMergesStreamsByTime(t *testing.T) {
 	gen, err := NewGenerator(GenSpec{Streams: []StreamSpec{
 		{Name: "slow", Template: goodFrame(0), Count: 3, RatePPS: 1e5},  // every 10us

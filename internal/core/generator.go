@@ -22,6 +22,12 @@ type FieldSweep struct {
 type FieldFuzz struct {
 	Loc  FieldLoc
 	Seed int64
+	// Boundaries biases one draw in four to a boundary value of the
+	// field's width (0, 1, max, max-1) instead of uniform random bits —
+	// the greybox heuristic that crosses exact-match and off-by-one
+	// branch conditions far sooner than uniform sampling over wide
+	// fields.
+	Boundaries bool
 }
 
 // StreamSpec describes one generated packet stream.
@@ -189,6 +195,22 @@ func (g *Generator) Packets(start time.Duration) []TestPacket {
 			}
 			for fi, fz := range s.Fuzz {
 				v := fuzzers[fi].Uint64()
+				if fz.Boundaries && v&3 == 0 {
+					max := ^uint64(0)
+					if fz.Loc.Bits < 64 {
+						max = 1<<uint(fz.Loc.Bits) - 1
+					}
+					switch (v >> 2) & 3 {
+					case 0:
+						v = 0
+					case 1:
+						v = max
+					case 2:
+						v = 1
+					case 3:
+						v = max - 1
+					}
+				}
 				bitfield.MustInject(data, fz.Loc.BitOff, fz.Loc.Bits, bitfield.New(v, fz.Loc.Bits))
 			}
 			tp := TestPacket{

@@ -1,0 +1,691 @@
+// Package fuzz implements the coverage-guided differential fuzzing
+// fleet: a continuous driver that sends the same generated probe stream
+// through every shipped backend in lockstep and majority-votes each
+// disagreement to name the divergent backend — the FP4-style greybox
+// loop run against the four-way comparison matrix.
+//
+// The loop is closed in both directions. Behavioural coverage (parser
+// path, table hits, verdict, drop stage, egress — the signals the
+// device's dataplane taps and counters observe) feeds back into
+// core.Generator mutation choices: probes that light up a new
+// cross-backend behaviour signature enter the corpus, and the fields
+// whose mutation produced them earn selection weight. And the verifier
+// feeds the fuzzer: Path.Model assignments from verify.Options.SolvePaths
+// are synthesized into concrete frames, so the solver reaches the paths
+// random mutation can't (see synthesize.go).
+//
+// Determinism contract: for a fixed Options.Seed, the corpus, the
+// coverage curve, and the divergence ledger are byte-identical at any
+// Shards count. Every probe batch is generated centrally from the seeded
+// rng, probe outcomes are history-independent (tables are static during
+// a run and device.InjectInternal does not queue), shards claim probes
+// by global index and write into an index-addressed result slice, and
+// the merge replays results in global probe order. Only the wall-clock
+// figures (Elapsed, ProbesPerSec) vary between runs.
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"netdebug/internal/core"
+	"netdebug/internal/dataplane"
+	"netdebug/internal/device"
+	"netdebug/internal/p4/compile"
+	"netdebug/internal/p4/ir"
+	"netdebug/internal/target"
+)
+
+// Probe origins, as recorded in the corpus and the divergence ledger.
+const (
+	OriginSeed     = "seed"
+	OriginMutation = "mutation"
+	OriginSolver   = "solver"
+)
+
+// maxFieldWeight caps per-field mutation credit so one productive field
+// cannot starve the rest of the header stack.
+const maxFieldWeight = 16
+
+// Options configures a fuzzing fleet.
+type Options struct {
+	// Targets lists the backend kinds run in lockstep (target.ForKind
+	// names). Default: target.ShippedKinds — the four-way default-errata
+	// matrix. Kinds must be unique; majority vote needs at least three.
+	Targets []string
+	// Baseline is installed into every backend before fuzzing starts
+	// (same entries on every shard's devices — tables stay static for
+	// the whole run).
+	Baseline []dataplane.Entry
+	// Seeds are the initial corpus frames. When empty, two defaults are
+	// derived from the program's header layout: an all-zero frame and a
+	// well-formed Ethernet/IPv4 frame aimed at 10.0.1.2.
+	Seeds [][]byte
+	// Budget is the number of mutation probes (default 1024). Seed and
+	// solver probes ride on top and are reported separately.
+	Budget int
+	// RoundSize is the number of probes per mutation round; coverage
+	// feedback is folded in between rounds (default 128).
+	RoundSize int
+	// Shards is the number of parallel lockstep device sets (default 1).
+	// The report is identical at any value; see the package comment.
+	Shards int
+	// Seed seeds every random choice of the run (default 1).
+	Seed int64
+	// IngressPort is the data-plane ingress port for injected probes.
+	IngressPort uint64
+	// DisableSolver turns off solver-synthesized probes.
+	DisableSolver bool
+	// MaxPaths bounds the path exploration behind solver probe
+	// synthesis (default 512).
+	MaxPaths int
+	// MaxExamples caps the retained divergence examples per backend;
+	// counts are always complete (default 32).
+	MaxExamples int
+}
+
+func (o *Options) fill() {
+	if len(o.Targets) == 0 {
+		o.Targets = append([]string(nil), target.ShippedKinds...)
+	}
+	if o.Budget <= 0 {
+		o.Budget = 1024
+	}
+	if o.RoundSize <= 0 {
+		o.RoundSize = 128
+	}
+	if o.RoundSize > o.Budget {
+		o.RoundSize = o.Budget
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxPaths == 0 {
+		o.MaxPaths = 512
+	}
+	if o.MaxExamples == 0 {
+		o.MaxExamples = 32
+	}
+}
+
+// Divergence is one majority-vote disagreement: every backend but one
+// agreed, and Backend is the dissenter.
+type Divergence struct {
+	// Probe is the global probe index (seed, mutation, and solver
+	// probes share one numbering).
+	Probe int
+	// Origin says how the probe was produced (Origin* constants).
+	Origin string
+	// Backend is the backend the majority voted divergent.
+	Backend string
+	// Frame is the probe that split the matrix (a stable copy).
+	Frame []byte
+	// Detail sketches the dissenting and majority outcomes.
+	Detail string
+}
+
+// CoveragePoint is one point of the coverage curve: after Probes probes,
+// Keys distinct behaviour signatures had been observed.
+type CoveragePoint struct {
+	Probes int
+	Keys   int
+}
+
+// Report is the outcome of a fleet run. All fields except Elapsed and
+// ProbesPerSec are deterministic for a fixed Options.Seed, at any shard
+// count.
+type Report struct {
+	// Probes is the total probe count (seed + mutation + solver).
+	Probes         int
+	MutationProbes int
+	SolverProbes   int
+	// Corpus holds the coverage-novel frames retained for mutation, in
+	// discovery order (the first entries are the seeds).
+	Corpus [][]byte
+	// Coverage is the number of distinct cross-backend behaviour
+	// signatures observed.
+	Coverage int
+	// Curve is the coverage growth curve, one point per probe batch.
+	Curve []CoveragePoint
+	// Divergences counts majority-vote dissents per backend.
+	Divergences map[string]int
+	// Ties counts probes with no strict-majority outcome (the 2–2
+	// splits majority vote cannot localize).
+	Ties int
+	// Examples holds up to Options.MaxExamples retained divergences.
+	Examples []Divergence
+	// SolverDiscovered counts behaviour signatures whose first-ever
+	// probe was solver-synthesized — coverage the mutation engine had
+	// not reached when the solver round ran. (Mutants of a solver
+	// corpus entry may re-reach the signature later; discovery credit
+	// stays with the solver.)
+	SolverDiscovered int
+	// PathsExplored is the verifier path count behind solver synthesis.
+	PathsExplored int
+	// Elapsed and ProbesPerSec are wall-clock figures (not part of the
+	// determinism contract).
+	Elapsed      time.Duration
+	ProbesPerSec float64
+}
+
+// mutField is one mutable packet field of the program's header stack.
+type mutField struct {
+	name string
+	loc  core.FieldLoc
+}
+
+// covInfo tracks who reached a behaviour signature: the origin of the
+// probe that discovered it, and which origins reached it at all.
+type covInfo struct {
+	first                  string
+	seed, mutation, solver bool
+}
+
+// outcome is the externally visible result of one probe on one backend —
+// the value majority vote compares.
+type outcome struct {
+	dropped bool
+	port    uint64
+	data    string
+}
+
+// probeResult is one probe's verdict across all backends of a shard.
+type probeResult struct {
+	cover string    // concatenated per-backend behaviour signatures
+	ref   string    // reference-backend path signature (solver targeting)
+	outs  []outcome // per backend, Options.Targets order
+}
+
+// shard is one lockstep device set: the same program on every backend.
+type shard struct {
+	devs []*device.Device
+}
+
+// Fleet is a configured differential fuzzing run over sharded lockstep
+// backends. Build with New, run once with Run.
+type Fleet struct {
+	opts   Options
+	prog   *ir.Program // reference compile: layout + path exploration
+	layout *core.Layout
+	fields []mutField
+	refIdx int // index of the reference backend in opts.Targets
+	shards []*shard
+
+	// run state, mutated only by the sequential merge
+	corpus     [][]byte
+	cursor     int
+	weights    []int
+	covered    map[string]*covInfo
+	refCovered map[string]bool
+	curve      []CoveragePoint
+	divCounts  map[string]int
+	examples   []Divergence
+	exCount    map[string]int // retained examples per backend
+	ties       int
+	probes     int
+	solverN    int // solver probes injected
+	pathsN     int
+}
+
+// New compiles p4src onto every configured backend and returns a fleet
+// ready to Run.
+func New(p4src string, opts Options) (*Fleet, error) {
+	opts.fill()
+	if len(opts.Targets) < 3 {
+		return nil, fmt.Errorf("fuzz: majority vote needs at least 3 targets, got %d", len(opts.Targets))
+	}
+	seen := map[string]bool{}
+	for _, kind := range opts.Targets {
+		if seen[kind] {
+			return nil, fmt.Errorf("fuzz: duplicate target kind %q", kind)
+		}
+		seen[kind] = true
+	}
+	prog, err := compile.Compile(p4src)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: compile: %w", err)
+	}
+	var stack []string
+	for _, in := range prog.Instances {
+		if !in.Metadata {
+			stack = append(stack, in.Name)
+		}
+	}
+	if len(stack) == 0 {
+		return nil, fmt.Errorf("fuzz: program has no wire headers to mutate")
+	}
+	layout, err := core.LayoutFor(prog, stack...)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		opts:       opts,
+		prog:       prog,
+		layout:     layout,
+		refIdx:     0,
+		covered:    make(map[string]*covInfo),
+		refCovered: make(map[string]bool),
+		divCounts:  make(map[string]int),
+		exCount:    make(map[string]int),
+	}
+	for i, kind := range opts.Targets {
+		if kind == target.KindReference || kind == "" {
+			f.refIdx = i
+		}
+	}
+	for _, name := range stack {
+		inst := prog.Instance(name)
+		for _, fd := range inst.Type.Fields {
+			f.fields = append(f.fields, mutField{
+				name: name + "." + fd.Name,
+				loc:  layout.MustField(name + "." + fd.Name),
+			})
+		}
+	}
+	f.weights = make([]int, len(f.fields))
+	for s := 0; s < opts.Shards; s++ {
+		sh, err := newShard(p4src, opts)
+		if err != nil {
+			return nil, err
+		}
+		f.shards = append(f.shards, sh)
+	}
+	return f, nil
+}
+
+// newShard builds one lockstep device set. Each backend gets a fresh
+// compile: Load may transform the IR (the errata transforms do).
+func newShard(p4src string, opts Options) (*shard, error) {
+	sh := &shard{}
+	for _, kind := range opts.Targets {
+		tg, err := target.ForKind(kind)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: %w", err)
+		}
+		prog, err := compile.Compile(p4src)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: compile for %s: %w", kind, err)
+		}
+		if err := tg.Load(prog); err != nil {
+			return nil, fmt.Errorf("fuzz: load %s: %w", kind, err)
+		}
+		for _, e := range opts.Baseline {
+			if err := tg.InstallEntry(e); err != nil {
+				return nil, fmt.Errorf("fuzz: install into %s: %w", kind, err)
+			}
+		}
+		dev, err := device.New(device.Config{Target: tg, DisableCapture: true})
+		if err != nil {
+			return nil, err
+		}
+		sh.devs = append(sh.devs, dev)
+	}
+	return sh, nil
+}
+
+// defaultSeeds derives the two-frame default corpus from the program's
+// header layout: an all-zero frame, and a well-formed-looking frame
+// (injected only for the fields the layout actually has).
+func (f *Fleet) defaultSeeds() [][]byte {
+	n := (f.layout.Bits()+7)/8 + 10
+	if n < 64 {
+		n = 64
+	}
+	zero := make([]byte, n)
+	wf := make([]byte, n)
+	set := func(field string, v uint64) {
+		if loc, err := f.layout.Field(field); err == nil {
+			_ = loc.Inject(wf, v)
+		}
+	}
+	set("ethernet.etherType", 0x0800)
+	set("ipv4.version", 4)
+	set("ipv4.ihl", 5)
+	set("ipv4.ttl", 64)
+	set("ipv4.protocol", 17)
+	set("ipv4.srcAddr", 0x0a000001) // 10.0.0.1
+	set("ipv4.dstAddr", 0x0a000102) // 10.0.1.2
+	set("ports.srcPort", 40000)
+	set("ports.dstPort", 53)
+	return [][]byte{zero, wf}
+}
+
+// Run executes the full fuzzing loop and returns the report.
+func (f *Fleet) Run() (*Report, error) {
+	start := time.Now()
+
+	// The seeds are the corpus roots; probe them first so their
+	// behaviour signatures anchor coverage.
+	seeds := f.opts.Seeds
+	if len(seeds) == 0 {
+		seeds = f.defaultSeeds()
+	}
+	f.mergeBatch(seeds, OriginSeed, nil, f.runBatch(seeds))
+	f.recordCurve()
+
+	rounds := (f.opts.Budget + f.opts.RoundSize - 1) / f.opts.RoundSize
+	for r := 0; r < rounds; r++ {
+		count := f.opts.RoundSize
+		if left := f.opts.Budget - r*f.opts.RoundSize; count > left {
+			count = left
+		}
+		frames, fieldsOf, err := f.mutationBatch(r, count)
+		if err != nil {
+			return nil, err
+		}
+		f.mergeBatch(frames, OriginMutation, fieldsOf, f.runBatch(frames))
+		f.recordCurve()
+		if r == 0 && !f.opts.DisableSolver {
+			// Solver probes enter after the first mutation round: late
+			// enough that targeting skips what mutation finds at once,
+			// early enough that novel solver frames join the corpus and
+			// get mutated for the rest of the budget.
+			if err := f.solverRound(); err != nil {
+				return nil, err
+			}
+			f.recordCurve()
+		}
+	}
+
+	rep := &Report{
+		Probes:         f.probes,
+		MutationProbes: f.opts.Budget,
+		SolverProbes:   f.solverN,
+		Corpus:         f.corpus,
+		Coverage:       len(f.covered),
+		Curve:          f.curve,
+		Divergences:    f.divCounts,
+		Ties:           f.ties,
+		Examples:       f.examples,
+		PathsExplored:  f.pathsN,
+		Elapsed:        time.Since(start),
+	}
+	for _, ci := range f.covered {
+		if ci.first == OriginSolver {
+			rep.SolverDiscovered++
+		}
+	}
+	if s := rep.Elapsed.Seconds(); s > 0 {
+		rep.ProbesPerSec = float64(rep.Probes*len(f.opts.Targets)) / s
+	}
+	return rep, nil
+}
+
+// mutationBatch builds round r's probe frames by mutating corpus picks
+// with coverage-weighted field fuzzers. The returned fieldsOf maps a
+// probe index to the field indices its stream mutated.
+func (f *Fleet) mutationBatch(r, count int) ([][]byte, func(int) []int, error) {
+	rng := rand.New(rand.NewSource(f.opts.Seed + int64(r+1)*0x9e3779b9))
+	if len(f.corpus) == 0 {
+		return nil, nil, fmt.Errorf("fuzz: empty corpus — no seed survived probing")
+	}
+	// ~8 probes per stream: each stream is one (corpus pick, field
+	// choice) pair, so a round explores many fields even off a tiny
+	// corpus; corpus entries are reused round-robin across streams.
+	nStreams := count / 8
+	if nStreams < 1 {
+		nStreams = 1
+	}
+	if nStreams > 16 {
+		nStreams = 16
+	}
+	if nStreams > count {
+		nStreams = count
+	}
+	var streams []core.StreamSpec
+	fieldsByStream := make(map[string][]int, nStreams)
+	base, rem := count/nStreams, count%nStreams
+	for i := 0; i < nStreams; i++ {
+		tmpl := f.corpus[f.cursor%len(f.corpus)]
+		f.cursor++
+		c := base
+		if i < rem {
+			c++
+		}
+		limit := len(tmpl) * 8
+		var eligible []int
+		for fi, mf := range f.fields {
+			if mf.loc.BitOff+mf.loc.Bits <= limit {
+				eligible = append(eligible, fi)
+			}
+		}
+		if len(eligible) == 0 {
+			continue
+		}
+		picked := f.pickFields(rng, eligible, 1+rng.Intn(2))
+		var fz []core.FieldFuzz
+		for _, fi := range picked {
+			fz = append(fz, core.FieldFuzz{Loc: f.fields[fi].loc, Seed: rng.Int63(), Boundaries: true})
+		}
+		name := "m" + strconv.Itoa(i)
+		streams = append(streams, core.StreamSpec{
+			Name:        name,
+			Template:    tmpl,
+			Count:       c,
+			IngressPort: f.opts.IngressPort,
+			Fuzz:        fz,
+		})
+		fieldsByStream[name] = picked
+	}
+	if len(streams) == 0 {
+		return nil, nil, fmt.Errorf("fuzz: no corpus frame admits any layout field")
+	}
+	gen, err := core.NewGenerator(core.GenSpec{Streams: streams})
+	if err != nil {
+		return nil, nil, err
+	}
+	// The generator arena owns the frames; they stay valid for this
+	// round because the next Packets call happens on the next round's
+	// fresh generator. Coverage-novel frames are copied on retention.
+	pkts := gen.Packets(0)
+	frames := make([][]byte, len(pkts))
+	streamsOf := make([]string, len(pkts))
+	for i, tp := range pkts {
+		frames[i] = tp.Data
+		streamsOf[i] = tp.Stream
+	}
+	return frames, func(i int) []int { return fieldsByStream[streamsOf[i]] }, nil
+}
+
+// pickFields draws n distinct field indices, weighted by accumulated
+// coverage credit (weight+1 tickets each).
+func (f *Fleet) pickFields(rng *rand.Rand, eligible []int, n int) []int {
+	var picked []int
+	taken := make(map[int]bool, n)
+	for len(picked) < n && len(picked) < len(eligible) {
+		total := 0
+		for _, fi := range eligible {
+			if !taken[fi] {
+				total += 1 + f.weights[fi]
+			}
+		}
+		t := rng.Intn(total)
+		for _, fi := range eligible {
+			if taken[fi] {
+				continue
+			}
+			t -= 1 + f.weights[fi]
+			if t < 0 {
+				picked = append(picked, fi)
+				taken[fi] = true
+				break
+			}
+		}
+	}
+	return picked
+}
+
+// runBatch drives one probe batch through every shard: probe i is owned
+// by shard i mod Shards, and each shard sends it through its backends in
+// lockstep. Results land in an index-addressed slice, so the outcome
+// order is the global probe order regardless of scheduling.
+func (f *Fleet) runBatch(frames [][]byte) []probeResult {
+	results := make([]probeResult, len(frames))
+	var wg sync.WaitGroup
+	for s := range f.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sh := f.shards[s]
+			for i := s; i < len(frames); i += len(f.shards) {
+				results[i] = sh.probe(f, frames[i])
+			}
+		}(s)
+	}
+	wg.Wait()
+	return results
+}
+
+// probe runs one frame through every backend of the shard and snapshots
+// the cross-backend behaviour signature and vote outcomes.
+func (sh *shard) probe(f *Fleet, frame []byte) probeResult {
+	pr := probeResult{outs: make([]outcome, len(sh.devs))}
+	var sb strings.Builder
+	for b, dev := range sh.devs {
+		res := dev.InjectInternal(frame, f.opts.IngressPort, dev.Now(), true)
+		o := outcome{dropped: res.Dropped()}
+		if !o.dropped {
+			o.port = res.Outputs[0].Port
+			o.data = string(res.Outputs[0].Data)
+		}
+		pr.outs[b] = o
+		sb.WriteString(f.opts.Targets[b])
+		sb.WriteByte(':')
+		writeBehaviourSig(&sb, res.Trace, o)
+		sb.WriteByte('|')
+		if b == f.refIdx {
+			pr.ref = traceTargetSig(res.Trace)
+		}
+	}
+	pr.cover = sb.String()
+	return pr
+}
+
+// writeBehaviourSig renders the coverage signature of one backend's
+// probe outcome: parser path, verdict, table hits, drop stage, and
+// egress port — the trace/tap view, deliberately excluding frame bytes
+// and key values so the signature space stays behavioural.
+func writeBehaviourSig(sb *strings.Builder, t dataplane.Trace, o outcome) {
+	sb.WriteString(t.Verdict.String())
+	for _, s := range t.ParserPath {
+		sb.WriteByte(',')
+		sb.WriteString(s)
+	}
+	sb.WriteByte(';')
+	for _, ev := range t.Tables {
+		sb.WriteString(ev.Table)
+		sb.WriteByte('=')
+		if !ev.Hit {
+			sb.WriteString("miss:")
+		}
+		sb.WriteString(ev.Action)
+		sb.WriteByte(',')
+	}
+	sb.WriteByte(';')
+	if o.dropped {
+		sb.WriteString("drop@")
+		sb.WriteString(t.DropStage)
+	} else {
+		sb.WriteString("out@")
+		sb.WriteString(strconv.FormatUint(o.port, 10))
+	}
+}
+
+// mergeBatch folds a batch's results into the run state in global probe
+// order: coverage bookkeeping, corpus retention, field credit, and the
+// majority vote. This is the only mutation point of the run state, and
+// it is sequential — shard scheduling cannot reorder it.
+func (f *Fleet) mergeBatch(frames [][]byte, origin string, fieldsOf func(int) []int, results []probeResult) {
+	for i := range results {
+		pr := &results[i]
+		probeIdx := f.probes
+		f.probes++
+		ci := f.covered[pr.cover]
+		if ci == nil {
+			ci = &covInfo{first: origin}
+			f.covered[pr.cover] = ci
+			f.corpus = append(f.corpus, append([]byte(nil), frames[i]...))
+			if origin == OriginMutation && fieldsOf != nil {
+				for _, fi := range fieldsOf(i) {
+					if f.weights[fi] < maxFieldWeight {
+						f.weights[fi]++
+					}
+				}
+			}
+		}
+		switch origin {
+		case OriginSeed:
+			ci.seed = true
+		case OriginMutation:
+			ci.mutation = true
+		case OriginSolver:
+			ci.solver = true
+		}
+		if origin != OriginSolver {
+			f.refCovered[pr.ref] = true
+		}
+		f.vote(probeIdx, origin, frames[i], pr.outs)
+	}
+}
+
+// vote majority-votes one probe's outcomes and records dissent.
+func (f *Fleet) vote(probeIdx int, origin string, frame []byte, outs []outcome) {
+	counts := make(map[outcome]int, 2)
+	for _, o := range outs {
+		counts[o]++
+	}
+	var best outcome
+	bestN := 0
+	for o, n := range counts {
+		if n > bestN {
+			best, bestN = o, n
+		}
+	}
+	if bestN*2 <= len(outs) {
+		// No strict majority (e.g. a 2–2 split): vote cannot localize.
+		f.ties++
+		return
+	}
+	if bestN == len(outs) {
+		return // unanimous
+	}
+	var dissent []int
+	for b, o := range outs {
+		if o != best {
+			dissent = append(dissent, b)
+		}
+	}
+	for _, b := range dissent {
+		f.divCounts[f.opts.Targets[b]]++
+	}
+	if len(dissent) == 1 && f.exCount[f.opts.Targets[dissent[0]]] < f.opts.MaxExamples {
+		b := dissent[0]
+		f.exCount[f.opts.Targets[b]]++
+		f.examples = append(f.examples, Divergence{
+			Probe:   probeIdx,
+			Origin:  origin,
+			Backend: f.opts.Targets[b],
+			Frame:   append([]byte(nil), frame...),
+			Detail: fmt.Sprintf("%s %s vs majority %s",
+				f.opts.Targets[b], outs[b].sketch(), best.sketch()),
+		})
+	}
+}
+
+func (o outcome) sketch() string {
+	if o.dropped {
+		return "dropped"
+	}
+	return fmt.Sprintf("forwarded to port %d (%dB)", o.port, len(o.data))
+}
+
+func (f *Fleet) recordCurve() {
+	f.curve = append(f.curve, CoveragePoint{Probes: f.probes, Keys: len(f.covered)})
+}

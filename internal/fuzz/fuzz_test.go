@@ -1,0 +1,268 @@
+package fuzz
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"netdebug/internal/bitfield"
+	"netdebug/internal/dataplane"
+	"netdebug/internal/p4/p4test"
+	"netdebug/internal/target"
+)
+
+var gwMAC = [6]byte{0x02, 0x00, 0x00, 0x00, 0x00, 0xfe}
+
+// routerBaseline installs a 10/8 route and a /0 default route: the
+// fixture on which the shipped sdnet (malformed-but-routable) and ebpf
+// (/0 trie miss) errata both have probe surfaces.
+func routerBaseline() []dataplane.Entry {
+	route := func(addr uint64, plen int, port uint64) dataplane.Entry {
+		return dataplane.Entry{
+			Table:  "ipv4_lpm",
+			Keys:   []dataplane.KeyValue{{Value: bitfield.New(addr, 32), PrefixLen: plen}},
+			Action: "ipv4_forward",
+			Args:   []bitfield.Value{bitfield.FromBytes(gwMAC[:]), bitfield.New(port, 9)},
+		}
+	}
+	return []dataplane.Entry{route(0x0a000000, 8, 1), route(0, 0, 2)}
+}
+
+// aclTieBaseline reproduces the equal-priority overlapping ACL pair the
+// tofino LIFO tie-break erratum resolves differently: an allow-any entry
+// installed first and an exact-dst drop at the same priority.
+func aclTieBaseline() []dataplane.Entry {
+	anyAddr := bitfield.New(0, 32)
+	anyPort := bitfield.New(0, 16)
+	dstIP := bitfield.New(0x0a000102, 32)
+	return []dataplane.Entry{
+		{
+			Table: "acl", Action: "allow", Priority: 3,
+			Keys: []dataplane.KeyValue{
+				{Value: anyAddr, Mask: anyAddr},
+				{Value: anyAddr, Mask: anyAddr},
+				{Value: anyPort, Mask: anyPort},
+			},
+		},
+		{
+			Table: "acl", Action: "drop", Priority: 3,
+			Keys: []dataplane.KeyValue{
+				{Value: anyAddr, Mask: anyAddr},
+				{Value: dstIP, Mask: bitfield.Mask(32)},
+				{Value: anyPort, Mask: anyPort},
+			},
+		},
+		{
+			Table:  "routing",
+			Keys:   []dataplane.KeyValue{{Value: dstIP, PrefixLen: 24}},
+			Action: "route",
+			Args:   []bitfield.Value{bitfield.New(2, 9)},
+		},
+	}
+}
+
+func mustRun(t *testing.T, src string, opts Options) *Report {
+	t.Helper()
+	f, err := New(src, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep, err := f.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rep
+}
+
+// stripTiming zeroes the wall-clock fields so reports compare on the
+// deterministic contract only.
+func stripTiming(r *Report) *Report {
+	r.Elapsed = 0
+	r.ProbesPerSec = 0
+	return r
+}
+
+func TestFleetDeterministicAtAnyShardCount(t *testing.T) {
+	opts := Options{
+		Baseline:  routerBaseline(),
+		Budget:    384,
+		RoundSize: 128,
+		Seed:      42,
+	}
+	var reports []*Report
+	for _, shards := range []int{1, 2, 8} {
+		o := opts
+		o.Shards = shards
+		reports = append(reports, stripTiming(mustRun(t, p4test.Router, o)))
+	}
+	for i, rep := range reports[1:] {
+		if !reflect.DeepEqual(reports[0], rep) {
+			t.Errorf("report differs between 1 shard and %d shards:\n1: %+v\n%d: %+v",
+				[]int{2, 8}[i], reports[0], []int{2, 8}[i], rep)
+		}
+	}
+	if reports[0].Probes == 0 || reports[0].Coverage == 0 {
+		t.Fatalf("degenerate run: %+v", reports[0])
+	}
+}
+
+func TestFleetLocalizesRouterErrata(t *testing.T) {
+	rep := mustRun(t, p4test.Router, Options{
+		Baseline: routerBaseline(),
+		Budget:   768,
+		Shards:   2,
+		Seed:     1,
+	})
+	// The sdnet reject-as-accept erratum (malformed-but-routable frames
+	// forwarded) and the ebpf /0 trie miss must both be found by the
+	// fuzz loop and localized by majority vote.
+	for _, kind := range []string{target.KindSDNet, target.KindEBPF} {
+		if rep.Divergences[kind] == 0 {
+			t.Errorf("no divergence localized to %s: %v", kind, rep.Divergences)
+		}
+		found := false
+		for _, ex := range rep.Examples {
+			if ex.Backend == kind && ex.Origin == OriginMutation {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no mutation-probe example localizing %s", kind)
+		}
+	}
+	if rep.Divergences[target.KindReference] != 0 {
+		t.Errorf("reference backend voted divergent: %v", rep.Divergences)
+	}
+}
+
+func TestFleetLocalizesTofinoTieErratum(t *testing.T) {
+	rep := mustRun(t, p4test.Firewall, Options{
+		Baseline: aclTieBaseline(),
+		Budget:   256,
+		Seed:     1,
+	})
+	if rep.Divergences[target.KindTofino] == 0 {
+		t.Fatalf("tofino LIFO tie-break not localized: %v", rep.Divergences)
+	}
+	found := false
+	for _, ex := range rep.Examples {
+		if ex.Backend == target.KindTofino {
+			found = true
+			if len(ex.Frame) == 0 || ex.Detail == "" {
+				t.Errorf("divergence example missing frame/detail: %+v", ex)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no retained example localizes tofino")
+	}
+}
+
+func TestSolverReachesWhatMutationMisses(t *testing.T) {
+	opts := Options{
+		Baseline:  routerBaseline()[:1], // 10/8 route only
+		Budget:    512,
+		RoundSize: 128,
+		Seed:      3,
+	}
+	f, err := New(p4test.RouterMagicDrop, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SolverProbes == 0 {
+		t.Fatalf("solver synthesized no probes (paths explored: %d)", rep.PathsExplored)
+	}
+	if rep.SolverDiscovered == 0 {
+		t.Fatalf("no behaviour signature was discovered by a solver probe: %+v", rep)
+	}
+	// The acceptance criterion, verbatim: within the same budget, pure
+	// mutation misses at least one signature the solver reached. Run a
+	// solver-less control at the same seed and budget and compare
+	// coverage key for key.
+	ctl := opts
+	ctl.DisableSolver = true
+	fc, err := New(p4test.RouterMagicDrop, ctl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	missed := 0
+	for key, ci := range f.covered {
+		if ci.first == OriginSolver && fc.covered[key] == nil {
+			missed++
+		}
+	}
+	if missed == 0 {
+		t.Fatalf("every solver-discovered signature was also reached by the solver-less control")
+	}
+	magic := []byte{0xde, 0xad, 0xbe, 0xef}
+	found := false
+	for _, frame := range rep.Corpus {
+		if len(frame) >= 30 && bytes.Equal(frame[26:30], magic) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no corpus frame carries the magic srcAddr the solver must synthesize")
+	}
+}
+
+func TestSolverProbesDisabled(t *testing.T) {
+	rep := mustRun(t, p4test.Router, Options{
+		Baseline:      routerBaseline(),
+		Budget:        64,
+		Seed:          5,
+		DisableSolver: true,
+	})
+	if rep.SolverProbes != 0 || rep.SolverDiscovered != 0 {
+		t.Fatalf("solver probes injected despite DisableSolver: %+v", rep)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("not p4", Options{}); err == nil {
+		t.Errorf("unparsable source accepted")
+	}
+	if _, err := New(p4test.Router, Options{Targets: []string{"reference", "sdnet"}}); err == nil {
+		t.Errorf("two-target vote accepted")
+	}
+	if _, err := New(p4test.Router, Options{Targets: []string{"reference", "sdnet", "sdnet"}}); err == nil {
+		t.Errorf("duplicate target kind accepted")
+	}
+	if _, err := New(p4test.Router, Options{Targets: []string{"reference", "sdnet", "nope"}}); err == nil {
+		t.Errorf("unknown target kind accepted")
+	}
+}
+
+// BenchmarkFuzzFleetThroughput measures the lockstep probe path: one
+// 256-probe batch through all four backends on a single shard (1024
+// backend executions per op) — the benchgate-pinned probes/s figure.
+func BenchmarkFuzzFleetThroughput(b *testing.B) {
+	f, err := New(p4test.Router, Options{Baseline: routerBaseline(), Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := f.defaultSeeds()
+	f.mergeBatch(seeds, OriginSeed, nil, f.runBatch(seeds))
+	frames, _, err := f.mutationBatch(0, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Stabilize: retention copies the batch out of the generator arena.
+	stable := make([][]byte, len(frames))
+	for i, fr := range frames {
+		stable[i] = append([]byte(nil), fr...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.runBatch(stable)
+	}
+}

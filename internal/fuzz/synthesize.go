@@ -1,0 +1,132 @@
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+
+	"netdebug/internal/bitfield"
+	"netdebug/internal/dataplane"
+	"netdebug/internal/verify"
+	"netdebug/internal/verify/solver"
+)
+
+// solverRound closes the loop from the verifier's side: explore the
+// reference program symbolically with SolvePaths, and for every feasible
+// path whose behaviour the mutation engine has not yet reached, evaluate
+// the path's Model into a concrete frame and inject it through the fleet
+// like any other probe. Coverage-novel solver frames enter the corpus,
+// so subsequent mutation rounds explore around them.
+func (f *Fleet) solverRound() error {
+	ex, err := verify.ExploreWithStats(f.prog, verify.Options{
+		SolvePaths: true,
+		Workers:    1,
+		MaxPaths:   f.opts.MaxPaths,
+	})
+	if err != nil {
+		return fmt.Errorf("fuzz: path exploration: %w", err)
+	}
+	f.pathsN = len(ex.Paths)
+	var frames [][]byte
+	seen := map[string]bool{}
+	for _, p := range ex.Paths {
+		if p.Model == nil {
+			continue // solver returned Unknown for this path
+		}
+		// Uncovered-path targeting: skip paths whose reference-side
+		// signature a seed or mutation probe has already produced.
+		if f.refCovered[pathTargetSig(p)] {
+			continue
+		}
+		frame, ok := f.synthesize(p)
+		if !ok || seen[string(frame)] {
+			continue
+		}
+		seen[string(frame)] = true
+		frames = append(frames, frame)
+	}
+	if len(frames) == 0 {
+		return nil
+	}
+	f.solverN = len(frames)
+	f.mergeBatch(frames, OriginSolver, nil, f.runBatch(frames))
+	return nil
+}
+
+// synthesize evaluates a path's satisfying model into a concrete frame:
+// every field of the wire header stack is laid out at its layout offset
+// and filled with the model's value for the field's extract-time
+// variable (solver.Eval leaves unconstrained variables at zero). Fields
+// the path never extracted stay zero — the path's constraints don't
+// mention them, so any value drives the same path.
+func (f *Fleet) synthesize(p *verify.Path) ([]byte, bool) {
+	vars := p.ExtractVars()
+	if len(vars) == 0 {
+		return nil, false
+	}
+	frame := make([]byte, (f.layout.Bits()+7)/8+10)
+	for _, mf := range f.fields {
+		v, ok := vars[mf.name]
+		if !ok {
+			continue
+		}
+		val, err := solver.Eval(v, p.Model)
+		if err != nil {
+			return nil, false
+		}
+		bitfield.MustInject(frame, mf.loc.BitOff, mf.loc.Bits, val.WithWidth(mf.loc.Bits))
+	}
+	return frame, true
+}
+
+// pathTargetSig renders the reference-side signature of a symbolic path
+// in the same vocabulary traceTargetSig uses for a concrete reference
+// trace, so "has mutation already been here" is one set lookup.
+func pathTargetSig(p *verify.Path) string {
+	var sb strings.Builder
+	sb.WriteString(p.Verdict)
+	for _, s := range p.ParserPath {
+		sb.WriteByte(',')
+		sb.WriteString(s)
+	}
+	sb.WriteByte(';')
+	for _, a := range p.Actions {
+		sb.WriteString(a)
+		sb.WriteByte(',')
+	}
+	sb.WriteByte(';')
+	if p.Dropped {
+		sb.WriteString("drop@")
+		sb.WriteString(p.DropStage)
+	}
+	return sb.String()
+}
+
+// traceTargetSig is pathTargetSig's concrete-execution counterpart,
+// computed from the reference backend's trace.
+func traceTargetSig(t dataplane.Trace) string {
+	var sb strings.Builder
+	sb.WriteString(t.Verdict.String())
+	for _, s := range t.ParserPath {
+		sb.WriteByte(',')
+		sb.WriteString(s)
+	}
+	sb.WriteByte(';')
+	for _, ev := range t.Tables {
+		sb.WriteString(ev.Table)
+		sb.WriteByte(':')
+		sb.WriteString(ev.Action)
+		if !ev.Hit {
+			// The symbolic explorer labels the miss branch with the
+			// default action marked "(default)"; mirror it so the two
+			// vocabularies compare.
+			sb.WriteString("(default)")
+		}
+		sb.WriteByte(',')
+	}
+	sb.WriteByte(';')
+	if t.Dropped {
+		sb.WriteString("drop@")
+		sb.WriteString(t.DropStage)
+	}
+	return sb.String()
+}

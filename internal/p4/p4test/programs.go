@@ -536,3 +536,97 @@ control I(inout hs hdr, inout standard_metadata_t sm) {
 }
 control D(packet_out p, in hs hdr) { apply { p.emit(hdr.k); } }
 S(P(), I(), D()) main;`
+
+// RouterMagicDrop is Router with the TTL guard removed and one extra
+// branch: packets whose srcAddr equals a 32-bit magic constant are
+// dropped before routing. Uniform random mutation essentially never
+// crosses a 32-bit equality, so reaching the branch requires constraint
+// solving — the fixture behind the fuzzer's solver-probe tests and the
+// differential-fuzzing scenarios.
+const RouterMagicDrop = `
+const bit<16> TYPE_IPV4 = 0x0800;
+
+header ethernet_t {
+    bit<48> dstAddr;
+    bit<48> srcAddr;
+    bit<16> etherType;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> totalLen;
+    bit<16> identification;
+    bit<3>  flags;
+    bit<13> fragOffset;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> hdrChecksum;
+    bit<32> srcAddr;
+    bit<32> dstAddr;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+}
+
+parser MagicParser(packet_in pkt, out headers_t hdr, inout standard_metadata_t std_meta) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.etherType) {
+            TYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.version, hdr.ipv4.ihl) {
+            (4w4, 4w5): accept;
+            default: reject;
+        }
+    }
+}
+
+control MagicIngress(inout headers_t hdr, inout standard_metadata_t std_meta) {
+    action drop() {
+        mark_to_drop();
+    }
+    action ipv4_forward(bit<48> dstMac, bit<9> port) {
+        std_meta.egress_spec = port;
+        hdr.ethernet.dstAddr = dstMac;
+    }
+    table ipv4_lpm {
+        key = {
+            hdr.ipv4.dstAddr: lpm;
+        }
+        actions = {
+            ipv4_forward;
+            drop;
+        }
+        size = 64;
+        default_action = drop();
+    }
+    apply {
+        if (hdr.ipv4.isValid()) {
+            if (hdr.ipv4.srcAddr == 0xdeadbeef) {
+                mark_to_drop();
+            } else {
+                ipv4_lpm.apply();
+            }
+        } else {
+            mark_to_drop();
+        }
+    }
+}
+
+control MagicDeparser(packet_out pkt, in headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+    }
+}
+
+V1Switch(MagicParser(), MagicIngress(), MagicDeparser()) main;
+`

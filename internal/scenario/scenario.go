@@ -51,12 +51,13 @@ const (
 	Status       UseCase = "status monitoring"
 	Comparison   UseCase = "comparison"
 	Resident     UseCase = "resident validation"
+	Fuzzing      UseCase = "differential fuzzing"
 )
 
 // UseCases lists the rows of Figure 2 in paper order, with the added
-// resident-validation row last.
+// resident-validation and differential-fuzzing rows last.
 var UseCases = []UseCase{
-	Functional, Performance, Compiler, Architecture, Resources, Status, Comparison, Resident,
+	Functional, Performance, Compiler, Architecture, Resources, Status, Comparison, Resident, Fuzzing,
 }
 
 // Tool names (columns of Figure 2).
@@ -216,6 +217,7 @@ func All() []Scenario {
 	out = append(out, statusScenarios()...)
 	out = append(out, comparisonScenarios()...)
 	out = append(out, residentScenarios()...)
+	out = append(out, fuzzingScenarios()...)
 	return out
 }
 
@@ -1241,11 +1243,18 @@ func OddOneOutExternal(devs map[string]*device.Device, frame []byte, rxPort int)
 // the probe; the shipped Tofino driver resolves newest-first and drops
 // it.
 func aclTieDevice(tg target.Target) *device.Device {
+	return routerDeviceProg(p4test.Firewall, tg, aclTieEntries()...)
+}
+
+// aclTieEntries is the overlapping-equal-priority ACL table state: an
+// allow-any entry installed first, an exact-dst drop at the same
+// priority, and a /24 route for the tied destination.
+func aclTieEntries() []dataplane.Entry {
 	anyAddr := bitfield.New(0, 32)
 	anyPort := bitfield.New(0, 16)
 	dstIP := bitfield.New(0x0a000102, 32) // 10.0.1.2 == ipB
-	return routerDeviceProg(p4test.Firewall, tg,
-		dataplane.Entry{
+	return []dataplane.Entry{
+		{
 			Table: "acl", Action: "allow", Priority: 3,
 			Keys: []dataplane.KeyValue{
 				{Value: anyAddr, Mask: anyAddr},
@@ -1253,7 +1262,7 @@ func aclTieDevice(tg target.Target) *device.Device {
 				{Value: anyPort, Mask: anyPort},
 			},
 		},
-		dataplane.Entry{
+		{
 			Table: "acl", Action: "drop", Priority: 3,
 			Keys: []dataplane.KeyValue{
 				{Value: anyAddr, Mask: anyAddr},
@@ -1261,13 +1270,13 @@ func aclTieDevice(tg target.Target) *device.Device {
 				{Value: anyPort, Mask: anyPort},
 			},
 		},
-		dataplane.Entry{
+		{
 			Table:  "routing",
 			Keys:   []dataplane.KeyValue{{Value: dstIP, PrefixLen: 24}},
 			Action: "route",
 			Args:   []bitfield.Value{bitfield.New(2, 9)},
 		},
-	)
+	}
 }
 
 // aclTieProbe is a frame both overlapping ACL entries match.

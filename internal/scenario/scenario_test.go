@@ -28,6 +28,7 @@ func TestFigure2Matrix(t *testing.T) {
 		Status:       None,
 		Comparison:   Partial,
 		Resident:     None, // sessions, churn, faults, replay: all runtime
+		Fuzzing:      None, // the shared program verifies clean; backend errata are invisible
 	}
 	for uc, want := range formalWant {
 		if got := m.Cells[uc][ToolFormal]; got != want {
@@ -44,6 +45,7 @@ func TestFigure2Matrix(t *testing.T) {
 		Status:       None,
 		Comparison:   Partial,
 		Resident:     Partial, // sees fault windows as loss; no control plane or stream
+		Fuzzing:      Partial, // capture votes split wide-surface errata; no coverage signal for narrow ones
 	}
 	for uc, want := range externalWant {
 		if got := m.Cells[uc][ToolExternal]; got != want {

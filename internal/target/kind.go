@@ -15,6 +15,12 @@ const (
 	KindEBPFFixed   = "ebpf-fixed"
 )
 
+// ShippedKinds lists the default-errata backend set in canonical order —
+// the four-way comparison matrix the differential harnesses (the
+// scenario suite, the internal/fuzz lockstep fleet) drive with the same
+// probes.
+var ShippedKinds = []string{KindReference, KindSDNet, KindTofino, KindEBPF}
+
 // ForKind constructs the backend named by kind with its default (or,
 // for the -fixed variants, fully repaired) errata. The empty string
 // selects the reference target.

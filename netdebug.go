@@ -38,6 +38,7 @@ import (
 	"netdebug/internal/dataplane"
 	"netdebug/internal/device"
 	"netdebug/internal/faultplan"
+	"netdebug/internal/fuzz"
 	"netdebug/internal/p4/compile"
 	"netdebug/internal/p4/ir"
 	"netdebug/internal/session"
@@ -103,7 +104,16 @@ type (
 	ProbeSpec = session.ProbeSpec
 	// RetrySpec is the serializable retry policy in a SessionHostConfig.
 	RetrySpec = session.RetrySpec
+	// FuzzReport is a differential fuzzing fleet run's results.
+	FuzzReport = fuzz.Report
+	// FuzzDivergence is one majority-voted cross-backend disagreement.
+	FuzzDivergence = fuzz.Divergence
+	// FuzzCoveragePoint is one point of a fuzz run's coverage curve.
+	FuzzCoveragePoint = fuzz.CoveragePoint
 )
+
+// ErrDraining is returned by SessionManager.Run/RunAll after Drain.
+var ErrDraining = session.ErrDraining
 
 // Scheduled fault kinds, re-exported from the fault plan vocabulary.
 const (
@@ -172,6 +182,11 @@ type Options struct {
 	// Retry, when MaxAttempts > 1, retries control-channel requests that
 	// fail with transient (retryable) errors, with exponential backoff.
 	Retry RetryPolicy
+	// Baseline is installed through the control channel right after
+	// boot, so workloads that shard by System (RunSuite, the fuzz
+	// fleet) can describe their table state declaratively instead of
+	// passing a factory callback.
+	Baseline []Entry
 }
 
 // System is a booted device with NetDebug attached.
@@ -213,7 +228,14 @@ func Open(p4src string, opts Options) (*System, error) {
 	if opts.Retry.MaxAttempts > 1 {
 		ctl.SetRetryPolicy(opts.Retry)
 	}
-	return &System{dev: dev, tgt: tgt, agt: agt, ctl: ctl, prog: prog}, nil
+	sys := &System{dev: dev, tgt: tgt, agt: agt, ctl: ctl, prog: prog}
+	if len(opts.Baseline) > 0 {
+		if err := ctl.InstallEntries(opts.Baseline); err != nil {
+			sys.Close()
+			return nil, fmt.Errorf("netdebug: installing baseline: %w", err)
+		}
+	}
+	return sys, nil
 }
 
 // Close releases the control channel.
@@ -329,15 +351,28 @@ func (e *ExternalTester) Run(streams []ExternalStream) (*ExternalReport, error) 
 // RunSuite executes a validation suite — one Validate call per spec —
 // across a pool of workers, each with its own freshly opened System.
 // A System (its device, target, and engine) is not safe for concurrent
-// use, so the suite shards by System: newSystem is called once per
-// worker and must return an independently opened and configured system
-// (program loaded, table entries installed). workers <= 0 selects one
-// worker per CPU.
+// use, so the suite shards by System: every worker independently opens
+// p4src under opts (including installing opts.Baseline), exactly as
+// Open would. workers <= 0 selects one worker per CPU.
 //
 // Reports are returned indexed like specs regardless of scheduling. The
 // first error (by spec order) aborts the suite result; every worker's
 // System is closed before RunSuite returns.
-func RunSuite(newSystem func() (*System, error), specs []*TestSpec, workers int) ([]*Report, error) {
+func RunSuite(p4src string, opts Options, specs []*TestSpec, workers int) ([]*Report, error) {
+	return runSuite(func() (*System, error) { return Open(p4src, opts) }, specs, workers)
+}
+
+// RunSuiteWithFactory is RunSuite for callers whose per-worker system
+// setup cannot be expressed as Options — newSystem is called once per
+// worker and must return an independently opened and configured system.
+//
+// Deprecated: declare the table state in Options.Baseline and call
+// RunSuite(p4src, opts, specs, workers) instead.
+func RunSuiteWithFactory(newSystem func() (*System, error), specs []*TestSpec, workers int) ([]*Report, error) {
+	return runSuite(newSystem, specs, workers)
+}
+
+func runSuite(newSystem func() (*System, error), specs []*TestSpec, workers int) ([]*Report, error) {
 	if newSystem == nil {
 		return nil, fmt.Errorf("netdebug: RunSuite needs a system factory")
 	}
@@ -443,20 +478,39 @@ type VerifyResult struct {
 	Detail   string
 }
 
+// VerifyOption tunes VerifyProgram.
+type VerifyOption func(*verifyConfig)
+
+type verifyConfig struct {
+	workers    int
+	solvePaths bool
+}
+
+// WithWorkers sets the verification worker count (minimum 1). The
+// verify layer guarantees worker-count-independent results, so the
+// parallelism is invisible beyond the speedup.
+func WithWorkers(n int) VerifyOption {
+	return func(c *verifyConfig) { c.workers = n }
+}
+
+// WithSolvePaths asks the explorer to solve a satisfying model for
+// every feasible path, not just for property counterexamples — the
+// mode the fuzzing fleet uses to synthesize path-targeted probes.
+func WithSolvePaths() VerifyOption {
+	return func(c *verifyConfig) { c.solvePaths = true }
+}
+
 // VerifyProgram runs the software formal-verification baseline (p4v
 // style) over the program source: standard properties are checked by
 // symbolic execution against the P4 specification semantics. It sees the
 // program, not the hardware — programs whose deployed target is buggy
-// still verify. Path exploration and counterexample solving run on one
-// worker per CPU; the verify layer guarantees worker-count-independent
-// results, so the parallelism is invisible beyond the speedup.
-func VerifyProgram(p4src string) ([]VerifyResult, error) {
-	return VerifyProgramWorkers(p4src, runtime.GOMAXPROCS(0))
-}
-
-// VerifyProgramWorkers is VerifyProgram with an explicit verification
-// worker count (minimum 1).
-func VerifyProgramWorkers(p4src string, workers int) ([]VerifyResult, error) {
+// still verify. By default path exploration and counterexample solving
+// run on one worker per CPU; see WithWorkers and WithSolvePaths.
+func VerifyProgram(p4src string, opts ...VerifyOption) ([]VerifyResult, error) {
+	cfg := verifyConfig{workers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	prog, err := compile.Compile(p4src)
 	if err != nil {
 		return nil, fmt.Errorf("netdebug: compiling program: %w", err)
@@ -470,11 +524,87 @@ func VerifyProgramWorkers(p4src string, workers int) ([]VerifyResult, error) {
 	}
 	var out []VerifyResult
 	for _, p := range props {
-		res, err := verify.Check(prog, p, verify.Options{Workers: workers})
+		res, err := verify.Check(prog, p, verify.Options{Workers: cfg.workers, SolvePaths: cfg.solvePaths})
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, VerifyResult{Property: p.Name, Holds: res.Holds, Detail: res.String()})
 	}
 	return out, nil
+}
+
+// VerifyProgramWorkers is VerifyProgram with an explicit verification
+// worker count.
+//
+// Deprecated: call VerifyProgram(p4src, WithWorkers(n)).
+func VerifyProgramWorkers(p4src string, workers int) ([]VerifyResult, error) {
+	return VerifyProgram(p4src, WithWorkers(workers))
+}
+
+// FuzzOption tunes FuzzFleet.
+type FuzzOption func(*fuzz.Options)
+
+// WithFuzzTargets selects the backends under differential test
+// (minimum three distinct kinds, so majority vote can name a culprit).
+// The default is every shipped backend.
+func WithFuzzTargets(kinds ...TargetKind) FuzzOption {
+	return func(o *fuzz.Options) {
+		o.Targets = o.Targets[:0]
+		for _, k := range kinds {
+			o.Targets = append(o.Targets, string(k))
+		}
+	}
+}
+
+// WithFuzzBaseline installs entries on every backend before fuzzing.
+func WithFuzzBaseline(entries ...Entry) FuzzOption {
+	return func(o *fuzz.Options) { o.Baseline = entries }
+}
+
+// WithFuzzSeeds replaces the default seed corpus.
+func WithFuzzSeeds(frames ...[]byte) FuzzOption {
+	return func(o *fuzz.Options) { o.Seeds = frames }
+}
+
+// WithFuzzBudget caps the total number of probes (default 1024).
+func WithFuzzBudget(n int) FuzzOption {
+	return func(o *fuzz.Options) { o.Budget = n }
+}
+
+// WithFuzzShards shards the fleet across n worker shards, each with a
+// private set of backend devices. The report is identical at any shard
+// count for a fixed seed.
+func WithFuzzShards(n int) FuzzOption {
+	return func(o *fuzz.Options) { o.Shards = n }
+}
+
+// WithFuzzSeed fixes the fuzzer's random seed (default 1). Two runs
+// with the same source, options, and seed produce identical reports.
+func WithFuzzSeed(seed int64) FuzzOption {
+	return func(o *fuzz.Options) { o.Seed = seed }
+}
+
+// WithoutSolverProbes disables the solver-synthesized probe round,
+// leaving pure coverage-guided mutation.
+func WithoutSolverProbes() FuzzOption {
+	return func(o *fuzz.Options) { o.DisableSolver = true }
+}
+
+// FuzzFleet runs the coverage-guided differential fuzzing fleet over
+// p4src: every generated frame is injected through all selected
+// backends in lockstep, behaviour signatures (taps, table hits,
+// verdicts) guide mutation, solver-synthesized probes target unreached
+// paths, and cross-backend disagreements are majority-voted to name
+// the divergent backend. The report is deterministic for a fixed seed
+// at any shard count (wall-clock fields aside). See docs/fuzzing.md.
+func FuzzFleet(p4src string, opts ...FuzzOption) (*FuzzReport, error) {
+	var o fuzz.Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	f, err := fuzz.New(p4src, o)
+	if err != nil {
+		return nil, err
+	}
+	return f.Run()
 }

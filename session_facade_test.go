@@ -2,6 +2,7 @@ package netdebug_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
 
@@ -117,8 +118,8 @@ func TestSessionManagerFacade(t *testing.T) {
 		t.Fatal("map-full session passed despite denied churn")
 	}
 	mgr.Drain()
-	if _, err := mgr.Run(specs[0]); err == nil {
-		t.Fatal("drained manager accepted a session")
+	if _, err := mgr.Run(specs[0]); !errors.Is(err, netdebug.ErrDraining) {
+		t.Fatalf("drained manager: got %v, want ErrDraining", err)
 	}
 	if err := mgr.Close(); err != nil {
 		t.Fatal(err)

@@ -29,34 +29,34 @@ func suiteSpecs(n, count int) []*netdebug.TestSpec {
 	return specs
 }
 
-// routerSuiteFactory opens an sdnet-target router with the 10/8 route,
-// the per-worker System used by RunSuite tests and benchmarks.
+// routerSuiteOptions declares an sdnet-target router with the 10/8
+// route as a baseline — the per-worker System configuration used by
+// RunSuite tests and benchmarks.
+func routerSuiteOptions() netdebug.Options {
+	return netdebug.Options{
+		Target: netdebug.TargetSDNet,
+		Baseline: []netdebug.Entry{{
+			Table:  "ipv4_lpm",
+			Keys:   []netdebug.KeyValue{{Value: netdebug.NewValue(0x0a000000, 32), PrefixLen: 8}},
+			Action: "ipv4_forward",
+			Args:   []netdebug.Value{netdebug.ValueFromBytes(gwMAC[:]), netdebug.NewValue(1, 9)},
+		}},
+	}
+}
+
+// routerSuiteFactory is routerSuiteOptions expressed as a system
+// factory, for the deprecated RunSuiteWithFactory path.
 func routerSuiteFactory() (*netdebug.System, error) {
-	sys, err := netdebug.Open(p4test.Router, netdebug.Options{Target: netdebug.TargetSDNet})
-	if err != nil {
-		return nil, err
-	}
-	err = sys.InstallEntry(netdebug.Entry{
-		Table:  "ipv4_lpm",
-		Keys:   []netdebug.KeyValue{{Value: netdebug.NewValue(0x0a000000, 32), PrefixLen: 8}},
-		Action: "ipv4_forward",
-		Args:   []netdebug.Value{netdebug.ValueFromBytes(gwMAC[:]), netdebug.NewValue(1, 9)},
-	})
-	if err != nil {
-		sys.Close()
-		return nil, err
-	}
-	return sys, nil
+	return netdebug.Open(p4test.Router, routerSuiteOptions())
 }
 
 func TestRunSuiteParallelMatchesSequential(t *testing.T) {
-	factory := routerSuiteFactory
 	specs := suiteSpecs(12, 20)
-	seq, err := netdebug.RunSuite(factory, specs, 1)
+	seq, err := netdebug.RunSuite(p4test.Router, routerSuiteOptions(), specs, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := netdebug.RunSuite(factory, specs, 6)
+	par, err := netdebug.RunSuite(p4test.Router, routerSuiteOptions(), specs, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,12 +76,41 @@ func TestRunSuiteParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestRunSuiteFactoryEquivalence pins the deprecation contract: the old
+// factory-shaped entry point and the new declarative one produce
+// identical suite results for the same configuration.
+func TestRunSuiteFactoryEquivalence(t *testing.T) {
+	specs := suiteSpecs(8, 20)
+	byOpts, err := netdebug.RunSuite(p4test.Router, routerSuiteOptions(), specs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFactory, err := netdebug.RunSuiteWithFactory(routerSuiteFactory, specs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		a, b := byOpts[i], byFactory[i]
+		if a.Pass != b.Pass || a.Injected != b.Injected || a.Forwarded != b.Forwarded {
+			t.Fatalf("spec %d: option-form and factory-form reports diverge: %v vs %v", i, a, b)
+		}
+	}
+}
+
 func TestRunSuitePropagatesErrors(t *testing.T) {
 	boom := func() (*netdebug.System, error) { return nil, fmt.Errorf("no hardware") }
-	if _, err := netdebug.RunSuite(boom, suiteSpecs(3, 20), 2); err == nil {
+	if _, err := netdebug.RunSuiteWithFactory(boom, suiteSpecs(3, 20), 2); err == nil {
 		t.Fatal("factory errors must surface")
 	}
-	if _, err := netdebug.RunSuite(nil, suiteSpecs(1, 20), 1); err == nil {
+	if _, err := netdebug.RunSuiteWithFactory(nil, suiteSpecs(1, 20), 1); err == nil {
 		t.Fatal("nil factory must error")
+	}
+	if _, err := netdebug.RunSuite("not p4", netdebug.Options{}, suiteSpecs(1, 20), 1); err == nil {
+		t.Fatal("unparsable source must surface from every worker open")
+	}
+	bad := routerSuiteOptions()
+	bad.Baseline[0].Table = "no_such_table"
+	if _, err := netdebug.RunSuite(p4test.Router, bad, suiteSpecs(1, 20), 1); err == nil {
+		t.Fatal("bad baseline entry must surface")
 	}
 }
