@@ -390,6 +390,7 @@ func BenchmarkAblationLiveTrafficLoad(b *testing.B) {
 					b.Fatalf("%v %v", rep, err)
 				}
 				sys.Device().Captures(1)
+				sys.Device().ReleaseCaptures(1)
 			}
 		})
 	}

@@ -115,6 +115,7 @@ func main() {
 		if len(caps) > 0 {
 			fmt.Printf("port %d: %d frames transmitted\n", port, len(caps))
 		}
+		dev.ReleaseCaptures(port)
 	}
 	fmt.Printf("replayed %d frames, %d transmitted, %d dropped\n", sent, total, sent-total)
 	fmt.Println("device status:")

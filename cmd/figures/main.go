@@ -39,13 +39,18 @@ import (
 )
 
 var (
-	figure   = flag.Int("figure", 0, "regenerate a figure (2)")
-	exp      = flag.String("exp", "", "regenerate an experiment (E1, T1, T2, T3, T4, T5, V1)")
-	all      = flag.Bool("all", false, "regenerate everything")
-	details  = flag.Bool("details", false, "print per-scenario detail lines for Figure 2")
-	parallel = flag.Int("parallel", 0, "suite workers: 0 sequential, <0 one per CPU")
-	sweepMax = flag.Int("sweep-max", 1000000, "largest T5 occupancy")
-	csvOut   = flag.Bool("csv", false, "emit T5 sweep points as CSV instead of tables")
+	figure      = flag.Int("figure", 0, "regenerate a figure (2)")
+	exp         = flag.String("exp", "", "regenerate an experiment (E1, T1, T2, T3, T4, T5, V1)")
+	all         = flag.Bool("all", false, "regenerate everything")
+	details     = flag.Bool("details", false, "print per-scenario detail lines for Figure 2")
+	parallel    = flag.Int("parallel", 0, "suite workers: 0 sequential, <0 one per CPU")
+	sweepMax    = flag.Int("sweep-max", 1000000, "largest T5 occupancy")
+	sweepTables = flag.String("sweep-tables", "",
+		"comma-separated T5 table subset (e.g. t_lpm for the 10^7 LPM-only tier); empty sweeps all three")
+	sweepBackends = flag.String("sweep-backends", "",
+		"comma-separated T5 backend subset; empty sweeps all four")
+	sweepSize = flag.Int("sweep-size", 0, "declared T5 table size; 0 means 2^20 (raise for occupancies past 10^6)")
+	csvOut    = flag.Bool("csv", false, "emit T5 sweep points as CSV instead of tables")
 )
 
 func main() {
@@ -221,11 +226,32 @@ func t5() {
 		// point rather than falling back to the full default sweep.
 		occupancies = []int{*sweepMax}
 	}
+	var tables, backends []string
+	if *sweepTables != "" {
+		tables = strings.Split(*sweepTables, ",")
+	}
+	if *sweepBackends != "" {
+		backends = strings.Split(*sweepBackends, ",")
+	}
 	points, err := scenario.MillionFlowSweep(scenario.SweepOptions{
+		Backends:    backends,
 		Occupancies: occupancies,
+		Tables:      tables,
+		TableSize:   *sweepSize,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	// A table subset is the deep-tier shape (e.g. -sweep-tables t_lpm
+	// -sweep-max 10000000): print just the occupancy sweep — the
+	// mask-diversity axis needs the ternary table populated.
+	if tables != nil {
+		if *csvOut {
+			fmt.Print(scenario.SweepCSV(points))
+		} else {
+			fmt.Print(scenario.RenderSweep(points))
+		}
+		return
 	}
 	// The mask-diversity axis, swept per backend: at fixed occupancy,
 	// raising the number of distinct mask tuples degrades the software

@@ -81,7 +81,7 @@ type Generator struct {
 	spec GenSpec
 
 	// arenas reused across Packets calls.
-	slab    []byte       // packet bytes, carved per packet
+	arena   FrameArena   // packet bytes, carved per packet
 	gen     []TestPacket // per-stream generation order
 	out     []TestPacket // time-merged output order
 	fuzzers []*rand.Rand // one per (stream, fuzz field), reseeded per call
@@ -158,9 +158,7 @@ func (g *Generator) Packets(start time.Duration) []TestPacket {
 		bytes += s.Count * len(s.Template)
 		nFuzz += len(s.Fuzz)
 	}
-	if cap(g.slab) < bytes {
-		g.slab = make([]byte, bytes)
-	}
+	g.arena.Reset(bytes, total)
 	if cap(g.gen) < total {
 		g.gen = make([]TestPacket, total)
 		g.out = make([]TestPacket, total)
@@ -168,9 +166,7 @@ func (g *Generator) Packets(start time.Duration) []TestPacket {
 	for len(g.fuzzers) < nFuzz {
 		g.fuzzers = append(g.fuzzers, rand.New(rand.NewSource(0)))
 	}
-	slab := g.slab[:bytes]
 	gen := g.gen[:0]
-	used := 0
 	fzIdx := 0
 
 	gid := uint64(0)
@@ -186,8 +182,7 @@ func (g *Generator) Packets(start time.Duration) []TestPacket {
 			fuzzers[i].Seed(fz.Seed)
 		}
 		for i := 0; i < s.Count; i++ {
-			data := slab[used : used+len(s.Template)]
-			used += len(s.Template)
+			data := g.arena.Frame(len(s.Template))
 			copy(data, s.Template)
 			for _, sw := range s.Sweeps {
 				v := sw.Start + uint64(i)*sw.Step

@@ -60,13 +60,14 @@ func LocalizeFault(dev *device.Device, probe []byte, ingress int, expectPort int
 	defer unTapOut()
 
 	dev.SendExternal(ingress, probe, dev.Now()+time.Microsecond)
-	egressCaps := dev.Captures(expectPort)
+	egressed := len(dev.Captures(expectPort))
+	dev.ReleaseCaptures(expectPort)
 
 	switch {
 	case !dpInSeen:
 		note("external frame on port %d never reached the data plane: interface fault", ingress)
 		diag.Stage = fmt.Sprintf("mac-in port %d", ingress)
-	case !macOutSeen && len(egressCaps) == 0:
+	case !macOutSeen && egressed == 0:
 		note("data plane emitted the frame but port %d never transmitted it", expectPort)
 		diag.Stage = fmt.Sprintf("egress port %d", expectPort)
 	default:

@@ -251,6 +251,24 @@ func (e *Engine) TernaryGroupCount(name string) int {
 	return 0
 }
 
+// LPMStats reports the installed-prefix count, trie node count, and
+// modeled resident bytes of an lpm table's multibit tries (summed over
+// the exact-key groups). It returns zeros for non-lpm or unknown
+// tables. The occupancy sweep's bytes/entry column and the trie
+// geometry tests read it.
+func (e *Engine) LPMStats(name string) (entries, nodes, bytes int) {
+	ts, ok := e.tables[name]
+	if !ok || ts.kind != kindLPM {
+		return 0, 0, 0
+	}
+	for _, trie := range ts.tries {
+		n, b := trie.stats()
+		nodes += n
+		bytes += b
+	}
+	return ts.count, nodes, bytes
+}
+
 // NewContext allocates a context sized for the program.
 func (e *Engine) NewContext() *Context {
 	ctx := &Context{}

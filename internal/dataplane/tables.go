@@ -72,8 +72,8 @@ type tableState struct {
 	kind    tableKind
 	lpmIdx  int // index of the lpm key within def.Keys
 	exact   map[string]*boundEntry
-	tries   map[string]*lpmTrie // keyed by the exact portion of the key
-	ternary []*boundEntry       // linear reference list, lazily sorted
+	tries   map[string]*mbTrie // keyed by the exact portion of the key
+	ternary []*boundEntry      // linear reference list, lazily sorted
 	// ternarySorted records whether ternary is currently in (priority
 	// desc, order asc) order; installs append and defer the sort so
 	// populating a large table is not quadratic.
@@ -127,7 +127,7 @@ func newTableState(def *ir.Table) *tableState {
 	case kindExact:
 		ts.exact = make(map[string]*boundEntry)
 	case kindLPM:
-		ts.tries = make(map[string]*lpmTrie)
+		ts.tries = make(map[string]*mbTrie)
 	case kindTernary:
 		ts.groupIdx = make(map[string]*ternaryGroup)
 	}
@@ -226,7 +226,7 @@ func (ts *tableState) install(e Entry, action *ir.Action) error {
 		group := string(appendKeyBytes(nil, vals, ts.lpmIdx))
 		trie := ts.tries[group]
 		if trie == nil {
-			trie = &lpmTrie{}
+			trie = &mbTrie{}
 			ts.tries[group] = trie
 		}
 		lk := e.Keys[ts.lpmIdx]
@@ -516,7 +516,7 @@ func (ts *tableState) clear() {
 	case kindExact:
 		ts.exact = make(map[string]*boundEntry)
 	case kindLPM:
-		ts.tries = make(map[string]*lpmTrie)
+		ts.tries = make(map[string]*mbTrie)
 	case kindTernary:
 		ts.ternary = nil
 		ts.ternarySorted = false
@@ -569,7 +569,11 @@ func prefixMask(w, n int) bitfield.Value {
 	return bitfield.Mask(w).Shl(w - n).WithWidth(w)
 }
 
-// lpmTrie is a binary trie over key bits, most significant bit first.
+// lpmTrie is the retired one-node-per-bit binary trie over key bits,
+// most significant bit first. Production lpm tables now run on the
+// path-compressed multibit mbTrie (mbtrie.go); this implementation is
+// kept verbatim as the differential oracle the multibit trie is
+// fuzz-tested against, exactly like lookupTernaryLinear above.
 type lpmTrie struct {
 	root trieNode
 }

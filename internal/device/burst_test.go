@@ -189,5 +189,6 @@ func BenchmarkDeviceForwardBurst(b *testing.B) {
 			b.Fatal(err)
 		}
 		d.Captures(1)
+		d.ReleaseCaptures(1)
 	}
 }

@@ -47,6 +47,13 @@ type Config struct {
 	// external send path allocation-free in steady state. Toggle at
 	// runtime with SetCaptureEnabled.
 	DisableCapture bool
+	// CopyCaptures selects the legacy capture store: every transmitted
+	// frame is retained as an owned copy, and Captures hands ownership to
+	// the caller with no release step. The default is the zero-copy
+	// capture ring, where Captures borrows device-backed segments that
+	// the caller returns with ReleaseCaptures. The copying store is kept
+	// as the differential oracle for the ring.
+	CopyCaptures bool
 	// Target is the loaded data plane under test.
 	Target target.Target
 }
@@ -165,8 +172,13 @@ type portState struct {
 	nextTxFree time.Duration
 	// stuck holds the frames frozen in the output queue under
 	// FaultQueueStuck, in arrival order; its length is the occupancy.
-	stuck    []stuckFrame
+	stuck []stuckFrame
+	// captures is the legacy copying store (Config.CopyCaptures).
 	captures []CapturedFrame
+	// seg accumulates ring-mode captures; borrowed holds segments drained
+	// by Captures and not yet returned via ReleaseCaptures.
+	seg      *capSegment
+	borrowed []*capSegment
 	// Per-port counters, resolved once at boot so the packet path never
 	// formats counter names.
 	cRxFrames, cRxLinkDown, cRxBitFlips   *stats.Counter
@@ -197,6 +209,8 @@ type Device struct {
 	// captureOn gates frame retention on the TX path; see
 	// Config.DisableCapture.
 	captureOn bool
+	// segFree recycles capture segments released by ReleaseCaptures.
+	segFree []*capSegment
 
 	cDropped, cInjected, cFaults, cBadPort *stats.Counter
 }
@@ -529,13 +543,11 @@ func (d *Device) enqueue(port int, data []byte, ready time.Duration) {
 	d.fire(TapEvent{Point: TapMACOut, Port: port, Data: data, At: txDone})
 	// Only the capture store retains frame bytes beyond this call (data
 	// aliases the target's per-packet scratch; taps observe it
-	// synchronously without keeping it), so the copy is made only when
-	// capture needs ownership.
+	// synchronously without keeping it), so bytes move into the capture
+	// ring — or, under CopyCaptures, into an owned copy — only when
+	// capture needs them.
 	if d.captureOn {
-		p.captures = append(p.captures, CapturedFrame{
-			Data: append([]byte(nil), data...),
-			At:   txDone,
-		})
+		d.capture(p, data, txDone)
 	}
 }
 
@@ -546,18 +558,6 @@ func (d *Device) SetCaptureEnabled(on bool) { d.captureOn = on }
 
 // CaptureEnabled reports whether external frame capture is on.
 func (d *Device) CaptureEnabled() bool { return d.captureOn }
-
-// Captures drains and returns the frames transmitted on a port since the
-// last call — what an external tester's capture port sees.
-func (d *Device) Captures(port int) []CapturedFrame {
-	if port < 0 || port >= len(d.ports) {
-		return nil
-	}
-	p := d.ports[port]
-	out := p.captures
-	p.captures = nil
-	return out
-}
 
 // QueueOccupancy returns the stuck-queue depth of a port (nonzero only
 // under FaultQueueStuck; ClearFaults drains it back to zero).

@@ -476,6 +476,7 @@ func BenchmarkDeviceForward(b *testing.B) {
 		d.SendExternal(0, frame, time.Duration(i)*wire)
 		if i%1024 == 0 {
 			d.Captures(1)
+			d.ReleaseCaptures(1)
 		}
 	}
 }

@@ -1,0 +1,122 @@
+package device
+
+import "time"
+
+// The capture ring gives the TX capture store borrow semantics instead of
+// ownership-by-copy. While capture is on, enqueue appends each transmitted
+// frame's bytes into the port's accumulating segment — one contiguous slab
+// plus per-frame metadata — so the per-frame cost is an amortized slab
+// append, not a fresh allocation. Captures drains by materializing
+// CapturedFrame views into the slab (the slab can no longer move once the
+// segment stops accumulating) and handing the segment to the port's
+// borrowed list; the caller reads the frames in place and returns them
+// with ReleaseCaptures, which recycles the segment — slab, metadata and
+// frame headers — into a device-level free pool. In steady state the burst
+// path therefore runs at zero allocations per frame with capture retained.
+//
+// The legacy copying store (Config.CopyCaptures) owns every frame outright
+// and needs no release; it is kept as the differential oracle for the ring.
+
+// capMeta locates one captured frame inside its segment's slab.
+type capMeta struct {
+	off, n int
+	at     time.Duration
+}
+
+// capSegment is one reusable capture buffer: frames accumulate into slab
+// while the segment is attached to a port, and frames[] is materialized
+// once at drain time, when the slab is final.
+type capSegment struct {
+	slab   []byte
+	meta   []capMeta
+	frames []CapturedFrame
+}
+
+// grabSegment returns the port's accumulating segment, attaching one from
+// the free pool (or a fresh one) if needed.
+func (d *Device) grabSegment(p *portState) *capSegment {
+	if p.seg != nil {
+		return p.seg
+	}
+	if n := len(d.segFree); n > 0 {
+		p.seg = d.segFree[n-1]
+		d.segFree[n-1] = nil
+		d.segFree = d.segFree[:n-1]
+	} else {
+		p.seg = &capSegment{}
+	}
+	return p.seg
+}
+
+// capture retains one transmitted frame. Ring mode appends into the
+// port's segment; legacy mode (Config.CopyCaptures) makes an owned copy
+// per frame, the pre-ring behaviour kept as the differential oracle.
+func (d *Device) capture(p *portState, data []byte, txDone time.Duration) {
+	if d.cfg.CopyCaptures {
+		p.captures = append(p.captures, CapturedFrame{
+			Data: append([]byte(nil), data...),
+			At:   txDone,
+		})
+		return
+	}
+	seg := d.grabSegment(p)
+	off := len(seg.slab)
+	seg.slab = append(seg.slab, data...)
+	seg.meta = append(seg.meta, capMeta{off: off, n: len(data), at: txDone})
+}
+
+// Captures drains and returns the frames transmitted on a port since the
+// last call — what an external tester's capture port sees. In ring mode
+// (the default) the returned frames are views into a capture segment
+// borrowed from the device: they stay valid until ReleaseCaptures(port),
+// which recycles the backing memory. Callers that need frames beyond
+// that point must copy them. With Config.CopyCaptures the frames are
+// owned copies and never need releasing.
+func (d *Device) Captures(port int) []CapturedFrame {
+	if port < 0 || port >= len(d.ports) {
+		return nil
+	}
+	p := d.ports[port]
+	if d.cfg.CopyCaptures {
+		out := p.captures
+		p.captures = nil
+		return out
+	}
+	seg := p.seg
+	if seg == nil || len(seg.meta) == 0 {
+		return nil
+	}
+	p.seg = nil
+	// Materialize the frame views only now: while the segment was
+	// accumulating, slab appends could move the backing array, so
+	// subslices taken at capture time would dangle.
+	seg.frames = seg.frames[:0]
+	for _, m := range seg.meta {
+		seg.frames = append(seg.frames, CapturedFrame{
+			Data: seg.slab[m.off : m.off+m.n : m.off+m.n],
+			At:   m.at,
+		})
+	}
+	p.borrowed = append(p.borrowed, seg)
+	return seg.frames
+}
+
+// ReleaseCaptures returns every capture slice previously drained from the
+// port back to the device, recycling the backing segments. All frames
+// obtained from Captures(port) — including their Data bytes — are invalid
+// afterwards. It is a no-op for out-of-range ports and in CopyCaptures
+// mode, so release calls are always safe.
+func (d *Device) ReleaseCaptures(port int) {
+	if port < 0 || port >= len(d.ports) {
+		return
+	}
+	p := d.ports[port]
+	for i, seg := range p.borrowed {
+		seg.slab = seg.slab[:0]
+		seg.meta = seg.meta[:0]
+		seg.frames = seg.frames[:0]
+		d.segFree = append(d.segFree, seg)
+		p.borrowed[i] = nil
+	}
+	p.borrowed = p.borrowed[:0]
+}

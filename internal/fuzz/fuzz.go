@@ -203,9 +203,19 @@ type probeResult struct {
 	outs  []outcome // per backend, Options.Targets order
 }
 
+// maxProbeBatch bounds one InjectInternalBatch run per backend, for the
+// same reason as core's maxInjectBatch: the target's batch scratch holds
+// one context per slot.
+const maxProbeBatch = 512
+
 // shard is one lockstep device set: the same program on every backend.
 type shard struct {
 	devs []*device.Device
+	// scratch reused across probe batches: the frames and timestamps of
+	// the chunk in flight, and one signature builder per chunk slot.
+	batch [][]byte
+	ats   []time.Duration
+	sigs  []strings.Builder
 }
 
 // Fleet is a configured differential fuzzing run over sharded lockstep
@@ -523,9 +533,10 @@ func (f *Fleet) pickFields(rng *rand.Rand, eligible []int, n int) []int {
 }
 
 // runBatch drives one probe batch through every shard: probe i is owned
-// by shard i mod Shards, and each shard sends it through its backends in
-// lockstep. Results land in an index-addressed slice, so the outcome
-// order is the global probe order regardless of scheduling.
+// by shard i mod Shards, and each shard drives its stride through every
+// backend's batched data-plane path. Results land in an index-addressed
+// slice, so the outcome order is the global probe order regardless of
+// scheduling.
 func (f *Fleet) runBatch(frames [][]byte) []probeResult {
 	results := make([]probeResult, len(frames))
 	var wg sync.WaitGroup
@@ -533,18 +544,74 @@ func (f *Fleet) runBatch(frames [][]byte) []probeResult {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			sh := f.shards[s]
-			for i := s; i < len(frames); i += len(f.shards) {
-				results[i] = sh.probe(f, frames[i])
-			}
+			f.shards[s].probeStride(f, frames, s, len(f.shards), results)
 		}(s)
 	}
 	wg.Wait()
 	return results
 }
 
+// probeStride runs the shard-owned probes (indices first, first+stride,
+// ...) through every backend as InjectInternalBatch chunks and writes
+// each probe's result at its global index. Per-probe behaviour
+// signatures are folded into per-slot builders backend by backend —
+// computed from each batch's traces before the next batch on the same
+// device clobbers the target's scratch — so the results are
+// byte-identical to per-frame injection (shard.probe, the sequential
+// reference) at any shard count.
+func (sh *shard) probeStride(f *Fleet, frames [][]byte, first, stride int, results []probeResult) {
+	for start := first; start < len(frames); start += stride * maxProbeBatch {
+		sh.batch = sh.batch[:0]
+		idx := make([]int, 0, maxProbeBatch)
+		for i := start; i < len(frames) && len(idx) < maxProbeBatch; i += stride {
+			sh.batch = append(sh.batch, frames[i])
+			idx = append(idx, i)
+		}
+		for len(sh.ats) < len(idx) {
+			sh.ats = append(sh.ats, 0)
+		}
+		for len(sh.sigs) < len(idx) {
+			sh.sigs = append(sh.sigs, strings.Builder{})
+		}
+		for j, i := range idx {
+			results[i].outs = make([]outcome, len(sh.devs))
+			sh.sigs[j].Reset()
+		}
+		for b, dev := range sh.devs {
+			ats := sh.ats[:len(idx)]
+			for j := range ats {
+				ats[j] = dev.Now()
+			}
+			rs := dev.InjectInternalBatch(sh.batch, f.opts.IngressPort, ats, true)
+			for j := range rs {
+				res := &rs[j]
+				pr := &results[idx[j]]
+				o := outcome{dropped: res.Dropped()}
+				if !o.dropped {
+					o.port = res.Outputs[0].Port
+					o.data = string(res.Outputs[0].Data)
+				}
+				pr.outs[b] = o
+				sb := &sh.sigs[j]
+				sb.WriteString(f.opts.Targets[b])
+				sb.WriteByte(':')
+				writeBehaviourSig(sb, res.Trace, o)
+				sb.WriteByte('|')
+				if b == f.refIdx {
+					pr.ref = traceTargetSig(res.Trace)
+				}
+			}
+		}
+		for j, i := range idx {
+			results[i].cover = sh.sigs[j].String()
+		}
+	}
+}
+
 // probe runs one frame through every backend of the shard and snapshots
-// the cross-backend behaviour signature and vote outcomes.
+// the cross-backend behaviour signature and vote outcomes. It is the
+// retired per-frame injection path, kept as the differential oracle for
+// probeStride's batched injection.
 func (sh *shard) probe(f *Fleet, frame []byte) probeResult {
 	pr := probeResult{outs: make([]outcome, len(sh.devs))}
 	var sb strings.Builder

@@ -2,6 +2,7 @@ package fuzz
 
 import (
 	"bytes"
+	"math/rand"
 	"reflect"
 	"testing"
 
@@ -239,6 +240,38 @@ func TestNewValidation(t *testing.T) {
 	}
 	if _, err := New(p4test.Router, Options{Targets: []string{"reference", "sdnet", "nope"}}); err == nil {
 		t.Errorf("unknown target kind accepted")
+	}
+}
+
+// TestDifferentialBatchedProbeInjection cross-checks probeStride (the
+// batched probe path) against shard.probe, the retained per-frame
+// reference: identical outcomes, behaviour signatures, and reference
+// path signatures for every probe, across the maxProbeBatch chunk
+// boundary. Fleets are separate so neither path sees the other's device
+// state.
+func TestDifferentialBatchedProbeInjection(t *testing.T) {
+	mk := func() *Fleet {
+		f, err := New(p4test.Router, Options{Baseline: routerBaseline(), Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	fBatch, fSeq := mk(), mk()
+	frames := fBatch.defaultSeeds()
+	rng := rand.New(rand.NewSource(9))
+	for len(frames) < maxProbeBatch+40 {
+		fr := append([]byte(nil), frames[rng.Intn(2)]...)
+		fr[rng.Intn(len(fr))] ^= 1 << rng.Intn(8)
+		frames = append(frames, fr)
+	}
+	got := make([]probeResult, len(frames))
+	fBatch.shards[0].probeStride(fBatch, frames, 0, 1, got)
+	for i, fr := range frames {
+		want := fSeq.shards[0].probe(fSeq, fr)
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("probe %d: batched %+v\nvs sequential %+v", i, got[i], want)
+		}
 	}
 }
 

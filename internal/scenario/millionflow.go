@@ -77,6 +77,12 @@ type SweepOptions struct {
 	// BatchSize is the burst size driven through the batched target
 	// path; 0 means 256.
 	BatchSize int
+	// Tables selects the subset of SweepTables to populate; empty means
+	// all three. The 10^7-flow tier sweeps {"t_lpm"} alone — populating
+	// three tables at that scale measures mostly the exact map, while
+	// the LPM-only run isolates the multibit trie the tier exists to
+	// size. Unknown names are rejected.
+	Tables []string
 	// DistinctMasks is the number of distinct mask tuples the ternary
 	// table's entries cycle through; 0 means 8, the "few templates,
 	// many flows" shape of real ACLs. Raising it toward the entry count
@@ -103,6 +109,9 @@ func (o *SweepOptions) fill() {
 	}
 	if o.BatchSize == 0 {
 		o.BatchSize = 256
+	}
+	if len(o.Tables) == 0 {
+		o.Tables = SweepTables
 	}
 	if o.DistinctMasks == 0 {
 		o.DistinctMasks = len(aclMaskTemplates)
@@ -140,6 +149,16 @@ type SweepPoint struct {
 	ModelNs float64
 	// HeapBytes is the heap growth attributable to the populated tables.
 	HeapBytes uint64
+	// ModelBytes is the backend's *modelled* table memory at this point
+	// (ResourceReport.ModelBytes): memlock map grants on ebpf, placed
+	// SRAM/TCAM blocks on tofino, BRAM blocks on sdnet. 0 on the
+	// reference target, which has no resource model.
+	ModelBytes uint64
+	// BytesPerEntry is the memory cost per installed entry: ModelBytes
+	// over total installs where the backend models memory, measured
+	// heap over total installs on the reference — the column that makes
+	// the multibit trie's footprint comparable across backend classes.
+	BytesPerEntry float64
 }
 
 // newSweepTarget builds the named backend.
@@ -213,10 +232,13 @@ func sweepEntry(table string, i, masks int) dataplane.Entry {
 		}
 	case "t_lpm":
 		// Distinct /32s, with every 16th entry a distinct /24 from the
-		// disjoint 0x40xxxxxx range so trie depth varies.
+		// disjoint 0x40xxxxxx range so trie depth varies. The /24s are
+		// indexed by i/16 so their 24 significant bits stay clear of the
+		// range tag at bit 30 — distinct through the 10^7 tier (the old
+		// i<<8 encoding collided with itself from i = 2^22).
 		kv := dataplane.KeyValue{Value: dst, PrefixLen: 32}
 		if i%16 == 15 {
-			kv = dataplane.KeyValue{Value: bitfield.New((0x40000000|uint64(i)<<8)&0xffffffff, 32), PrefixLen: 24}
+			kv = dataplane.KeyValue{Value: bitfield.New(0x40000000|uint64(i/16)<<8, 32), PrefixLen: 24}
 		}
 		return dataplane.Entry{
 			Table: table, Action: "fwd",
@@ -273,6 +295,15 @@ func MillionFlowSweep(opts SweepOptions) ([]SweepPoint, error) {
 	if opts.DistinctMasks < 0 {
 		return nil, fmt.Errorf("scenario: sweep mask diversity %d is negative", opts.DistinctMasks)
 	}
+	for _, table := range opts.Tables {
+		known := false
+		for _, t := range SweepTables {
+			known = known || t == table
+		}
+		if !known {
+			return nil, fmt.Errorf("scenario: unknown sweep table %q", table)
+		}
+	}
 	for _, occ := range opts.Occupancies {
 		if occ < 1 {
 			return nil, fmt.Errorf("scenario: sweep occupancy %d is not positive", occ)
@@ -303,7 +334,7 @@ func MillionFlowSweep(opts SweepOptions) ([]SweepPoint, error) {
 			heapBefore := heapInUse()
 			installStart := time.Now()
 			installs := 0
-			for _, table := range SweepTables {
+			for _, table := range opts.Tables {
 				for i := 0; i < occ; i++ {
 					if err := tgt.InstallEntry(sweepEntry(table, i, masks)); err != nil {
 						var capErr *dataplane.CapacityError
@@ -332,6 +363,13 @@ func MillionFlowSweep(opts SweepOptions) ([]SweepPoint, error) {
 			pt.MaskGroups = tgt.TernaryGroups("t_acl")
 			if after := heapInUse(); after > heapBefore {
 				pt.HeapBytes = after - heapBefore
+			}
+			pt.ModelBytes = tgt.Resources().ModelBytes()
+			if mem := pt.ModelBytes; installs > 0 {
+				if mem == 0 {
+					mem = pt.HeapBytes // reference: no resource model
+				}
+				pt.BytesPerEntry = float64(mem) / float64(installs)
 			}
 
 			// Time the probe burst through the batched pipeline path.
@@ -372,16 +410,16 @@ func appendNote(cur, add string) string {
 // RenderSweep formats sweep points as the occupancy-sweep figure table.
 func RenderSweep(points []SweepPoint) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %10s %10s %8s %12s %12s %10s %10s  %s\n",
-		"backend", "occupancy", "installed", "masks", "install/ns", "lookup/ns", "model/ns", "heap", "finding")
+	fmt.Fprintf(&b, "%-12s %10s %10s %8s %12s %12s %10s %10s %9s  %s\n",
+		"backend", "occupancy", "installed", "masks", "install/ns", "lookup/ns", "model/ns", "heap", "B/entry", "finding")
 	for _, pt := range points {
 		note := pt.CapacityNote
 		if note == "" {
 			note = "-"
 		}
-		fmt.Fprintf(&b, "%-12s %10d %10d %8d %12.0f %12.0f %10.0f %9.1fM  %s\n",
+		fmt.Fprintf(&b, "%-12s %10d %10d %8d %12.0f %12.0f %10.0f %9.1fM %9.1f  %s\n",
 			pt.Backend, pt.Occupancy, pt.MaxInstalled(), pt.MaskGroups, pt.InstallNs, pt.LookupNs,
-			pt.ModelNs, float64(pt.HeapBytes)/1e6, note)
+			pt.ModelNs, float64(pt.HeapBytes)/1e6, pt.BytesPerEntry, note)
 	}
 	return b.String()
 }
@@ -400,7 +438,8 @@ func (pt SweepPoint) MaxInstalled() int {
 
 // SweepCSVHeader is the column row of SweepCSV output.
 const SweepCSVHeader = "backend,occupancy,distinct_masks,mask_groups," +
-	"installed_exact,installed_lpm,installed_acl,install_ns,lookup_ns,model_ns,heap_bytes,finding"
+	"installed_exact,installed_lpm,installed_acl,install_ns,lookup_ns,model_ns," +
+	"heap_bytes,model_bytes,bytes_per_entry,finding"
 
 // SweepCSV renders sweep points as machine-readable CSV (one row per
 // point, findings quoted) for external plotting — the companion to the
@@ -409,10 +448,11 @@ func SweepCSV(points []SweepPoint) string {
 	var b strings.Builder
 	b.WriteString(SweepCSVHeader + "\n")
 	for _, pt := range points {
-		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%d,%.0f,%.1f,%.0f,%d,%q\n",
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%d,%.0f,%.1f,%.0f,%d,%d,%.1f,%q\n",
 			pt.Backend, pt.Occupancy, pt.DistinctMasks, pt.MaskGroups,
 			pt.Installed["t_exact"], pt.Installed["t_lpm"], pt.Installed["t_acl"],
-			pt.InstallNs, pt.LookupNs, pt.ModelNs, pt.HeapBytes, pt.CapacityNote)
+			pt.InstallNs, pt.LookupNs, pt.ModelNs, pt.HeapBytes, pt.ModelBytes,
+			pt.BytesPerEntry, pt.CapacityNote)
 	}
 	return b.String()
 }

@@ -247,6 +247,94 @@ func TestMillionFlowSweepModelLatencyContrast(t *testing.T) {
 	}
 }
 
+// TestMillionFlowSweepBytesPerEntry checks the memory-per-entry column
+// across backend classes: backends with a resource model report their
+// modelled table memory (memlock map grants on ebpf, placed SRAM/TCAM
+// blocks on tofino) over installed entries, and the reference — which
+// models nothing — falls back to measured heap so the column is never
+// empty. Both forms must survive into the CSV.
+func TestMillionFlowSweepBytesPerEntry(t *testing.T) {
+	points, err := MillionFlowSweep(SweepOptions{
+		Backends:    []string{"reference", "tofino", "ebpf"},
+		Occupancies: []int{2000},
+		TableSize:   1 << 12,
+		Probes:      256,
+		BatchSize:   64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, tf, eb := points[0], points[1], points[2]
+	if ref.ModelBytes != 0 {
+		t.Errorf("reference models %d bytes, want 0 (no resource model)", ref.ModelBytes)
+	}
+	if ref.BytesPerEntry <= 0 {
+		t.Errorf("reference bytes/entry %.1f, want heap fallback > 0", ref.BytesPerEntry)
+	}
+	for _, pt := range []SweepPoint{tf, eb} {
+		if pt.ModelBytes == 0 {
+			t.Errorf("%s models 0 bytes, want its granted table memory", pt.Backend)
+		}
+		installs := 0
+		for _, table := range SweepTables {
+			installs += pt.Installed[table]
+		}
+		want := float64(pt.ModelBytes) / float64(installs)
+		if pt.BytesPerEntry != want {
+			t.Errorf("%s bytes/entry %.1f, want ModelBytes/installs = %.1f",
+				pt.Backend, pt.BytesPerEntry, want)
+		}
+	}
+	out := SweepCSV(points)
+	if !strings.Contains(SweepCSVHeader, "model_bytes,bytes_per_entry") {
+		t.Errorf("CSV header missing memory columns: %s", SweepCSVHeader)
+	}
+	wantCols := strings.Count(SweepCSVHeader, ",") + 1
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if got := strings.Count(line, ",") + 1; got != wantCols {
+			t.Errorf("CSV row has %d columns, want %d: %s", got, wantCols, line)
+		}
+	}
+	if !strings.Contains(RenderSweep(points), "B/entry") {
+		t.Errorf("render missing bytes-per-entry column")
+	}
+}
+
+// TestMillionFlowSweepLPMOnlyTier exercises the table-subset knob the
+// deep-occupancy tier uses: populating only t_lpm isolates the multibit
+// trie (the full 10^7 run is `figures -exp T5 -sweep-max 10000000
+// -sweep-tables t_lpm -sweep-size 16777216`), and unknown table names
+// are rejected.
+func TestMillionFlowSweepLPMOnlyTier(t *testing.T) {
+	if _, err := MillionFlowSweep(SweepOptions{Tables: []string{"t_bogus"}}); err == nil {
+		t.Fatal("unknown sweep table must be rejected")
+	}
+	points, err := MillionFlowSweep(SweepOptions{
+		Backends:    []string{"reference"},
+		Occupancies: []int{50000},
+		TableSize:   1 << 16,
+		Probes:      256,
+		BatchSize:   64,
+		Tables:      []string{"t_lpm"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := points[0]
+	if pt.Installed["t_lpm"] != 50000 {
+		t.Fatalf("t_lpm installed %d, want the full 50000", pt.Installed["t_lpm"])
+	}
+	if pt.Installed["t_exact"] != 0 || pt.Installed["t_acl"] != 0 || pt.MaskGroups != 0 {
+		t.Fatalf("subset sweep touched unselected tables: %+v groups=%d", pt.Installed, pt.MaskGroups)
+	}
+	if pt.BytesPerEntry <= 0 {
+		t.Fatalf("LPM-only tier must still price memory per entry: %+v", pt)
+	}
+	if pt.LookupNs <= 0 || pt.InstallNs <= 0 {
+		t.Fatalf("unmeasured point %+v", pt)
+	}
+}
+
 // BenchmarkOccupancySweepPoint measures one mid-scale sweep point end to
 // end (population + probe burst) — the scenario-level cost of the
 // million-flow workload.

@@ -711,6 +711,7 @@ func floodTwoToOne(dev *device.Device) (sent, received int) {
 		sent += 2
 	}
 	received = len(dev.Captures(1))
+	dev.ReleaseCaptures(1)
 	return sent, received
 }
 
@@ -848,12 +849,14 @@ func comparisonScenarios() []Scenario {
 						devA.SendExternal(0, p, time.Duration(i)*10*time.Microsecond)
 						devB.SendExternal(0, p, time.Duration(i)*10*time.Microsecond)
 					}
-					ca, cb := devA.Captures(1), devB.Captures(1)
-					if len(ca) != len(cb) {
+					ca, cb := len(devA.Captures(1)), len(devB.Captures(1))
+					devA.ReleaseCaptures(1)
+					devB.ReleaseCaptures(1)
+					if ca != cb {
 						mismatch++
 					}
 					if mismatch == 0 {
-						return detected("external differential run: %d captures on both devices", len(ca))
+						return detected("external differential run: %d captures on both devices", ca)
 					}
 					return missed("capture counts diverge")
 				},
@@ -898,7 +901,10 @@ func comparisonScenarios() []Scenario {
 						devA.SendExternal(0, p, time.Duration(i)*10*time.Microsecond)
 						devB.SendExternal(0, p, time.Duration(i)*10*time.Microsecond)
 					}
-					if len(devA.Captures(1)) == len(devB.Captures(1)) {
+					ca, cb := len(devA.Captures(1)), len(devB.Captures(1))
+					devA.ReleaseCaptures(1)
+					devB.ReleaseCaptures(1)
+					if ca == cb {
 						return detected("external differential run across hardware models: outputs agree")
 					}
 					return missed("capture counts diverge")
@@ -930,7 +936,10 @@ func comparisonScenarios() []Scenario {
 					devB.SendExternal(0, aclTieProbe(), 0)
 					// The divergence is externally visible as loss, though the
 					// tester cannot attribute it to the tie-break order.
-					if len(devA.Captures(2)) == 1 && len(devB.Captures(2)) == 0 {
+					ca, cb := len(devA.Captures(2)), len(devB.Captures(2))
+					devA.ReleaseCaptures(2)
+					devB.ReleaseCaptures(2)
+					if ca == 1 && cb == 0 {
 						return detected("frame emerges from one device and not the other")
 					}
 					return missed("no external divergence observed")
@@ -1040,7 +1049,10 @@ func comparisonScenarios() []Scenario {
 					devB := plainDevice(acceptThenDropProgram, target.NewReference())
 					devA.SendExternal(0, badVersionFrame(), 0)
 					devB.SendExternal(0, badVersionFrame(), 0)
-					if len(devA.Captures(1)) == 0 && len(devB.Captures(1)) == 0 {
+					ca, cb := len(devA.Captures(1)), len(devB.Captures(1))
+					devA.ReleaseCaptures(1)
+					devB.ReleaseCaptures(1)
+					if ca == 0 && cb == 0 {
 						return missed("externally identical: both devices emit nothing")
 					}
 					return detected("external outputs differ")
@@ -1232,6 +1244,7 @@ func OddOneOutExternal(devs map[string]*device.Device, frame []byte, rxPort int)
 	for name, dev := range devs {
 		dev.SendExternal(0, frame, 0)
 		got[name] = len(dev.Captures(rxPort))
+		dev.ReleaseCaptures(rxPort)
 	}
 	return dissenters(got)
 }

@@ -200,6 +200,7 @@ func (h *host) restore(cfg *HostConfig) error {
 	}
 	for p := 0; p < h.dev.Config().NumPorts; p++ {
 		h.dev.Captures(p)
+		h.dev.ReleaseCaptures(p)
 	}
 	return nil
 }
@@ -504,6 +505,7 @@ func runProbe(h *host, p *ProbeSpec) *ProbeRecord {
 			}
 			pr.Captured[strconv.Itoa(port)] = n
 		}
+		h.dev.ReleaseCaptures(port)
 		if occ := h.dev.QueueOccupancy(port); occ > 0 {
 			if pr.QueueOccupancy == nil {
 				pr.QueueOccupancy = make(map[string]int)

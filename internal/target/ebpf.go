@@ -60,9 +60,11 @@ func DefaultEBPFErrata() EBPFErrata {
 func FixedEBPFErrata() EBPFErrata { return EBPFErrata{} }
 
 // The modelled kernel limits and per-map-type entry costs. Hash-map
-// entries pay the bucket/htab overhead, LPM-trie entries pay roughly two
-// trie nodes (leaf plus amortized internal node), and mask-set scan
-// entries store value+mask pairs in a flat array.
+// entries pay the bucket/htab overhead, LPM-trie entries pay the kernel
+// lpm_trie node economics — a value-carrying leaf node plus an amortized
+// path-compressed intermediate node, each with its own header and full
+// key copy — and mask-set scan entries store value+mask pairs in a flat
+// array.
 const (
 	ebpfMemlockBytes  = 128 << 20 // default memlock/memcg budget for all maps
 	ebpfMaxMasks      = 1024      // mask-set scan sections the verifier budget admits
@@ -70,8 +72,8 @@ const (
 
 	ebpfHashEntryOverhead = 48 // htab bucket + element header
 	ebpfHashValueBytes    = 16 // action id + padded action data
-	ebpfLPMNodeOverhead   = 40 // lpm_trie node header
-	ebpfLPMNodesPerEntry  = 2  // leaf + amortized internal node
+	ebpfLPMNodeOverhead   = 40 // lpm_trie node header (lpm_trie_node + rcu)
+	ebpfLPMValueBytes     = 16 // leaf value: action id + padded action data
 	ebpfScanEntryOverhead = 8  // priority + action id packing
 )
 
@@ -315,9 +317,13 @@ func allocateMaps(tables []*ir.Table, e EBPFErrata) (map[string]*ebpfMap, error)
 		case mapHash:
 			m.entryBytes = align8(keyBytes) + ebpfHashValueBytes + ebpfHashEntryOverhead
 		case mapLPMTrie:
-			// An lpm key is {u32 prefixlen, data}; each entry costs a
-			// leaf node plus an amortized internal node.
-			m.entryBytes = ebpfLPMNodesPerEntry * (keyBytes + 4 + ebpfLPMNodeOverhead)
+			// An lpm key is {u32 prefixlen, data}, stored whole in every
+			// node. Each entry costs one value-carrying leaf node plus
+			// one amortized path-compressed intermediate node (which has
+			// no value), mirroring kernel lpm_trie memlock charging.
+			leaf := ebpfLPMNodeOverhead + 4 + keyBytes + ebpfLPMValueBytes
+			intermediate := ebpfLPMNodeOverhead + 4 + keyBytes
+			m.entryBytes = leaf + intermediate
 		case mapMaskScan:
 			// Value and mask per key, flat in the scan array.
 			m.entryBytes = align8(2*keyBytes) + ebpfHashValueBytes + ebpfScanEntryOverhead

@@ -304,9 +304,12 @@ S(MFParser(), MFIngress(), MFDeparser()) main;`
 
 // TestEBPFSweepGrantCapacities pins the memlock water-fill against the
 // occupancy sweep's table shapes: the three map types are priced at
-// 72/96/48 bytes per entry, so the default 128 MiB budget grants
-// 621378 hash, 466033 lpm-trie, and 932067 scan entries of the 2^20
-// declared — the clip points the full-scale sweep and docs quote.
+// 72/112/48 bytes per entry — lpm-trie at kernel node economics, a
+// 64-byte value-carrying leaf (40+4+4+16) plus a 48-byte amortized
+// intermediate node (40+4+4) for the 4-byte key — so the default
+// 128 MiB budget grants 621378 hash, 399457 lpm-trie, and 932067 scan
+// entries of the 2^20 declared — the clip points the full-scale sweep
+// and docs quote.
 func TestEBPFSweepGrantCapacities(t *testing.T) {
 	prog := mustProg(t, millionFlowStyleProgram)
 	e := DefaultEBPFErrata()
@@ -321,7 +324,7 @@ func TestEBPFSweepGrantCapacities(t *testing.T) {
 		capacity   int
 	}{
 		"t_exact": {mapHash, 72, 621378},
-		"t_lpm":   {mapLPMTrie, 96, 466033},
+		"t_lpm":   {mapLPMTrie, 112, 399457},
 		"t_acl":   {mapMaskScan, 48, 932067},
 	}
 	for name, w := range want {

@@ -149,11 +149,34 @@ func (r ResourceReport) String() string {
 		r.LUTs, r.LUTPct, r.FFs, r.FFPct, r.BRAMs, r.BRAMPct)
 }
 
+// ModelBytes converts the report's form-specific footprint into bytes
+// of modelled table memory, so the occupancy sweep can print one
+// memory-per-entry column across backend classes. Each form charges
+// what the architecture actually reserves: the eBPF offload its
+// memlock map grants, the ASIC its placed SRAM/TCAM blocks, the FPGA
+// its BRAM blocks. The reference target has no resource model and
+// returns 0 — callers fall back to measured heap there.
+func (r ResourceReport) ModelBytes() uint64 {
+	switch {
+	case r.Maps > 0:
+		return uint64(r.MapBytes)
+	case r.Stages > 0:
+		sram := uint64(r.SRAMBlocks) * tofinoSRAMWidth * tofinoSRAMRows / 8
+		tcam := uint64(r.TCAMBlocks) * tofinoTCAMWidth * tofinoTCAMRows / 8
+		return sram + tcam
+	case r.BRAMs > 0:
+		return uint64(r.BRAMs) * sumeBRAMBytes
+	}
+	return 0
+}
+
 // Virtex-7 690T capacity, the FPGA on the NetFPGA SUME.
 const (
 	sumeLUTs  = 433200
 	sumeFFs   = 866400
 	sumeBRAMs = 1470
+	// One 36Kb block RAM, in bytes.
+	sumeBRAMBytes = 36 * 1024 / 8
 )
 
 // pct caps a utilization percentage at 100.

@@ -261,9 +261,11 @@ func placeTables(prog *ir.Program, e TofinoErrata) ([]tablePlacement, error) {
 			}
 			w := k.Expr.Width()
 			if k.Kind == ir.MatchLPM {
-				// Algorithmic LPM stores the prefix alongside subtree
-				// partition state: ~2x the key bits.
-				w *= 2
+				// Algorithmic LPM prices from the multibit trie geometry
+				// the data plane actually builds — key bits plus an
+				// encoded prefix length and per-entry node bookkeeping —
+				// not the old 2x-the-key-bits heuristic.
+				w = dataplane.LPMEntryBits(w)
 			}
 			keyBits += w
 		}

@@ -157,15 +157,71 @@ func TestTofinoStageChainExceedsPipeline(t *testing.T) {
 	}
 }
 
+// wideExactProgram carries a 192-bit exact key: 2 SRAM words per entry,
+// unplaceable on a 1-block pipeline.
+const wideExactProgram = `
+header k_t { bit<128> a; bit<64> b; } struct hs { k_t k; }
+parser WP(packet_in p, out hs hdr) { state start { p.extract(hdr.k); transition accept; } }
+control WI(inout hs hdr, inout standard_metadata_t sm) {
+  action fwd(bit<9> port) { sm.egress_spec = port; }
+  table t_wide {
+    key = { hdr.k.a: exact; hdr.k.b: exact; }
+    actions = { fwd; NoAction; }
+    size = 1024;
+  }
+  apply { t_wide.apply(); }
+}
+control WD(packet_out p, in hs hdr) { apply { p.emit(hdr.k); } }
+S(WP(), WI(), WD()) main;`
+
 func TestTofinoUnplaceableTableFailsLoad(t *testing.T) {
 	e := DefaultTofinoErrata()
 	e.Stages, e.SRAMBlocks = 1, 1
 	tf := NewTofino(e)
-	// The router's LPM table needs 2 words per entry; a 1-block pipeline
-	// cannot hold a single row-group.
-	if err := tf.Load(mustProg(t, p4test.Router)); err == nil {
+	// The 192-bit exact key needs 2 words per entry; a 1-block pipeline
+	// cannot hold a single row-group. (The router's 32-bit LPM table no
+	// longer serves here: trie-geometry pricing fits it in one word.)
+	if err := tf.Load(mustProg(t, wideExactProgram)); err == nil {
 		t.Fatal("placement must fail when a table cannot hold one row-group")
 	}
+	// The router now places even on the minimal pipeline — the direct
+	// dividend of pricing LPM from trie geometry instead of 2x key bits.
+	if err := NewTofino(e).Load(mustProg(t, p4test.Router)); err != nil {
+		t.Fatalf("router must place on a 1-block pipeline under trie-geometry pricing: %v", err)
+	}
+}
+
+// TestTofinoLPMPricing pins the trie-geometry LPM entry pricing: a
+// 32-bit LPM key prices at LPMEntryBits(32) = 46 bits — key, encoded
+// prefix length, node bookkeeping — which keeps the router's LPM entry
+// (46 key + 57 action + 16 overhead = 119 bits) inside one 128-bit SRAM
+// word, where the old 2x heuristic (64 key bits) spilled it into two.
+func TestTofinoLPMPricing(t *testing.T) {
+	if got := dataplane.LPMEntryBits(32); got != 46 {
+		t.Fatalf("LPMEntryBits(32) = %d, want 46", got)
+	}
+	if got := dataplane.LPMEntryBits(128); got != 144 {
+		t.Fatalf("LPMEntryBits(128) = %d, want 144", got)
+	}
+	e := DefaultTofinoErrata()
+	e.fill()
+	placement, err := placeTables(mustProg(t, p4test.Router), e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range placement {
+		if p.table.Name != "ipv4_lpm" {
+			continue
+		}
+		if p.tcam {
+			t.Fatal("lpm table placed in TCAM")
+		}
+		if p.words != 1 {
+			t.Fatalf("ipv4_lpm words/entry = %d, want 1", p.words)
+		}
+		return
+	}
+	t.Fatal("no placement for ipv4_lpm")
 }
 
 func TestTofinoPHVBudget(t *testing.T) {

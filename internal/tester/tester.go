@@ -80,6 +80,9 @@ func (r *Report) String() string {
 // Tester drives streams against a device from outside.
 type Tester struct {
 	dev *device.Device
+	// arena stamps stream frames without a per-frame allocation; the
+	// frames of a run are valid until the next Run on this tester.
+	arena core.FrameArena
 }
 
 // New attaches a tester to the device's external ports.
@@ -108,23 +111,33 @@ func (t *Tester) Run(streams []Stream) (*Report, error) {
 	start := t.dev.Now()
 	rxPorts := map[int]bool{}
 
+	totalBytes, totalFrames := 0, 0
 	for _, s := range streams {
 		if len(s.Frame) == 0 || s.Count <= 0 {
 			return nil, fmt.Errorf("tester: stream %q is empty", s.Name)
 		}
+		totalBytes += s.Count * len(s.Frame)
+		totalFrames += s.Count
+	}
+	t.arena.Reset(totalBytes, totalFrames)
+
+	for _, s := range streams {
 		rate := s.RatePPS
 		if rate <= 0 {
 			rate = 10e9 / (float64(len(s.Frame)+20) * 8)
 		}
 		interval := time.Duration(1e9 / rate)
 		rxPorts[s.RxPort] = true
-		// Stamp the whole stream up front, then hand it to the device as
-		// one burst: the batched data-plane path amortizes per-packet
-		// overhead while producing the same virtual-time schedule as one
-		// SendExternal call per frame.
-		frames := make([][]byte, s.Count)
+		// Stamp the whole stream up front in the arena, then hand it to
+		// the device as one burst: the batched data-plane path amortizes
+		// per-packet overhead while producing the same virtual-time
+		// schedule as one SendExternal call per frame, and the arena
+		// kills the per-frame template copy — frames flow stamped slab →
+		// burst → capture ring without an allocation per packet.
+		streamStart := t.arena.Mark()
 		for i := 0; i < s.Count; i++ {
-			frame := append([]byte(nil), s.Frame...)
+			frame := t.arena.Frame(len(s.Frame))
+			copy(frame, s.Frame)
 			if s.SeqLoc.Valid() {
 				if err := bitfield.Inject(frame, s.SeqLoc.BitOff, s.SeqLoc.Bits,
 					bitfield.New(gid, s.SeqLoc.Bits)); err != nil {
@@ -133,9 +146,8 @@ func (t *Tester) Run(streams []Stream) (*Report, error) {
 				outstanding[gid] = sentFrame{stream: s.Name, at: start + time.Duration(i)*interval}
 			}
 			gid++
-			frames[i] = frame
 		}
-		if err := t.dev.SendExternalBurst(s.TxPort, frames, start, interval); err != nil {
+		if err := t.dev.SendExternalBurst(s.TxPort, t.arena.Since(streamStart), start, interval); err != nil {
 			return nil, err
 		}
 		rep.Sent += uint64(s.Count)
@@ -144,7 +156,11 @@ func (t *Tester) Run(streams []Stream) (*Report, error) {
 		rep.PerStream[s.Name] = sr
 	}
 
-	// Drain captures on every RX port and match sequence tags.
+	// Drain captures on every RX port and match sequence tags. Captured
+	// frames are borrowed from the device's capture ring: everything the
+	// tester needs (sequence tag, length, timestamp) is extracted in this
+	// loop, so each port's segments go back via ReleaseCaptures as soon
+	// as its drain completes.
 	for port := range rxPorts {
 		for _, cap := range t.dev.Captures(port) {
 			rep.Received++
@@ -174,6 +190,7 @@ func (t *Tester) Run(streams []Stream) (*Report, error) {
 				rep.Unexpected++
 			}
 		}
+		t.dev.ReleaseCaptures(port)
 	}
 
 	for _, sf := range outstanding {
