@@ -1,10 +1,10 @@
 # NetDebug build/test/bench entry points.
 
 GO ?= go
-BENCH_OUT ?= BENCH_8.json
+BENCH_OUT ?= BENCH_9.json
 # BENCH_BASELINE is the committed perf-trajectory file bench-gate
 # compares against; bump it when a PR lands a new BENCH_<PR>.json.
-BENCH_BASELINE ?= BENCH_8.json
+BENCH_BASELINE ?= BENCH_9.json
 # COVER_MIN pins the global statement coverage the coverage gate
 # enforces (keep in sync with the CI coverage job).
 COVER_MIN ?= 72
@@ -62,7 +62,7 @@ bench-json:
 # linear-scan reference the -speedup assertion divides by and the
 # retired DPLL solver the >=5x CDCL assertion divides by. Keep in sync
 # with defaultPin when pinning a new backend or subsystem.
-BENCH_PIN = Benchmark(ProcessRouter|ProcessFirewallTernary|RouterProcess|FirewallProcess|(Tofino|EBPF)Process(Router|FirewallTernary)|DeviceForward(Burst|NoCapture)?|SendExternalBurst|TernaryLookup(TupleSpace|Linear)|LPMTrie(Install|Lookup)(Multibit|Binary)|Solve(Reference)?RouterLikePath|SessionThroughput|FuzzFleetThroughput)
+BENCH_PIN = Benchmark(ProcessRouter|ProcessFirewallTernary|RouterProcess|FirewallProcess|(Tofino|EBPF|SmartNIC)Process(Router|FirewallTernary)|DeviceForward(Burst|NoCapture)?|SendExternalBurst|TernaryLookup(TupleSpace|Linear)|LPMTrie(Install|Lookup)(Multibit|Binary)|Solve(Reference)?RouterLikePath|SessionThroughput|FuzzFleetThroughput)
 
 # BENCH_PIN_SLOW holds pinned benchmarks whose per-op cost (tens of ms
 # of whole-program path exploration) makes the 2000x window absurd;

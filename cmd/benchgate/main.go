@@ -50,7 +50,9 @@ import (
 
 // defaultPin selects the pinned hot-path benchmarks: the packet path
 // (allocation-free guarantee) on every backend including the Tofino
-// pipeline and the eBPF software offload, the device forward path
+// pipeline, the eBPF software offload, and the SmartNIC flow-cache
+// offload (both its accelerator fast path and its punt exception
+// path), the device forward path
 // (with and without frame capture), the tuple-space lookup scaling
 // sweep, and the verify side — the CDCL solver (with its retired DPLL
 // reference for the in-run speedup assertion) and sequential
@@ -58,12 +60,12 @@ import (
 // asserted via -speedup, not pinned, because their allocation counts
 // depend on goroutine scheduling) — plus the resident session layer's
 // end-to-end throughput (boot-free warm-host session execution) and the
-// fuzz fleet's lockstep probe path (one batch through all four
+// fuzz fleet's lockstep probe path (one batch through all five
 // backends) — and the zero-copy burst path (SendExternalBurst, whose
 // 0 allocs/op is the capture ring's contract) plus the multibit LPM
 // trie's install and lookup costs (their binary-trie references are
 // asserted via -speedup, not pinned).
-const defaultPin = `^Benchmark(ProcessRouter|ProcessFirewallTernary|RouterProcess|FirewallProcess|(Tofino|EBPF)Process(Router|FirewallTernary)|DeviceForward(Burst|NoCapture)?|SendExternalBurst|TernaryLookupTupleSpace/.*|LPMTrieInstallMultibit/entries10000|LPMTrieLookupMultibit|Solve(Reference)?RouterLikePath|ExploreParallel/workers1|SessionThroughput|FuzzFleetThroughput)$`
+const defaultPin = `^Benchmark(ProcessRouter|ProcessFirewallTernary|RouterProcess|FirewallProcess|(Tofino|EBPF|SmartNIC)Process(Router|FirewallTernary)|DeviceForward(Burst|NoCapture)?|SendExternalBurst|TernaryLookupTupleSpace/.*|LPMTrieInstallMultibit/entries10000|LPMTrieLookupMultibit|Solve(Reference)?RouterLikePath|ExploreParallel/workers1|SessionThroughput|FuzzFleetThroughput)$`
 
 // defaultSpeedup asserts the scaling wins within the current run (so
 // machine speed cancels out): the tuple-space ternary lookup >= 10x the

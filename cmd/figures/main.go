@@ -155,6 +155,7 @@ func e1() {
 		netdebug.TargetSDNet, netdebug.TargetSDNetFixed,
 		netdebug.TargetTofino, netdebug.TargetTofinoFixed,
 		netdebug.TargetEBPF, netdebug.TargetEBPFFixed,
+		netdebug.TargetSmartNIC, netdebug.TargetSmartNICFixed,
 	} {
 		sys := openRouter(kind)
 		rep, err := sys.Validate(spec)
@@ -275,7 +276,7 @@ func t5() {
 		maskCounts = append(maskCounts, masks)
 	}
 	var maskPoints []scenario.SweepPoint
-	for _, backend := range []string{"reference", "tofino", "ebpf"} {
+	for _, backend := range []string{"reference", "tofino", "ebpf", "smartnic"} {
 		for _, masks := range maskCounts {
 			pts, err := scenario.MillionFlowSweep(scenario.SweepOptions{
 				Backends:      []string{backend},
@@ -318,8 +319,8 @@ func t2() {
 		{"router-split", p4test.RouterSplit},
 		{"firewall", p4test.Firewall},
 	}
-	fmt.Printf("%-14s | %-12s | %-32s | %-42s | %s\n",
-		"program", "reference", "sdnet (FPGA)", "tofino (ASIC)", "ebpf (software offload)")
+	fmt.Printf("%-14s | %-12s | %-32s | %-42s | %-38s | %s\n",
+		"program", "reference", "sdnet (FPGA)", "tofino (ASIC)", "ebpf (software offload)", "smartnic (DPU)")
 	for _, p := range programs {
 		prog, err := compile.Compile(p.src)
 		if err != nil {
@@ -337,15 +338,21 @@ func t2() {
 		if err := eb.Load(prog); err != nil {
 			log.Fatal(err)
 		}
-		rs, rt, re := sd.Resources(), tf.Resources(), eb.Resources()
-		fmt.Printf("%-14s | %-12s | %-32s | %-42s | %s\n",
+		sn := target.NewSmartNIC(target.DefaultSmartNICErrata())
+		if err := sn.Load(prog); err != nil {
+			log.Fatal(err)
+		}
+		rs, rt, re, rn := sd.Resources(), tf.Resources(), eb.Resources(), sn.Resources()
+		fmt.Printf("%-14s | %-12s | %-32s | %-42s | %-38s | %s\n",
 			p.name,
 			"0 (software)",
 			fmt.Sprintf("LUT %4.1f%%  FF %4.1f%%  BRAM %4.1f%%", rs.LUTPct, rs.FFPct, rs.BRAMPct),
 			fmt.Sprintf("stages %2d  SRAM %3d  TCAM %3d  PHV %4.1f%%",
 				rt.Stages, rt.SRAMBlocks, rt.TCAMBlocks, rt.PHVPct),
 			fmt.Sprintf("insns %4d  maps %d  memlock %4.1f%%",
-				re.Insns, re.Maps, re.MemlockPct))
+				re.Insns, re.Maps, re.MemlockPct),
+			fmt.Sprintf("accel %d  core %d  SRAM %4.1f%%",
+				rn.AccelTables, rn.CoreTables, rn.AccelPct))
 	}
 }
 

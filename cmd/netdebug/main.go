@@ -43,7 +43,7 @@ import (
 var (
 	programPath = flag.String("program", "", "P4 program to load")
 	targetKind  = flag.String("target", "reference",
-		"target backend (reference, sdnet[-fixed], tofino[-fixed], ebpf[-fixed])")
+		"target backend (reference, sdnet[-fixed], tofino[-fixed], ebpf[-fixed], smartnic[-fixed])")
 	suite   = flag.String("suite", "", "validation suite: reject, perf, status")
 	serve   = flag.String("serve", "", "serve the device agent on a TCP address instead of running a suite")
 	connect = flag.String("connect", "", "connect to a remote agent instead of booting a device")
@@ -346,13 +346,20 @@ func runFuzz(src string) {
 	if len(rep.Divergences) == 0 {
 		fmt.Println("no divergences: all backends agree on every probe")
 	}
-	for _, kind := range []string{"reference", "sdnet", "tofino", "ebpf"} {
+	for _, kind := range []string{"reference", "sdnet", "tofino", "ebpf", "smartnic"} {
 		if n := rep.Divergences[kind]; n > 0 {
-			fmt.Printf("divergent backend %s: outvoted on %d probes\n", kind, n)
+			line := fmt.Sprintf("divergent backend %s: outvoted on %d probes", kind, n)
+			if t := rep.TieBroken[kind]; t > 0 {
+				line += fmt.Sprintf(" (%d via the reference anchor)", t)
+			}
+			fmt.Println(line)
 		}
 	}
+	if rep.TiesResolved > 0 {
+		fmt.Printf("ties resolved against the reference anchor: %d probes\n", rep.TiesResolved)
+	}
 	if rep.Ties > 0 {
-		fmt.Printf("ties (no majority): %d probes\n", rep.Ties)
+		fmt.Printf("ties (unresolved, no corroborated anchor): %d probes\n", rep.Ties)
 	}
 	printed := map[string]int{}
 	for _, ex := range rep.Examples {

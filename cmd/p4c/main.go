@@ -2,7 +2,7 @@
 // dumps the compiled IR, and prints the selected backend's resource
 // estimate and architectural verdict.
 //
-//	p4c [-target sdnet|sdnet-fixed|tofino|tofino-fixed|ebpf|ebpf-fixed|reference] [-resources] [-verify] program.p4
+//	p4c [-target sdnet|tofino|ebpf|smartnic|reference (or any -fixed variant)] [-resources] [-verify] program.p4
 package main
 
 import (
@@ -18,7 +18,7 @@ import (
 
 var (
 	targetName = flag.String("target", "sdnet",
-		"backend to load onto (sdnet, sdnet-fixed, tofino, tofino-fixed, ebpf, ebpf-fixed, reference)")
+		"backend to load onto (reference, sdnet[-fixed], tofino[-fixed], ebpf[-fixed], smartnic[-fixed])")
 	resources = flag.Bool("resources", false, "print the resource estimate")
 	runVerify = flag.Bool("verify", false, "run the formal-verification property suite")
 )
@@ -41,23 +41,8 @@ func main() {
 	}
 	fmt.Print(prog.Dump())
 
-	var tgt target.Target
-	switch *targetName {
-	case "reference":
-		tgt = target.NewReference()
-	case "sdnet":
-		tgt = target.NewSDNet(target.DefaultErrata())
-	case "sdnet-fixed":
-		tgt = target.NewSDNet(target.FixedErrata())
-	case "tofino":
-		tgt = target.NewTofino(target.DefaultTofinoErrata())
-	case "tofino-fixed":
-		tgt = target.NewTofino(target.FixedTofinoErrata())
-	case "ebpf":
-		tgt = target.NewEBPF(target.DefaultEBPFErrata())
-	case "ebpf-fixed":
-		tgt = target.NewEBPF(target.FixedEBPFErrata())
-	default:
+	tgt, err := target.ForKind(*targetName)
+	if err != nil {
 		log.Fatalf("unknown target %q", *targetName)
 	}
 	if err := tgt.Load(prog); err != nil {

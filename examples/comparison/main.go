@@ -3,12 +3,13 @@
 //   - two alternative specifications of the same router — a monolithic
 //     single-table version and a split next-hop/egress version — are
 //     validated against each other by differential injection, and
-//   - one specification deployed on four hardware models (reference,
-//     SDNet, Tofino, and an eBPF/XDP-style software offload, each with
-//     fixed errata) is validated across backends, then the shipped
-//     SDNet flow is shown diverging exactly on malformed input, and a
-//     three-way split (three shipped backends agree, one diverges)
-//     localizes the eBPF LPM driver defect without a reference model.
+//   - one specification deployed on five hardware models (reference,
+//     SDNet, Tofino, an eBPF/XDP-style software offload, and a
+//     SmartNIC/DPU, each with fixed errata) is validated across
+//     backends, then the shipped SDNet flow is shown diverging exactly
+//     on malformed input, a multi-way split localizes the eBPF LPM
+//     driver defect without a reference model, and a 2-2 tie between
+//     the two fail-open flows is resolved against the reference anchor.
 package main
 
 import (
@@ -121,9 +122,10 @@ func compareBackends() {
 	ref := open(netdebug.TargetReference)
 	defer ref.Close()
 	fixed := map[netdebug.TargetKind]*netdebug.System{
-		netdebug.TargetSDNetFixed:  open(netdebug.TargetSDNetFixed),
-		netdebug.TargetTofinoFixed: open(netdebug.TargetTofinoFixed),
-		netdebug.TargetEBPFFixed:   open(netdebug.TargetEBPFFixed),
+		netdebug.TargetSDNetFixed:    open(netdebug.TargetSDNetFixed),
+		netdebug.TargetTofinoFixed:   open(netdebug.TargetTofinoFixed),
+		netdebug.TargetEBPFFixed:     open(netdebug.TargetEBPFFixed),
+		netdebug.TargetSmartNICFixed: open(netdebug.TargetSmartNICFixed),
 	}
 	src := packet.MAC{2, 0, 0, 0, 0, 0xaa}
 	dst := packet.MAC{2, 0, 0, 0, 0, 0xbb}
@@ -151,7 +153,7 @@ func compareBackends() {
 	for _, sys := range fixed {
 		sys.Close()
 	}
-	fmt.Printf("cross-backend comparison: 200 probes x 3 fixed backends, %d divergences\n", divergences)
+	fmt.Printf("cross-backend comparison: 200 probes x 4 fixed backends, %d divergences\n", divergences)
 	if divergences != 0 {
 		log.Fatal("erratum-free backends are not equivalent")
 	}
@@ -173,10 +175,10 @@ func compareBackends() {
 }
 
 // threeWaySplit localizes a backend defect without any reference model:
-// the four shipped flows are deployed side by side with a /0 default
-// route, and the backend diverging from the agreement of the other
-// three is the buggy one — here the eBPF LPM-trie driver, whose /0
-// entries never match.
+// the shipped flows are deployed side by side with a /0 default route,
+// and the backend diverging from the agreement of the others is the
+// buggy one — here the eBPF LPM-trie driver, whose /0 entries never
+// match.
 func threeWaySplit() {
 	open := func(kind netdebug.TargetKind) *netdebug.System {
 		sys, err := netdebug.Open(p4test.Router, netdebug.Options{Target: kind})
@@ -198,6 +200,7 @@ func threeWaySplit() {
 		"sdnet":     open(netdebug.TargetSDNet),
 		"tofino":    open(netdebug.TargetTofino),
 		"ebpf":      open(netdebug.TargetEBPF),
+		"smartnic":  open(netdebug.TargetSmartNIC),
 	}
 	devs := make(map[string]*device.Device, len(systems))
 	for name, sys := range systems {
@@ -210,9 +213,57 @@ func threeWaySplit() {
 		packet.IPv4Addr{172, 16, 0, 7}, 7000, 53, nil) // reachable only via /0
 	odd := scenario.OddOneOut(devs, probe)
 	if len(odd) == 1 && odd[0] == "ebpf" {
-		fmt.Println("three-way split on default-route traffic: reference, sdnet, and tofino forward;" +
+		fmt.Println("four-way split on default-route traffic: reference, sdnet, tofino, and smartnic forward;" +
 			" ebpf diverges — the /0 LPM driver defect is localized by majority vote")
 	} else {
 		log.Fatalf("unexpected split: %v diverge, want exactly [ebpf]", odd)
+	}
+
+	anchoredTieBreak()
+}
+
+// anchoredTieBreak shows the split strict majority cannot settle: on a
+// malformed frame an even voter subset divides 2-2 — reference and
+// tofino drop it, while the shipped SDNet flow and the SmartNIC
+// exception path both fail open and forward byte-identical output. The
+// vote re-scores the tie against the reference anchor (corroborated by
+// tofino) and names the failing pair.
+func anchoredTieBreak() {
+	open := func(kind netdebug.TargetKind) *netdebug.System {
+		sys, err := netdebug.Open(p4test.Router, netdebug.Options{Target: kind})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.InstallEntry(netdebug.Entry{
+			Table:  "ipv4_lpm",
+			Keys:   []netdebug.KeyValue{{Value: netdebug.NewValue(0x0a000000, 32), PrefixLen: 8}},
+			Action: "ipv4_forward",
+			Args:   []netdebug.Value{netdebug.ValueFromBytes([]byte{2, 0, 0, 0, 0xff, 1}), netdebug.NewValue(1, 9)},
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return sys
+	}
+	systems := map[string]*netdebug.System{
+		"reference": open(netdebug.TargetReference),
+		"tofino":    open(netdebug.TargetTofino),
+		"sdnet":     open(netdebug.TargetSDNet),
+		"smartnic":  open(netdebug.TargetSmartNIC),
+	}
+	devs := make(map[string]*device.Device, len(systems))
+	for name, sys := range systems {
+		defer sys.Close()
+		devs[name] = sys.Device()
+	}
+	src := packet.MAC{2, 0, 0, 0, 0, 0xaa}
+	dst := packet.MAC{2, 0, 0, 0, 0, 0xbb}
+	bad := packet.BuildUDPv4(src, dst, packet.IPv4Addr{10, 0, 0, 1}, packet.IPv4Addr{10, 0, 1, 2}, 4000, 53, nil)
+	bad[14] = 0x65 // malformed: the conforming backends reject it
+	odd := scenario.OddOneOut(devs, bad)
+	if len(odd) == 2 && odd[0] == "sdnet" && odd[1] == "smartnic" {
+		fmt.Println("2-2 tie on malformed input resolved against the reference anchor:" +
+			" sdnet and the smartnic exception path fail open together")
+	} else {
+		log.Fatalf("unexpected anchored vote: %v diverge, want [sdnet smartnic]", odd)
 	}
 }

@@ -87,6 +87,11 @@ type ResourcesMsg struct {
 	// Software-offload fields, populated by the eBPF target.
 	Insns, Maps, MapBytes int
 	InsnPct, MemlockPct   float64
+	// SmartNIC/DPU fields: accelerator residency and punt economics.
+	AccelTables, CoreTables, AccelEntries, AccelBytes int
+	NICTCAMRows, PuntQueueDepth                       int
+	AccelPct                                          float64
+	TablePunts                                        map[string]uint64
 }
 
 // HelloInfo describes the device.

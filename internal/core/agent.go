@@ -212,6 +212,10 @@ func (a *Agent) Handle(req *control.Request) *control.Response {
 			TCAMPct: r.TCAMPct, PHVPct: r.PHVPct,
 			Insns: r.Insns, Maps: r.Maps, MapBytes: r.MapBytes,
 			InsnPct: r.InsnPct, MemlockPct: r.MemlockPct,
+			AccelTables: r.AccelTables, CoreTables: r.CoreTables,
+			AccelEntries: r.AccelEntries, AccelBytes: r.AccelBytes,
+			NICTCAMRows: r.NICTCAMRows, PuntQueueDepth: r.PuntQueueDepth,
+			AccelPct: r.AccelPct, TablePunts: r.TablePunts,
 		}}
 	case control.ReqConfigureGen:
 		spec, err := DecodeTestSpec(req.Spec)

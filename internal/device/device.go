@@ -18,6 +18,15 @@
 //     in-device generator and checker reach — injection directly into the
 //     data plane, observation before the MACs, and internal status
 //     registers.
+//
+// Both levels have batched forms (SendExternalBurst,
+// InjectInternalBatch) that amortize context traffic over a burst and,
+// together with the borrow-semantics capture ring (ring.go: Captures
+// returns zero-copy views, ReleaseCaptures recycles segments), keep the
+// steady-state frame path at 0 allocs/frame with capture on — the
+// economics docs/scaling.md quantifies. Burst and per-frame paths are
+// behaviourally equivalent; the differential tests in burst_test.go and
+// ring_test.go hold them to that.
 package device
 
 import (

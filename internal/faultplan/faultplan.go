@@ -13,6 +13,13 @@
 // events as the session's clock advances, which keeps every run of the
 // same plan byte-identical regardless of wall-clock timing or worker
 // count.
+//
+// The package is deliberately target-agnostic: an Injector wraps any
+// target.Target (all five backend classes, including decorated or
+// errata-repaired flows), so a fault plan written against the
+// reference runs unchanged against sdnet, tofino, ebpf, or smartnic —
+// which is how the session layer (docs/robustness.md) schedules the
+// same fault script across a heterogeneous host pool.
 package faultplan
 
 import (

@@ -2,7 +2,21 @@
 // fleet: a continuous driver that sends the same generated probe stream
 // through every shipped backend in lockstep and majority-votes each
 // disagreement to name the divergent backend — the FP4-style greybox
-// loop run against the four-way comparison matrix.
+// loop run against the five-way comparison matrix.
+//
+// # Voting and tie-breaking
+//
+// A probe's outcomes are tallied per backend; a strict-majority outcome
+// names every backend outside it as divergent. With an even fleet size
+// the tally can split evenly (the 2–2 pair-off two architecturally
+// similar defects produce, e.g. SDNet and the SmartNIC exception path
+// both forwarding a malformed frame). Those ties are re-scored against
+// the reference-class backend: if the reference's outcome is
+// corroborated by at least one other backend, the backends disagreeing
+// with it are recorded as reference-anchored divergences
+// (Report.TieBroken, Divergence.Anchored). A tie where the reference
+// stands alone — or a fleet run without a reference-class backend —
+// cannot be anchored and stays in Report.Ties, the unresolved residue.
 //
 // The loop is closed in both directions. Behavioural coverage (parser
 // path, table hits, verdict, drop stage, egress — the signals the
@@ -54,7 +68,7 @@ const maxFieldWeight = 16
 // Options configures a fuzzing fleet.
 type Options struct {
 	// Targets lists the backend kinds run in lockstep (target.ForKind
-	// names). Default: target.ShippedKinds — the four-way default-errata
+	// names). Default: target.ShippedKinds — the five-way default-errata
 	// matrix. Kinds must be unique; majority vote needs at least three.
 	Targets []string
 	// Baseline is installed into every backend before fuzzing starts
@@ -115,8 +129,9 @@ func (o *Options) fill() {
 	}
 }
 
-// Divergence is one majority-vote disagreement: every backend but one
-// agreed, and Backend is the dissenter.
+// Divergence is one vote disagreement: Backend disagreed with the
+// outcome the vote settled on (a strict majority, or the corroborated
+// reference anchor of a re-scored tie).
 type Divergence struct {
 	// Probe is the global probe index (seed, mutation, and solver
 	// probes share one numbering).
@@ -127,7 +142,10 @@ type Divergence struct {
 	Backend string
 	// Frame is the probe that split the matrix (a stable copy).
 	Frame []byte
-	// Detail sketches the dissenting and majority outcomes.
+	// Anchored marks a divergence named by the reference-anchored
+	// tie-break rather than a strict majority.
+	Anchored bool
+	// Detail sketches the dissenting and agreed outcomes.
 	Detail string
 }
 
@@ -154,10 +172,20 @@ type Report struct {
 	Coverage int
 	// Curve is the coverage growth curve, one point per probe batch.
 	Curve []CoveragePoint
-	// Divergences counts majority-vote dissents per backend.
+	// Divergences counts vote dissents per backend — strict-majority
+	// dissents plus reference-anchored tie dissents (the latter also
+	// broken out in TieBroken).
 	Divergences map[string]int
-	// Ties counts probes with no strict-majority outcome (the 2–2
-	// splits majority vote cannot localize).
+	// TieBroken counts, per backend, the tied probes the
+	// reference-anchored re-score attributed to it.
+	TieBroken map[string]int
+	// TiesResolved counts probes with no strict majority that the
+	// reference anchor resolved.
+	TiesResolved int
+	// Ties counts probes with no strict-majority outcome that the
+	// reference anchor could NOT resolve: the reference's outcome was
+	// uncorroborated (the reference itself stood alone in the tie), or
+	// the fleet ran without a reference-class backend.
 	Ties int
 	// Examples holds up to Options.MaxExamples retained divergences.
 	Examples []Divergence
@@ -225,7 +253,8 @@ type Fleet struct {
 	prog   *ir.Program // reference compile: layout + path exploration
 	layout *core.Layout
 	fields []mutField
-	refIdx int // index of the reference backend in opts.Targets
+	refIdx int  // index of the reference backend in opts.Targets
+	hasRef bool // whether opts.Targets includes a reference-class backend
 	shards []*shard
 
 	// run state, mutated only by the sequential merge
@@ -236,9 +265,11 @@ type Fleet struct {
 	refCovered map[string]bool
 	curve      []CoveragePoint
 	divCounts  map[string]int
+	tieBroken  map[string]int
 	examples   []Divergence
 	exCount    map[string]int // retained examples per backend
 	ties       int
+	tiesRes    int
 	probes     int
 	solverN    int // solver probes injected
 	pathsN     int
@@ -283,11 +314,13 @@ func New(p4src string, opts Options) (*Fleet, error) {
 		covered:    make(map[string]*covInfo),
 		refCovered: make(map[string]bool),
 		divCounts:  make(map[string]int),
+		tieBroken:  make(map[string]int),
 		exCount:    make(map[string]int),
 	}
 	for i, kind := range opts.Targets {
 		if kind == target.KindReference || kind == "" {
 			f.refIdx = i
+			f.hasRef = true
 		}
 	}
 	for _, name := range stack {
@@ -412,6 +445,8 @@ func (f *Fleet) Run() (*Report, error) {
 		Coverage:       len(f.covered),
 		Curve:          f.curve,
 		Divergences:    f.divCounts,
+		TieBroken:      f.tieBroken,
+		TiesResolved:   f.tiesRes,
 		Ties:           f.ties,
 		Examples:       f.examples,
 		PathsExplored:  f.pathsN,
@@ -702,7 +737,10 @@ func (f *Fleet) mergeBatch(frames [][]byte, origin string, fieldsOf func(int) []
 	}
 }
 
-// vote majority-votes one probe's outcomes and records dissent.
+// vote tallies one probe's outcomes and records dissent. A strict
+// majority names every backend outside it; a tie (no strict majority)
+// is re-scored against the reference anchor when one is present and
+// corroborated by at least one other backend.
 func (f *Fleet) vote(probeIdx int, origin string, frame []byte, outs []outcome) {
 	counts := make(map[outcome]int, 2)
 	for _, o := range outs {
@@ -715,33 +753,47 @@ func (f *Fleet) vote(probeIdx int, origin string, frame []byte, outs []outcome) 
 			best, bestN = o, n
 		}
 	}
+	anchored := false
 	if bestN*2 <= len(outs) {
-		// No strict majority (e.g. a 2–2 split): vote cannot localize.
-		f.ties++
-		return
-	}
-	if bestN == len(outs) {
+		// No strict majority (e.g. a 2–2 split). Re-score against the
+		// reference-class backend: a corroborated reference outcome
+		// breaks the tie; an uncorroborated one (the reference itself
+		// divergent in the tie) or a fleet without a reference leaves
+		// the probe unresolved.
+		if !f.hasRef || counts[outs[f.refIdx]] < 2 {
+			f.ties++
+			return
+		}
+		best, anchored = outs[f.refIdx], true
+		f.tiesRes++
+	} else if bestN == len(outs) {
 		return // unanimous
 	}
-	var dissent []int
 	for b, o := range outs {
-		if o != best {
-			dissent = append(dissent, b)
+		if o == best {
+			continue
 		}
-	}
-	for _, b := range dissent {
-		f.divCounts[f.opts.Targets[b]]++
-	}
-	if len(dissent) == 1 && f.exCount[f.opts.Targets[dissent[0]]] < f.opts.MaxExamples {
-		b := dissent[0]
-		f.exCount[f.opts.Targets[b]]++
+		kind := f.opts.Targets[b]
+		f.divCounts[kind]++
+		if anchored {
+			f.tieBroken[kind]++
+		}
+		if f.exCount[kind] >= f.opts.MaxExamples {
+			continue
+		}
+		f.exCount[kind]++
+		agreed := "majority"
+		if anchored {
+			agreed = "reference anchor"
+		}
 		f.examples = append(f.examples, Divergence{
-			Probe:   probeIdx,
-			Origin:  origin,
-			Backend: f.opts.Targets[b],
-			Frame:   append([]byte(nil), frame...),
-			Detail: fmt.Sprintf("%s %s vs majority %s",
-				f.opts.Targets[b], outs[b].sketch(), best.sketch()),
+			Probe:    probeIdx,
+			Origin:   origin,
+			Backend:  kind,
+			Frame:    append([]byte(nil), frame...),
+			Anchored: anchored,
+			Detail: fmt.Sprintf("%s %s vs %s %s",
+				kind, outs[b].sketch(), agreed, best.sketch()),
 		})
 	}
 }

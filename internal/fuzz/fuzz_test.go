@@ -276,7 +276,7 @@ func TestDifferentialBatchedProbeInjection(t *testing.T) {
 }
 
 // BenchmarkFuzzFleetThroughput measures the lockstep probe path: one
-// 256-probe batch through all four backends on a single shard (1024
+// 256-probe batch through all five backends on a single shard (1280
 // backend executions per op) — the benchgate-pinned probes/s figure.
 func BenchmarkFuzzFleetThroughput(b *testing.B) {
 	f, err := New(p4test.Router, Options{Baseline: routerBaseline(), Seed: 7})
@@ -297,5 +297,76 @@ func BenchmarkFuzzFleetThroughput(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.runBatch(stable)
+	}
+}
+
+// TestFleetResolvesTieAgainstReferenceAnchor: with four backends the
+// sdnet reject-as-accept erratum and the smartnic fail-open exception
+// path forward the same malformed frames, producing a 2-2 split no
+// majority can resolve. Because the reference outcome is corroborated
+// by tofino, the vote re-scores the tie against the reference anchor
+// and charges both dissenters.
+func TestFleetResolvesTieAgainstReferenceAnchor(t *testing.T) {
+	rep := mustRun(t, p4test.Router, Options{
+		Baseline: routerBaseline(),
+		Budget:   512,
+		Seed:     1,
+		Targets: []string{
+			target.KindReference, target.KindTofino,
+			target.KindSDNet, target.KindSmartNIC,
+		},
+	})
+	if rep.TiesResolved == 0 {
+		t.Fatalf("no 2-2 tie resolved against the reference anchor: %+v", rep)
+	}
+	for _, kind := range []string{target.KindSDNet, target.KindSmartNIC} {
+		if rep.TieBroken[kind] == 0 {
+			t.Errorf("%s not charged by the anchored vote: %v", kind, rep.TieBroken)
+		}
+		if rep.Divergences[kind] == 0 {
+			t.Errorf("%s missing from the divergence ledger: %v", kind, rep.Divergences)
+		}
+	}
+	anchored := 0
+	for _, ex := range rep.Examples {
+		if ex.Anchored {
+			anchored++
+			if ex.Backend != target.KindSDNet && ex.Backend != target.KindSmartNIC {
+				t.Errorf("anchored example charges %s, want sdnet or smartnic: %+v", ex.Backend, ex)
+			}
+		}
+	}
+	if anchored == 0 {
+		t.Fatal("no retained example is marked as anchor-resolved")
+	}
+	if rep.Divergences[target.KindReference] != 0 || rep.TieBroken[target.KindReference] != 0 {
+		t.Fatalf("reference voted divergent: %+v", rep)
+	}
+}
+
+// TestFleetTieWithoutReferenceStaysUnresolved: the same 2-2 split in a
+// fleet with no reference-class member has no anchor to re-score
+// against; the probe must be counted as an unresolved tie, not charged
+// to either pair.
+func TestFleetTieWithoutReferenceStaysUnresolved(t *testing.T) {
+	rep := mustRun(t, p4test.Router, Options{
+		Baseline: routerBaseline(),
+		Budget:   512,
+		Seed:     1,
+		Targets: []string{
+			target.KindTofino, target.KindEBPF,
+			target.KindSDNet, target.KindSmartNIC,
+		},
+	})
+	if rep.Ties == 0 {
+		t.Fatalf("no unresolved tie recorded without a reference anchor: %+v", rep)
+	}
+	if rep.TiesResolved != 0 || len(rep.TieBroken) != 0 {
+		t.Fatalf("anchor resolution without a reference backend: %+v", rep)
+	}
+	for _, ex := range rep.Examples {
+		if ex.Anchored {
+			t.Fatalf("anchored example in an anchor-less fleet: %+v", ex)
+		}
 	}
 }

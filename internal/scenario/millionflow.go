@@ -61,8 +61,9 @@ var SweepTables = []string{"t_exact", "t_lpm", "t_acl"}
 
 // SweepOptions configures MillionFlowSweep.
 type SweepOptions struct {
-	// Backends are the target backends to sweep; empty means
-	// {"reference", "sdnet", "tofino", "ebpf"}.
+	// Backends are the target backends to sweep; empty means the full
+	// shipped matrix (target.ShippedKinds). Any target.ForKind name is
+	// accepted, including the -fixed variants.
 	Backends []string
 	// Occupancies are the per-table entry counts; empty means
 	// 10^2..10^6 in decades.
@@ -96,7 +97,7 @@ type SweepOptions struct {
 
 func (o *SweepOptions) fill() {
 	if len(o.Backends) == 0 {
-		o.Backends = []string{"reference", "sdnet", "tofino", "ebpf"}
+		o.Backends = append([]string(nil), target.ShippedKinds...)
 	}
 	if len(o.Occupancies) == 0 {
 		o.Occupancies = []int{100, 1000, 10000, 100000, 1000000}
@@ -159,27 +160,23 @@ type SweepPoint struct {
 	// heap over total installs on the reference — the column that makes
 	// the multibit trie's footprint comparable across backend classes.
 	BytesPerEntry float64
+	// PuntRate is the fraction of timed probes the backend punted to
+	// its exception path (the SmartNIC core complex); 0 on backends
+	// with no punt path. This is the axis that surfaces offload
+	// fallback: the SmartNIC never refuses an install (no
+	// CapacityNote), but once a table spills past its accelerator grant
+	// every lookup on it punts and the rate jumps to 1.
+	PuntRate float64
 }
 
-// newSweepTarget builds the named backend.
+// newSweepTarget builds the named backend — the same kind vocabulary as
+// everywhere else (target.ForKind).
 func newSweepTarget(name string) (target.Target, error) {
-	switch name {
-	case "reference":
-		return target.NewReference(), nil
-	case "sdnet":
-		return target.NewSDNet(target.DefaultErrata()), nil
-	case "sdnet-fixed":
-		return target.NewSDNet(target.FixedErrata()), nil
-	case "tofino":
-		return target.NewTofino(target.DefaultTofinoErrata()), nil
-	case "tofino-fixed":
-		return target.NewTofino(target.FixedTofinoErrata()), nil
-	case "ebpf":
-		return target.NewEBPF(target.DefaultEBPFErrata()), nil
-	case "ebpf-fixed":
-		return target.NewEBPF(target.FixedEBPFErrata()), nil
+	tgt, err := target.ForKind(name)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: unknown sweep backend %q", name)
 	}
-	return nil, fmt.Errorf("scenario: unknown sweep backend %q", name)
+	return tgt, nil
 }
 
 // aclMaskTemplates is the default pool of ternary mask tuples — the
@@ -382,6 +379,7 @@ func MillionFlowSweep(opts SweepOptions) ([]SweepPoint, error) {
 			// program length and installed mask sections on the offload.
 			pt.ModelNs = float64(tgt.Process(frames[0], 0, false).Latency.Nanoseconds())
 			tgt.ProcessBatch(frames, 0, false) // warm up
+			puntBefore := tgt.Status()["smartnic.punt.total"]
 			probeStart := time.Now()
 			done := 0
 			for done < opts.Probes {
@@ -393,6 +391,9 @@ func MillionFlowSweep(opts SweepOptions) ([]SweepPoint, error) {
 				done += n
 			}
 			pt.LookupNs = float64(time.Since(probeStart).Nanoseconds()) / float64(done)
+			if done > 0 {
+				pt.PuntRate = float64(tgt.Status()["smartnic.punt.total"]-puntBefore) / float64(done)
+			}
 			points = append(points, pt)
 		}
 	}
@@ -410,16 +411,16 @@ func appendNote(cur, add string) string {
 // RenderSweep formats sweep points as the occupancy-sweep figure table.
 func RenderSweep(points []SweepPoint) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %10s %10s %8s %12s %12s %10s %10s %9s  %s\n",
-		"backend", "occupancy", "installed", "masks", "install/ns", "lookup/ns", "model/ns", "heap", "B/entry", "finding")
+	fmt.Fprintf(&b, "%-12s %10s %10s %8s %12s %12s %10s %10s %9s %6s  %s\n",
+		"backend", "occupancy", "installed", "masks", "install/ns", "lookup/ns", "model/ns", "heap", "B/entry", "punt", "finding")
 	for _, pt := range points {
 		note := pt.CapacityNote
 		if note == "" {
 			note = "-"
 		}
-		fmt.Fprintf(&b, "%-12s %10d %10d %8d %12.0f %12.0f %10.0f %9.1fM %9.1f  %s\n",
+		fmt.Fprintf(&b, "%-12s %10d %10d %8d %12.0f %12.0f %10.0f %9.1fM %9.1f %6.2f  %s\n",
 			pt.Backend, pt.Occupancy, pt.MaxInstalled(), pt.MaskGroups, pt.InstallNs, pt.LookupNs,
-			pt.ModelNs, float64(pt.HeapBytes)/1e6, pt.BytesPerEntry, note)
+			pt.ModelNs, float64(pt.HeapBytes)/1e6, pt.BytesPerEntry, pt.PuntRate, note)
 	}
 	return b.String()
 }
@@ -439,7 +440,7 @@ func (pt SweepPoint) MaxInstalled() int {
 // SweepCSVHeader is the column row of SweepCSV output.
 const SweepCSVHeader = "backend,occupancy,distinct_masks,mask_groups," +
 	"installed_exact,installed_lpm,installed_acl,install_ns,lookup_ns,model_ns," +
-	"heap_bytes,model_bytes,bytes_per_entry,finding"
+	"heap_bytes,model_bytes,bytes_per_entry,punt_rate,finding"
 
 // SweepCSV renders sweep points as machine-readable CSV (one row per
 // point, findings quoted) for external plotting — the companion to the
@@ -448,11 +449,11 @@ func SweepCSV(points []SweepPoint) string {
 	var b strings.Builder
 	b.WriteString(SweepCSVHeader + "\n")
 	for _, pt := range points {
-		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%d,%.0f,%.1f,%.0f,%d,%d,%.1f,%q\n",
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%d,%.0f,%.1f,%.0f,%d,%d,%.1f,%.3f,%q\n",
 			pt.Backend, pt.Occupancy, pt.DistinctMasks, pt.MaskGroups,
 			pt.Installed["t_exact"], pt.Installed["t_lpm"], pt.Installed["t_acl"],
 			pt.InstallNs, pt.LookupNs, pt.ModelNs, pt.HeapBytes, pt.ModelBytes,
-			pt.BytesPerEntry, pt.CapacityNote)
+			pt.BytesPerEntry, pt.PuntRate, pt.CapacityNote)
 	}
 	return b.String()
 }

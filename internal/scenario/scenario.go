@@ -1024,6 +1024,127 @@ func comparisonScenarios() []Scenario {
 			},
 		},
 		{
+			Name:    "four-way split: punt truncation isolates the smartnic driver",
+			UseCase: Comparison,
+			Run: map[string]func() Outcome{
+				ToolNetDebug: func() Outcome {
+					devs := make(map[string]*device.Device, 5)
+					for name, tg := range fiveWayBackends() {
+						devs[name] = aclTieDevice(tg)
+					}
+					// A frame only the allow-any ACL entry matches, long
+					// enough to overflow the punt MTU: the 80-bit ternary
+					// key keeps the ACL core-resident on the SmartNIC, so
+					// the frame punts and the shipped driver re-emits it
+					// truncated.
+					if odd := OddOneOut(devs, largeAllowedFrame()); len(odd) == 1 && odd[0] == "smartnic" {
+						return detected("4 backends forward the %dB frame intact, smartnic truncates it at the punt MTU", len(largeAllowedFrame()))
+					} else {
+						return missed("diverging backends %v, want exactly [smartnic]", odd)
+					}
+				},
+				ToolFormal: func() Outcome {
+					return unsupported("the truncation lives in the punt DMA driver; all five deployments verify identically")
+				},
+				ToolExternal: func() Outcome {
+					devs := make(map[string]*device.Device, 5)
+					for name, tg := range fiveWayBackends() {
+						devs[name] = aclTieDevice(tg)
+					}
+					// Externally the loss is not visible as a missing
+					// capture — the truncated frame still emerges — so vote
+					// on the captured length instead of the count.
+					got := make(map[string]int, len(devs))
+					for name, dev := range devs {
+						dev.SendExternal(0, largeAllowedFrame(), 0)
+						caps := dev.Captures(2)
+						n := 0
+						if len(caps) == 1 {
+							n = len(caps[0].Data)
+						}
+						got[name] = n
+						dev.ReleaseCaptures(2)
+					}
+					if odd := OddOneOutLengths(got); len(odd) == 1 && odd[0] == "smartnic" {
+						return detected("capture-length vote across 5 devices: only smartnic emits a short frame")
+					} else {
+						return missed("capture-length vote names %v, want [smartnic]", odd)
+					}
+				},
+			},
+		},
+		{
+			Name:    "2-2 tie re-scored against the reference anchor",
+			UseCase: Comparison,
+			Run: map[string]func() Outcome{
+				ToolNetDebug: func() Outcome {
+					// With an even voter subset, the malformed probe splits
+					// 2-2: reference and tofino drop it, while sdnet and the
+					// smartnic exception path both fail open and forward
+					// byte-identical frames. Strict majority cannot
+					// localize; the reference anchor — corroborated by
+					// tofino — names the failing pair.
+					devs := map[string]*device.Device{
+						"reference": routerDevice(p4test.Router, target.NewReference(), routeEntry(1), defaultRouteEntry(2)),
+						"tofino":    routerDevice(p4test.Router, target.NewTofino(target.DefaultTofinoErrata()), routeEntry(1), defaultRouteEntry(2)),
+						"sdnet":     routerDevice(p4test.Router, target.NewSDNet(target.DefaultErrata()), routeEntry(1), defaultRouteEntry(2)),
+						"smartnic":  routerDevice(p4test.Router, target.NewSmartNIC(target.DefaultSmartNICErrata()), routeEntry(1), defaultRouteEntry(2)),
+					}
+					odd := OddOneOut(devs, badVersionFrame())
+					if len(odd) == 2 && odd[0] == "sdnet" && odd[1] == "smartnic" {
+						return detected("2-2 split resolved: the corroborated reference anchor names the fail-open pair [sdnet smartnic]")
+					}
+					return missed("anchored vote names %v, want [sdnet smartnic]", odd)
+				},
+				ToolFormal: func() Outcome {
+					return unsupported("both fail-open flows execute a reject-stripped program; the split is a deployment artifact")
+				},
+				ToolExternal: func() Outcome {
+					devs := map[string]*device.Device{
+						"reference": routerDevice(p4test.Router, target.NewReference(), routeEntry(1), defaultRouteEntry(2)),
+						"tofino":    routerDevice(p4test.Router, target.NewTofino(target.DefaultTofinoErrata()), routeEntry(1), defaultRouteEntry(2)),
+						"sdnet":     routerDevice(p4test.Router, target.NewSDNet(target.DefaultErrata()), routeEntry(1), defaultRouteEntry(2)),
+						"smartnic":  routerDevice(p4test.Router, target.NewSmartNIC(target.DefaultSmartNICErrata()), routeEntry(1), defaultRouteEntry(2)),
+					}
+					odd := OddOneOutExternal(devs, badVersionFrame(), 1)
+					if len(odd) == 2 && odd[0] == "sdnet" && odd[1] == "smartnic" {
+						return detected("capture vote 2-2; the reference anchor names both emitting devices")
+					}
+					return missed("anchored capture vote names %v, want [sdnet smartnic]", odd)
+				},
+			},
+		},
+		{
+			Name:    "tie with a divergent reference stays unresolved",
+			UseCase: Comparison,
+			Run: map[string]func() Outcome{
+				ToolNetDebug: func() Outcome {
+					// A misconfigured reference device (route to port 9)
+					// dissents inside the tie: the anchor is uncorroborated,
+					// so the vote must refuse to localize and return every
+					// name rather than blame the two-backend plurality's
+					// opposition.
+					devs := map[string]*device.Device{
+						"reference": routerDevice(p4test.Router, target.NewReference(), routeEntry(9)),
+						"sdnet":     routerDevice(p4test.Router, target.NewSDNet(target.DefaultErrata()), routeEntry(1)),
+						"smartnic":  routerDevice(p4test.Router, target.NewSmartNIC(target.DefaultSmartNICErrata()), routeEntry(1)),
+						"tofino":    routerDevice(p4test.Router, target.NewTofino(target.DefaultTofinoErrata()), routeEntry(2)),
+					}
+					odd := OddOneOut(devs, goodFrame())
+					if len(odd) == 4 {
+						return detected("uncorroborated anchor: the vote surfaces all %d backends as unresolved instead of guessing", len(odd))
+					}
+					return missed("vote named %v from an unresolvable tie", odd)
+				},
+				ToolFormal: func() Outcome {
+					return unsupported("the divergence is injected table state; the programs verify identically")
+				},
+				ToolExternal: func() Outcome {
+					return unsupported("the split spans three egress ports; single-port capture voting cannot tally it")
+				},
+			},
+		},
+		{
 			Name:    "specifications differ only in internal drop stage",
 			UseCase: Comparison,
 			Run: map[string]func() Outcome{
@@ -1138,8 +1259,10 @@ func comparisonScenarios() []Scenario {
 	}
 }
 
-// shippedBackends builds the four shipped (default-errata) flows — one
-// per hardware model in the comparison matrix.
+// shippedBackends builds the four-way shipped (default-errata) fixture
+// set the odd-voter-count comparison cells drive — the SmartNIC joins
+// in the five-way cells (fiveWayBackends), whose even voter count
+// exercises the tie-break path instead.
 func shippedBackends() map[string]target.Target {
 	return map[string]target.Target{
 		"reference": target.NewReference(),
@@ -1147,6 +1270,26 @@ func shippedBackends() map[string]target.Target {
 		"tofino":    target.NewTofino(target.DefaultTofinoErrata()),
 		"ebpf":      target.NewEBPF(target.DefaultEBPFErrata()),
 	}
+}
+
+// fiveWayBackends is the full shipped matrix (target.ShippedKinds): the
+// even backend count makes 2-2 ties reachable, so these fixtures also
+// exercise the reference-anchored tie-break.
+func fiveWayBackends() map[string]target.Target {
+	devs := shippedBackends()
+	devs["smartnic"] = target.NewSmartNIC(target.DefaultSmartNICErrata())
+	return devs
+}
+
+// fiveWayRouterDevices builds one router device per shipped backend
+// (all five), each with the 10/8 route (port 1) and a /0 default route
+// (port 2).
+func fiveWayRouterDevices() map[string]*device.Device {
+	devs := make(map[string]*device.Device, 5)
+	for name, tg := range fiveWayBackends() {
+		devs[name] = routerDevice(p4test.Router, tg, routeEntry(1), defaultRouteEntry(2))
+	}
+	return devs
 }
 
 // defaultRouteEntry is the /0 fallback route every destination misses
@@ -1185,12 +1328,17 @@ func fourWayACLDevices() map[string]*device.Device {
 	return devs
 }
 
-// dissenters returns the names whose outcome diverges from the strict
-// majority outcome, sorted. Without a strict majority (e.g. a 2-2
-// split) no deviant can be named, so every name is returned — callers
-// testing len == 1 then correctly report no localization. This one
-// implementation carries the vote semantics for both visibility levels
-// below and for examples/comparison.
+// dissenters returns the names whose outcome diverges from the vote
+// outcome, sorted. A strict majority names everyone outside it. Without
+// a strict majority (e.g. the 2-2 splits an even backend count makes
+// possible) the tie is re-scored against the reference anchor: when a
+// member named "reference" is present and its outcome is corroborated
+// by at least one other member, the names disagreeing with the anchor
+// are returned. A tie with no reference member — or one where the
+// reference's outcome stands alone — cannot be resolved, so every name
+// is returned and callers testing len == 1 correctly report no
+// localization. This one implementation carries the vote semantics for
+// both visibility levels below and for examples/comparison.
 func dissenters[O comparable](got map[string]O) []string {
 	tally := map[O]int{}
 	for _, o := range got {
@@ -1203,9 +1351,22 @@ func dissenters[O comparable](got map[string]O) []string {
 			majority, best = o, n
 		}
 	}
+	if best*2 <= len(got) {
+		ref, ok := got["reference"]
+		if !ok || tally[ref] < 2 {
+			// Unresolved tie: no anchor, or the anchor itself dissents.
+			odd := make([]string, 0, len(got))
+			for name := range got {
+				odd = append(odd, name)
+			}
+			sort.Strings(odd)
+			return odd
+		}
+		majority = ref
+	}
 	var odd []string
 	for name, o := range got {
-		if best*2 <= len(got) || o != majority {
+		if o != majority {
 			odd = append(odd, name)
 		}
 	}
@@ -1214,9 +1375,11 @@ func dissenters[O comparable](got map[string]O) []string {
 }
 
 // OddOneOut injects frame into every device and returns the backends
-// whose result diverges from the strict majority outcome, sorted — the
-// three-way-split localization a pairwise comparison cannot make. All
-// names come back when no strict majority exists.
+// whose result diverges from the vote outcome, sorted — the
+// three-way-split localization a pairwise comparison cannot make.
+// Ties with no strict majority are re-scored against the device named
+// "reference" when present and corroborated (see dissenters); all
+// names come back when the tie cannot be resolved.
 func OddOneOut(devs map[string]*device.Device, frame []byte) []string {
 	type oc struct {
 		dropped bool
@@ -1247,6 +1410,21 @@ func OddOneOutExternal(devs map[string]*device.Device, frame []byte, rxPort int)
 		dev.ReleaseCaptures(rxPort)
 	}
 	return dissenters(got)
+}
+
+// OddOneOutLengths votes on externally captured frame lengths (or any
+// per-backend integer observation), with the same strict-majority +
+// reference-anchor semantics as OddOneOut — the localization that
+// catches divergences visible only as a size change, like the SmartNIC
+// punt-MTU truncation.
+func OddOneOutLengths(got map[string]int) []string {
+	return dissenters(got)
+}
+
+// largeAllowedFrame is a firewall probe only the allow-any ACL entry
+// matches, with enough payload to overflow the SmartNIC punt MTU.
+func largeAllowedFrame() []byte {
+	return packet.BuildUDPv4(macA, macB, ipA, packet.IPv4Addr{10, 0, 1, 7}, 40000, 53, make([]byte, 300))
 }
 
 // aclTieDevice loads the firewall with two overlapping equal-priority

@@ -20,6 +20,11 @@
 // captures drained) so a session's stream does not depend on which host
 // ran it or what ran before. The virtual clock stays warm; everything
 // recorded is clock-offset independent.
+//
+// The CLI surface is `netdebug -resident` (the daemon) and `-replay`
+// (the verifier); docs/robustness.md covers the design, and the
+// determinism contract is pinned by the record/replay tests at 1, 2,
+// and 8 workers.
 package session
 
 import (

@@ -1,18 +1,20 @@
 package target
 
-// Cross-target differential tests: the four backends are only useful
+// Cross-target differential tests: the five backends are only useful
 // as a comparison matrix if their disagreements are exactly the
 // documented errata. On erratum-free configurations (reference, SDNet
 // with FixedErrata, Tofino with FixedTofinoErrata, eBPF with
-// FixedEBPFErrata) every probe must produce identical results
-// packet-for-packet; with a default erratum enabled, the backends must
-// disagree on precisely the predicted probe set and nowhere else. The
-// three-way split tests run all four shipped (default-errata) flows at
-// once and require every predicted probe set to isolate exactly one
-// backend — the localization step pairwise comparison cannot provide.
+// FixedEBPFErrata, smartnic with FixedSmartNICErrata) every probe must
+// produce identical results packet-for-packet; with a default erratum
+// enabled, the backends must disagree on precisely the predicted probe
+// set and nowhere else. The split tests run the shipped (default-
+// errata) flows at once and require every predicted probe set to
+// isolate its backend(s) — the localization step pairwise comparison
+// cannot provide.
 
 import (
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -80,13 +82,14 @@ func loadedRouter(t *testing.T, tgt Target) Target {
 }
 
 // TestCrossTargetRouterAgreement: with every erratum repaired, the
-// four backends compute the same function packet-for-packet.
+// five backends compute the same function packet-for-packet.
 func TestCrossTargetRouterAgreement(t *testing.T) {
 	ref := loadedRouter(t, NewReference())
 	others := map[string]Target{
-		"sdnet-fixed":  loadedRouter(t, NewSDNet(FixedErrata())),
-		"tofino-fixed": loadedRouter(t, NewTofino(FixedTofinoErrata())),
-		"ebpf-fixed":   loadedRouter(t, NewEBPF(FixedEBPFErrata())),
+		"sdnet-fixed":    loadedRouter(t, NewSDNet(FixedErrata())),
+		"tofino-fixed":   loadedRouter(t, NewTofino(FixedTofinoErrata())),
+		"ebpf-fixed":     loadedRouter(t, NewEBPF(FixedEBPFErrata())),
+		"smartnic-fixed": loadedRouter(t, NewSmartNIC(FixedSmartNICErrata())),
 	}
 	for i, p := range routerProbes(300) {
 		want := ref.Process(p.frame, 0, false)
@@ -390,6 +393,82 @@ func TestCrossTargetThreeWaySplits(t *testing.T) {
 		clear := packet.BuildUDPv4(macA, macB, ipA, packet.IPv4Addr{10, 0, 1, 77}, 40000, 53, make([]byte, 6))
 		if odd := splitOn(t, backends, clear); len(odd) != 0 {
 			t.Fatalf("untied probe: unexpected split, %v diverge", odd)
+		}
+	})
+}
+
+// TestCrossTargetFiveWaySplits adds the smartnic flow to the matrix.
+// Two consequences: its fail-open exception path pairs it with sdnet on
+// malformed probes (the 2-2 surface the fuzz vote resolves against the
+// reference anchor — here the five-way fleet still holds a 3-2
+// majority), and its punt-MTU truncation isolates it alone on large
+// punted frames.
+func TestCrossTargetFiveWaySplits(t *testing.T) {
+	t.Run("router", func(t *testing.T) {
+		backends := map[string]Target{
+			"reference": NewReference(),
+			"sdnet":     NewSDNet(DefaultErrata()),
+			"tofino":    NewTofino(DefaultTofinoErrata()),
+			"ebpf":      NewEBPF(DefaultEBPFErrata()),
+			"smartnic":  NewSmartNIC(DefaultSmartNICErrata()),
+		}
+		for _, tgt := range backends {
+			loadRouter(t, tgt)
+			if err := tgt.InstallEntry(defaultRouteEntry(2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			// Control probes: all five agree (smartnic differs only in
+			// latency, which the vote does not compare).
+			ctl := packet.BuildUDPv4(macA, macB, ipA,
+				packet.IPv4Addr{10, 0, byte(i), 7}, uint16(3000+i), 53, []byte{byte(i)})
+			if odd := splitOn(t, backends, ctl); len(odd) != 0 {
+				t.Fatalf("control probe %d: unexpected split, %v diverge", i, odd)
+			}
+			// Malformed but routable: sdnet (reject compiled as accept)
+			// and smartnic (fail-open exception path) forward the same
+			// bytes — the signature pair of the five-way matrix.
+			bad := append([]byte(nil), ctl...)
+			bad[14] = 0x65
+			want := []string{"sdnet", "smartnic"}
+			if odd := splitOn(t, backends, bad); !reflect.DeepEqual(odd, want) {
+				t.Fatalf("malformed probe %d: %v diverge, want %v", i, odd, want)
+			}
+			// Covered only by the /0 route: the smartnic accelerator holds
+			// the /0 entry natively, so ebpf's LPM-trie miss still
+			// isolates ebpf alone, 4-1.
+			off := packet.BuildUDPv4(macA, macB, ipA,
+				packet.IPv4Addr{192, 168, byte(i), 4}, uint16(3100+i), 53, []byte{byte(i)})
+			if odd := splitOn(t, backends, off); len(odd) != 1 || odd[0] != "ebpf" {
+				t.Fatalf("default-route probe %d: %v diverge, want exactly [ebpf]", i, odd)
+			}
+		}
+	})
+	t.Run("firewall", func(t *testing.T) {
+		backends := map[string]Target{
+			"reference": NewReference(),
+			"sdnet":     NewSDNet(DefaultErrata()),
+			"tofino":    NewTofino(DefaultTofinoErrata()),
+			"ebpf":      NewEBPF(DefaultEBPFErrata()),
+			"smartnic":  NewSmartNIC(DefaultSmartNICErrata()),
+		}
+		for _, tgt := range backends {
+			firewallFixture(t, tgt)
+		}
+		// The ACL tie still isolates tofino alone: smartnic punts the
+		// wide-ternary acl lookup but the cores run the same FIFO
+		// semantics as the reference.
+		tie := packet.BuildUDPv4(macA, macB, ipA, ipB, 40000, 53, make([]byte, 6))
+		if odd := splitOn(t, backends, tie); len(odd) != 1 || odd[0] != "tofino" {
+			t.Fatalf("acl tie probe: %v diverge, want exactly [tofino]", odd)
+		}
+		// A large allowed frame punts (core-resident acl) and comes back
+		// clipped to the punt MTU: the truncation defect isolates
+		// smartnic alone, invisible to any four-way fleet.
+		big := packet.BuildUDPv4(macA, macB, ipA, packet.IPv4Addr{10, 0, 1, 77}, 40000, 53, make([]byte, 300))
+		if odd := splitOn(t, backends, big); len(odd) != 1 || odd[0] != "smartnic" {
+			t.Fatalf("large punted probe: %v diverge, want exactly [smartnic]", odd)
 		}
 	})
 }

@@ -13,13 +13,18 @@ const (
 	KindTofinoFixed = "tofino-fixed"
 	KindEBPF        = "ebpf"
 	KindEBPFFixed   = "ebpf-fixed"
+
+	KindSmartNIC      = "smartnic"
+	KindSmartNICFixed = "smartnic-fixed"
 )
 
 // ShippedKinds lists the default-errata backend set in canonical order —
-// the four-way comparison matrix the differential harnesses (the
+// the five-way comparison matrix the differential harnesses (the
 // scenario suite, the internal/fuzz lockstep fleet) drive with the same
-// probes.
-var ShippedKinds = []string{KindReference, KindSDNet, KindTofino, KindEBPF}
+// probes. An even voter count means strict majority alone cannot always
+// localize: see the reference-anchored tie-break in internal/fuzz and
+// scenario.OddOneOut.
+var ShippedKinds = []string{KindReference, KindSDNet, KindTofino, KindEBPF, KindSmartNIC}
 
 // ForKind constructs the backend named by kind with its default (or,
 // for the -fixed variants, fully repaired) errata. The empty string
@@ -40,6 +45,10 @@ func ForKind(kind string) (Target, error) {
 		return NewEBPF(DefaultEBPFErrata()), nil
 	case KindEBPFFixed:
 		return NewEBPF(FixedEBPFErrata()), nil
+	case KindSmartNIC:
+		return NewSmartNIC(DefaultSmartNICErrata()), nil
+	case KindSmartNICFixed:
+		return NewSmartNIC(FixedSmartNICErrata()), nil
 	}
 	return nil, fmt.Errorf("target: unknown kind %q", kind)
 }

@@ -130,6 +130,17 @@ type ResourceReport struct {
 	// memlock budget. Zero on hardware targets.
 	Insns, Maps, MapBytes int
 	InsnPct, MemlockPct   float64
+	// SmartNIC/DPU footprint: table residency (accelerator vs core
+	// complex, where spilled tables count as core-resident), the
+	// accelerator grant in flow entries and bytes (including NIC TCAM
+	// rows), and the punt economics — queue depth plus cumulative
+	// per-table punt counters (keyed by table name, with "parser" for
+	// exception-path punts of rejected frames). Zero/nil on the other
+	// target classes.
+	AccelTables, CoreTables, AccelEntries, AccelBytes int
+	NICTCAMRows, PuntQueueDepth                       int
+	AccelPct                                          float64
+	TablePunts                                        map[string]uint64
 }
 
 // String renders the estimate.
@@ -141,6 +152,14 @@ func (r ResourceReport) String() string {
 	if r.Maps > 0 {
 		return fmt.Sprintf("insns %d (%.2f%%), maps %d, map bytes %d (%.1f%% of memlock)",
 			r.Insns, r.InsnPct, r.Maps, r.MapBytes, r.MemlockPct)
+	}
+	if r.AccelTables > 0 || r.CoreTables > 0 {
+		var punts uint64
+		for _, n := range r.TablePunts {
+			punts += n
+		}
+		return fmt.Sprintf("accel tables %d (%d flows, %d B, %.1f%% of NIC SRAM), core-resident %d, NIC TCAM %d rows, punt queue %d, punts %d",
+			r.AccelTables, r.AccelEntries, r.AccelBytes, r.AccelPct, r.CoreTables, r.NICTCAMRows, r.PuntQueueDepth, punts)
 	}
 	if r.LUTs == 0 && r.FFs == 0 && r.BRAMs == 0 {
 		return "no hardware cost (software target)"
@@ -166,6 +185,8 @@ func (r ResourceReport) ModelBytes() uint64 {
 		return sram + tcam
 	case r.BRAMs > 0:
 		return uint64(r.BRAMs) * sumeBRAMBytes
+	case r.AccelBytes > 0:
+		return uint64(r.AccelBytes)
 	}
 	return 0
 }

@@ -237,6 +237,7 @@ func TestProcessSteadyStateAllocs(t *testing.T) {
 		{"sdnet", NewSDNet(DefaultErrata())},
 		{"tofino", NewTofino(DefaultTofinoErrata())},
 		{"ebpf", NewEBPF(DefaultEBPFErrata())},
+		{"smartnic", NewSmartNIC(DefaultSmartNICErrata())},
 	} {
 		loadRouter(t, tc.tgt)
 		frame := goodFrame()

@@ -35,7 +35,7 @@ func TestTofinoImplementsReject(t *testing.T) {
 // (match-any) and a drop installed second (exact dst). A conforming
 // target resolves the tie first-installed-wins and forwards; the
 // shipped Tofino driver resolves newest-first and drops.
-func firewallFixture(t *testing.T, tgt Target) {
+func firewallFixture(t testing.TB, tgt Target) {
 	t.Helper()
 	if err := tgt.Load(mustProg(t, p4test.Firewall)); err != nil {
 		t.Fatal(err)

@@ -168,6 +168,17 @@ const (
 	// TargetEBPFFixed is the offload flow with both driver defects
 	// repaired; the memlock, mask-set, and tail-call limits remain.
 	TargetEBPFFixed TargetKind = "ebpf-fixed"
+	// TargetSmartNIC models a SmartNIC/DPU: embedded cores plus
+	// accelerator tables with bimodal latency — exact/LPM hits resolve
+	// on the fast path, while misses, wide or spilled ternary tables,
+	// and malformed frames punt to the core complex through a bounded
+	// punt queue — and the shipped driver's fail-open exception path
+	// and punt-MTU truncation defects.
+	TargetSmartNIC TargetKind = "smartnic"
+	// TargetSmartNICFixed is the SmartNIC flow with both driver defects
+	// repaired; the accelerator capacity, NIC TCAM geometry, punt-queue
+	// depth, and punt MTU remain.
+	TargetSmartNICFixed TargetKind = "smartnic-fixed"
 )
 
 // Options configures Open.
@@ -282,12 +293,17 @@ func (s *System) Resources() (ResourceReport, error) {
 		TCAMPct: r.TCAMPct, PHVPct: r.PHVPct,
 		Insns: r.Insns, Maps: r.Maps, MapBytes: r.MapBytes,
 		InsnPct: r.InsnPct, MemlockPct: r.MemlockPct,
+		AccelTables: r.AccelTables, CoreTables: r.CoreTables,
+		AccelEntries: r.AccelEntries, AccelBytes: r.AccelBytes,
+		NICTCAMRows: r.NICTCAMRows, PuntQueueDepth: r.PuntQueueDepth,
+		AccelPct: r.AccelPct, TablePunts: r.TablePunts,
 	}, nil
 }
 
 // ResourceReport estimates hardware resource consumption: LUT/FF/BRAM
 // on FPGA targets, stages/SRAM/TCAM/PHV on fixed-pipeline ASIC
-// targets, and program/map footprint on software-offload targets.
+// targets, program/map footprint on software-offload targets, and
+// accelerator residency plus punt economics on SmartNIC/DPU targets.
 type ResourceReport struct {
 	LUTs, FFs, BRAMs                        int
 	LUTPct, FFPct, BRAMPct                  float64
@@ -295,6 +311,11 @@ type ResourceReport struct {
 	StagePct, SRAMPct, TCAMPct, PHVPct      float64
 	Insns, Maps, MapBytes                   int
 	InsnPct, MemlockPct                     float64
+	AccelTables, CoreTables                 int
+	AccelEntries, AccelBytes                int
+	NICTCAMRows, PuntQueueDepth             int
+	AccelPct                                float64
+	TablePunts                              map[string]uint64
 }
 
 // InjectFault injects a hardware fault into the device.
