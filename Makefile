@@ -1,10 +1,10 @@
 # NetDebug build/test/bench entry points.
 
 GO ?= go
-BENCH_OUT ?= BENCH_9.json
+BENCH_OUT ?= BENCH_10.json
 # BENCH_BASELINE is the committed perf-trajectory file bench-gate
 # compares against; bump it when a PR lands a new BENCH_<PR>.json.
-BENCH_BASELINE ?= BENCH_9.json
+BENCH_BASELINE ?= BENCH_10.json
 # COVER_MIN pins the global statement coverage the coverage gate
 # enforces (keep in sync with the CI coverage job).
 COVER_MIN ?= 72
@@ -62,14 +62,16 @@ bench-json:
 # linear-scan reference the -speedup assertion divides by and the
 # retired DPLL solver the >=5x CDCL assertion divides by. Keep in sync
 # with defaultPin when pinning a new backend or subsystem.
-BENCH_PIN = Benchmark(ProcessRouter|ProcessFirewallTernary|RouterProcess|FirewallProcess|(Tofino|EBPF|SmartNIC)Process(Router|FirewallTernary)|DeviceForward(Burst|NoCapture)?|SendExternalBurst|TernaryLookup(TupleSpace|Linear)|LPMTrie(Install|Lookup)(Multibit|Binary)|Solve(Reference)?RouterLikePath|SessionThroughput|FuzzFleetThroughput)
+BENCH_PIN = Benchmark(ProcessRouter|ProcessFirewallTernary|RouterProcess|FirewallProcess|(Tofino|EBPF|SmartNIC)Process(Router|FirewallTernary)|DeviceForward(Burst|NoCapture)?|SendExternalBurst|TernaryLookup(TupleSpace|Linear)|LPMTrie(Install|Lookup)(Multibit|Binary)|Solve(Reference)?RouterLikePath|SessionThroughput|FuzzFleetThroughput|Checker(Batch|PerFrame))
 
 # BENCH_PIN_SLOW holds pinned benchmarks whose per-op cost (tens of ms
-# of whole-program path exploration) makes the 2000x window absurd;
-# they get their own 30x window, on both sides of the gate. Includes
-# every ExploreParallel worker count so the -speedup 8-worker scaling
-# assertion (enforced on >=8-CPU machines) has its operands.
-BENCH_PIN_SLOW = BenchmarkExploreParallel
+# of whole-program path exploration or multi-device fleet runs) makes
+# the 2000x window absurd; they get their own 30x window, on both sides
+# of the gate. Includes every ExploreParallel worker count so the
+# -speedup 8-worker scaling assertion (enforced on >=8-CPU machines)
+# has its operands, and every FleetAggregateMpps device count so the
+# 1:8 fleet-scaling assertion has its operands.
+BENCH_PIN_SLOW = Benchmark(ExploreParallel|FleetAggregateMpps)
 
 # Regression gate: re-measure the pinned hot paths and compare against
 # the committed baseline. Fails on >15% ns/op regression or any

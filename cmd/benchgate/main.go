@@ -64,8 +64,13 @@ import (
 // backends) — and the zero-copy burst path (SendExternalBurst, whose
 // 0 allocs/op is the capture ring's contract) plus the multibit LPM
 // trie's install and lookup costs (their binary-trie references are
-// asserted via -speedup, not pinned).
-const defaultPin = `^Benchmark(ProcessRouter|ProcessFirewallTernary|RouterProcess|FirewallProcess|(Tofino|EBPF|SmartNIC)Process(Router|FirewallTernary)|DeviceForward(Burst|NoCapture)?|SendExternalBurst|TernaryLookupTupleSpace/.*|LPMTrieInstallMultibit/entries10000|LPMTrieLookupMultibit|Solve(Reference)?RouterLikePath|ExploreParallel/workers1|SessionThroughput|FuzzFleetThroughput)$`
+// asserted via -speedup, not pinned) — and the fleet-scale zero-copy
+// pair: the batched output checker (whose per-frame form rides only in
+// the -speedup assertion) and the single-device case of the
+// aggregate-Mpps fleet benchmark (the multi-device cases are asserted
+// as a -speedup scaling ratio, since their ns/op depends on the
+// runner's core count).
+const defaultPin = `^Benchmark(ProcessRouter|ProcessFirewallTernary|RouterProcess|FirewallProcess|(Tofino|EBPF|SmartNIC)Process(Router|FirewallTernary)|DeviceForward(Burst|NoCapture)?|SendExternalBurst|TernaryLookupTupleSpace/.*|LPMTrieInstallMultibit/entries10000|LPMTrieLookupMultibit|Solve(Reference)?RouterLikePath|ExploreParallel/workers1|SessionThroughput|FuzzFleetThroughput|CheckerBatch|FleetAggregateMpps/devices1)$`
 
 // defaultSpeedup asserts the scaling wins within the current run (so
 // machine speed cancels out): the tuple-space ternary lookup >= 10x the
@@ -78,12 +83,18 @@ const defaultPin = `^Benchmark(ProcessRouter|ProcessFirewallTernary|RouterProces
 // The multibit LPM trie must beat the retired binary trie on both
 // install (10^4-entry cold fill, ~3.8x measured) and lookup (10^6
 // resident entries, ~5.9x measured) — asserted at 2x and 3x to leave
-// noise margin.
+// noise margin. The batched output checker must score >= 2x faster
+// than the retired per-frame path (~2.9x measured), and the aggregate
+// fleet benchmark must show >= 3x scaling from 1 to 8 simulated
+// devices wherever the runner has 8 procs to exhibit it (the "@8"
+// self-skip, as for parallel path exploration).
 const defaultSpeedup = "BenchmarkTernaryLookupLinear/entries100000:BenchmarkTernaryLookupTupleSpace/entries100000:10," +
 	"BenchmarkSolveReferenceRouterLikePath:BenchmarkSolveRouterLikePath:5," +
 	"BenchmarkLPMTrieInstallBinary/entries10000:BenchmarkLPMTrieInstallMultibit/entries10000:2," +
 	"BenchmarkLPMTrieLookupBinary:BenchmarkLPMTrieLookupMultibit:3," +
-	"BenchmarkExploreParallel/workers1:BenchmarkExploreParallel/workers8:3@8"
+	"BenchmarkExploreParallel/workers1:BenchmarkExploreParallel/workers8:3@8," +
+	"BenchmarkCheckerPerFrame:BenchmarkCheckerBatch:2," +
+	"BenchmarkFleetAggregateMpps/devices1:BenchmarkFleetAggregateMpps/devices8:3@8"
 
 var (
 	baseline   = flag.String("baseline", "", "committed baseline JSON (required)")

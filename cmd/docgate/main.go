@@ -10,6 +10,12 @@
 //     (http, https, mailto) are out of scope — CI should not depend
 //     on the internet.
 //
+//   - Benchmark baselines named in prose exist. Every BENCH_<n>.json
+//     mentioned anywhere in a doc (including code fences — make
+//     invocations name them too) must exist at the repository root, so
+//     a PR that bumps the perf-trajectory baseline cannot leave docs
+//     pointing at a file that was never committed or has been renamed.
+//
 //   - Embedded Go examples are real Go. Every ```go fenced block must
 //     survive go/format.Source — the same parser gofmt and go vet
 //     front with — and come back unchanged, so snippets are both
@@ -49,6 +55,10 @@ var headingRe = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*#*\s*$`)
 
 var fenceRe = regexp.MustCompile("^(```+|~~~+)\\s*([A-Za-z0-9_+-]*)")
 
+// benchRe matches perf-trajectory baseline filenames (BENCH_<n>.json)
+// wherever they appear; each must exist at the repository root.
+var benchRe = regexp.MustCompile(`BENCH_\d+\.json`)
+
 // slug reduces a heading to its GitHub anchor: lowercase, spaces to
 // hyphens, everything but letters, digits, hyphens and underscores
 // dropped. (Duplicate-heading -1 suffixes are not modelled; none of
@@ -70,10 +80,11 @@ func slug(heading string) string {
 
 // doc is one parsed markdown file: its anchors, links, and go fences.
 type doc struct {
-	path    string          // repo-relative, slash-separated
-	anchors map[string]bool // GitHub anchor slugs of its headings
-	links   []link
-	fences  []fence
+	path      string          // repo-relative, slash-separated
+	anchors   map[string]bool // GitHub anchor slugs of its headings
+	links     []link
+	fences    []fence
+	benchRefs []link // BENCH_<n>.json mentions, fenced or not
 }
 
 type link struct {
@@ -93,6 +104,9 @@ func parseDoc(path string, data []byte) *doc {
 	var goStart int
 	var goLines []string
 	for i, ln := range lines {
+		for _, m := range benchRe.FindAllString(ln, -1) {
+			d.benchRefs = append(d.benchRefs, link{line: i + 1, target: m})
+		}
 		if inFence != "" {
 			if strings.HasPrefix(strings.TrimSpace(ln), inFence) {
 				if goFence {
@@ -215,6 +229,11 @@ func main() {
 			}
 			if !anchors[frag] {
 				fail("%s:%d: dead anchor %q (no heading in %s slugs to %q)", f, l.line, l.target, dest, frag)
+			}
+		}
+		for _, br := range d.benchRefs {
+			if _, err := os.Stat(filepath.Join(*root, br.target)); err != nil {
+				fail("%s:%d: stale bench reference %q (not at repository root)", f, br.line, br.target)
 			}
 		}
 		for _, fc := range d.fences {

@@ -65,6 +65,8 @@ var (
 	fuzzBudget = flag.Int("fuzz-budget", 1024, "fuzz mode: total probe budget")
 	fuzzShards = flag.Int("fuzz-shards", 1, "fuzz mode: worker shards (report is shard-count independent)")
 	fuzzSeed   = flag.Int64("fuzz-seed", 1, "fuzz mode: random seed (fixed seed = identical report)")
+	fuzzOccup  = flag.Int("fuzz-occupancy", 0,
+		"fuzz mode: preload every table with up to this many synthetic entries (tables clip at capacity; 0 = bare baseline)")
 )
 
 var (
@@ -335,6 +337,7 @@ func runFuzz(src string) {
 		netdebug.WithFuzzBudget(*fuzzBudget),
 		netdebug.WithFuzzShards(*fuzzShards),
 		netdebug.WithFuzzSeed(*fuzzSeed),
+		netdebug.WithFuzzOccupancy(*fuzzOccup),
 	)
 	if err != nil {
 		log.Fatal(err)

@@ -66,6 +66,16 @@ type Agent struct {
 	spec   *TestSpec
 	report *Report
 
+	// gen is the spec's generator, built on first Run and reused until
+	// the next Configure: repeated runs of one spec keep the generator's
+	// arena (and merge scratch) warm instead of reallocating per run.
+	// Generation is deterministic, so a cached generator produces the
+	// same packets as a fresh one.
+	gen *Generator
+	// ext is the shared-arena extent bound to the cached generator's
+	// frames; see UseArena.
+	ext []byte
+
 	// batch staging reused across runs: frames/ats carve each
 	// same-ingress-port run of the generated stream into one
 	// InjectInternalBatch call.
@@ -93,7 +103,25 @@ func (a *Agent) Configure(spec *TestSpec) error {
 	defer a.mu.Unlock()
 	a.spec = spec
 	a.report = nil
+	a.gen = nil
 	return nil
+}
+
+// UseArena reserves a maxBytes extent off the fleet-shared arena for
+// this agent's generated frames: every spec whose generation fits the
+// extent stamps its packets into the shared slab, larger specs fall back
+// to the agent's private arena. Call once, before the first Run; a pool
+// manager sizes one SharedArena for all of its hosts and reserves one
+// extent per agent.
+func (a *Agent) UseArena(sa *SharedArena, maxBytes int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if sa == nil {
+		a.ext = nil
+	} else {
+		a.ext = sa.ReserveBytes(maxBytes)
+	}
+	a.gen = nil
 }
 
 // maxInjectBatch bounds one InjectInternalBatch run so the target's
@@ -108,13 +136,22 @@ const maxInjectBatch = 512
 func (a *Agent) Run() (*Report, error) {
 	a.mu.Lock()
 	spec := a.spec
+	gen := a.gen
+	ext := a.ext
 	a.mu.Unlock()
 	if spec == nil {
 		return nil, fmt.Errorf("core: no test configured")
 	}
-	gen, err := NewGenerator(spec.Gen)
-	if err != nil {
-		return nil, err
+	if gen == nil {
+		var err error
+		gen, err = NewGenerator(spec.Gen)
+		if err != nil {
+			return nil, err
+		}
+		gen.arena.bindExtent(ext)
+		a.mu.Lock()
+		a.gen = gen
+		a.mu.Unlock()
 	}
 	checker, err := NewChecker(spec.Check)
 	if err != nil {
@@ -135,9 +172,7 @@ func (a *Agent) Run() (*Report, error) {
 		}
 		a.batchFrames, a.batchAts = frames, ats
 		results := a.dev.InjectInternalBatch(frames, port, ats, true)
-		for i := range results {
-			checker.OnResult(pkts[start+i], results[i], ats[i])
-		}
+		checker.OnResults(pkts[start:end], results, ats)
 		start = end
 	}
 	// Drop the frame pointers — over the full capacity, not just the

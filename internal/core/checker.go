@@ -108,6 +108,11 @@ type Checker struct {
 	report Report
 	p4     *dataplane.Engine
 	p4ctx  *dataplane.Context
+	// Batched-path scratch (OnResults): the combined rule list per
+	// stream, computed once instead of per frame, and the block's
+	// forwarded latencies staged for one histogram batch-observe.
+	ruleCache  map[string][]*ruleState
+	latScratch []time.Duration
 }
 
 type ruleState struct {
@@ -189,11 +194,17 @@ func (c *Checker) OnResult(tp TestPacket, res target.Result, at time.Duration) {
 		}
 	}
 	for _, rs := range c.rulesFor(tp.Stream) {
-		c.applyRule(rs, tp, res)
+		c.applyRule(rs, &tp, &res)
 	}
 }
 
-func (c *Checker) applyRule(rs *ruleState, tp TestPacket, res target.Result) {
+// applyRule scores one packet's result against one rule. Both scoring
+// paths — frame-at-a-time OnResult and block OnResults — funnel through
+// this one function, which is what makes the per-frame path a trustable
+// equality oracle for the batched one. Pointer arguments keep the block
+// path from copying the ~128-byte Result (trace headers included) three
+// times per frame; the pointers are never retained.
+func (c *Checker) applyRule(rs *ruleState, tp *TestPacket, res *target.Result) {
 	if rs.def.ExpectDrop {
 		if res.Dropped() {
 			rs.pass()
@@ -208,7 +219,7 @@ func (c *Checker) applyRule(rs *ruleState, tp TestPacket, res target.Result) {
 			tp.Stream, tp.Seq, res.Trace.DropStage)
 		return
 	}
-	out := res.Outputs[0]
+	out := &res.Outputs[0]
 	if rs.def.ExpectPort >= 0 && out.Port != uint64(rs.def.ExpectPort) {
 		rs.fail("stream %s seq %d: egress port %d, want %d",
 			tp.Stream, tp.Seq, out.Port, rs.def.ExpectPort)
@@ -244,6 +255,81 @@ func (c *Checker) applyRule(rs *ruleState, tp TestPacket, res target.Result) {
 		}
 	}
 	rs.pass()
+}
+
+// cachedRules is rulesFor with the combined specific+global list built
+// once per stream instead of once per frame.
+func (c *Checker) cachedRules(stream string) []*ruleState {
+	if rs, ok := c.ruleCache[stream]; ok {
+		return rs
+	}
+	if c.ruleCache == nil {
+		c.ruleCache = make(map[string][]*ruleState)
+	}
+	rs := c.rulesFor(stream)
+	c.ruleCache[stream] = rs
+	return rs
+}
+
+// OnResults scores one block of injected test packets against their
+// data-plane results — the batched form of OnResult, mirroring the
+// injection side's batching on the verify side. Verdicts are identical
+// to calling OnResult per packet (the per-frame path is the equality
+// oracle); the block form amortizes the per-frame overheads: rule-list
+// construction is cached per stream, forwarded latencies are staged and
+// batch-observed with one atomic aggregate update, and the rate meter
+// takes its lock once per block instead of once per output.
+func (c *Checker) OnResults(tps []TestPacket, results []target.Result, ats []time.Duration) {
+	lats := c.latScratch[:0]
+	var dropped, forwarded uint64
+	var events, bytes uint64
+	var first, last time.Duration
+	// Stream runs are the common case (the tester drains captures in
+	// per-stream bursts), so memoize the last rule-list lookup: a run of
+	// k same-stream frames costs one map probe, not k.
+	var lastStream string
+	var lastRules []*ruleState
+	haveRules := false
+	for i := range tps {
+		res := &results[i]
+		tp := &tps[i]
+		if res.Dropped() {
+			dropped++
+			stage := res.Trace.DropStage
+			if stage == "" {
+				stage = "unknown"
+			}
+			c.report.DropStages[stage]++
+		} else {
+			forwarded++
+			lats = append(lats, res.Latency)
+			done := ats[i] + res.Latency
+			for _, out := range res.Outputs {
+				if events == 0 {
+					first = done
+				}
+				if done > last {
+					last = done
+				}
+				events++
+				bytes += uint64(len(out.Data))
+			}
+		}
+		if !haveRules || tp.Stream != lastStream {
+			lastRules = c.cachedRules(tp.Stream)
+			lastStream = tp.Stream
+			haveRules = true
+		}
+		for _, rs := range lastRules {
+			c.applyRule(rs, tp, res)
+		}
+	}
+	c.report.Injected += uint64(len(tps))
+	c.report.Dropped += dropped
+	c.report.Forwarded += forwarded
+	c.lat.ObserveBatch(lats)
+	c.latScratch = lats[:0]
+	c.meter.RecordBlock(first, last, events, bytes)
 }
 
 // OnLiveOutput counts an output packet that does not belong to the test

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"netdebug/internal/dataplane"
+	"netdebug/internal/target"
+)
+
+// checkerWorkload builds a synthetic scored stream: n packets across two
+// streams, deterministic for the seed. With drops set, one packet in
+// five is dropped (varying stage) — those fail the forward-expecting
+// rules, exercising the failure paths; without, every packet forwards to
+// port 1 and every rule passes, which keeps the sample-recording
+// fmt.Sprintf churn out of the allocation and speedup measurements.
+func checkerWorkload(n int, seed int64, drops bool) ([]TestPacket, []target.Result, []time.Duration) {
+	rng := rand.New(rand.NewSource(seed))
+	tps := make([]TestPacket, n)
+	results := make([]target.Result, n)
+	ats := make([]time.Duration, n)
+	for i := range tps {
+		stream := "s"
+		if i%3 == 0 {
+			stream = "t"
+		}
+		tps[i] = TestPacket{Stream: stream, Seq: uint64(i), Data: []byte{0xaa, 0xbb}}
+		ats[i] = time.Duration(i) * 800 * time.Nanosecond
+		if drops && rng.Intn(5) == 0 {
+			results[i] = target.Result{Trace: dataplane.Trace{DropStage: "parser"}}
+			continue
+		}
+		results[i] = target.Result{
+			Outputs: []target.Output{{Port: 1, Data: []byte{1, 2, 3, 4}}},
+			Latency: time.Duration(100 + rng.Intn(900)),
+		}
+	}
+	return tps, results, ats
+}
+
+// checkerSpecForWorkload pairs stream-specific rules with a match-all
+// rule: the combination forces the per-frame path to build a fresh
+// combined rule list per packet, the allocation the batched path's rule
+// cache amortizes away.
+func checkerSpecForWorkload() CheckSpec {
+	return CheckSpec{Rules: []Rule{
+		{Name: "s-port", Stream: "s", ExpectPort: 1},
+		{Name: "t-port", Stream: "t", ExpectPort: 1},
+		{Name: "any-forward", Stream: "", ExpectPort: -1},
+	}}
+}
+
+// TestCheckerBatchMatchesPerFrame is the batched checker's equality
+// oracle: scoring a workload through OnResults in 512-frame blocks (plus
+// a ragged tail) produces a report byte-identical to frame-at-a-time
+// OnResult.
+func TestCheckerBatchMatchesPerFrame(t *testing.T) {
+	tps, results, ats := checkerWorkload(1800, 7, true)
+
+	perFrame, err := NewChecker(checkerSpecForWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tps {
+		perFrame.OnResult(tps[i], results[i], ats[i])
+	}
+	want := perFrame.Finish()
+
+	batched, err := NewChecker(checkerSpecForWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for start := 0; start < len(tps); start += 512 {
+		end := start + 512
+		if end > len(tps) {
+			end = len(tps)
+		}
+		batched.OnResults(tps[start:end], results[start:end], ats[start:end])
+	}
+	got := batched.Finish()
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("batched report diverges from per-frame oracle:\n got %+v\nwant %+v", got, want)
+	}
+	if want.Injected != 1800 || want.Forwarded == 0 || want.Dropped == 0 {
+		t.Fatalf("workload did not exercise both verdicts: %+v", want)
+	}
+}
+
+// TestCheckerBatchAllocFree: warm OnResults blocks run without per-frame
+// allocations (the rule cache and latency scratch absorb the per-frame
+// churn of the frame-at-a-time path).
+func TestCheckerBatchAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation floor not meaningful under the race detector")
+	}
+	tps, results, ats := checkerWorkload(512, 11, false)
+	c, err := NewChecker(checkerSpecForWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.OnResults(tps, results, ats) // warm scratch + rule cache
+	avg := testing.AllocsPerRun(20, func() {
+		c.OnResults(tps, results, ats)
+	})
+	// The drop-stage map rehashes occasionally as counts grow; anything
+	// scaling with the 512-frame block would show up as >= 512.
+	if avg > 4 {
+		t.Fatalf("warm OnResults allocates %.1f allocs per 512-frame block, want ~0", avg)
+	}
+}
+
+// BenchmarkCheckerPerFrame scores the workload frame-at-a-time — the
+// retired verify-side path, kept as the oracle and as the slow half of
+// benchgate's batched-checker speedup gate.
+func BenchmarkCheckerPerFrame(b *testing.B) {
+	tps, results, ats := checkerWorkload(4096, 3, false)
+	c, err := NewChecker(checkerSpecForWorkload())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range tps {
+			c.OnResult(tps[j], results[j], ats[j])
+		}
+	}
+}
+
+// BenchmarkCheckerBatch scores the same workload through OnResults in
+// 512-frame blocks; benchgate pins it and enforces the >= 2x speedup
+// over BenchmarkCheckerPerFrame.
+func BenchmarkCheckerBatch(b *testing.B) {
+	tps, results, ats := checkerWorkload(4096, 3, false)
+	c, err := NewChecker(checkerSpecForWorkload())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for start := 0; start < len(tps); start += 512 {
+			c.OnResults(tps[start:start+512], results[start:start+512], ats[start:start+512])
+		}
+	}
+}

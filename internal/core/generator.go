@@ -88,6 +88,19 @@ type Generator struct {
 	heads   []int        // per-stream merge cursors
 }
 
+// UseArena binds the generator's frame storage to a maxBytes extent
+// reserved off the shared arena: generations that fit the extent stamp
+// their packets into the fleet-shared slab, larger ones fall back to the
+// generator's private arena. The extent stays bound until the arena's
+// next Reset, so one reservation serves every later Packets call.
+func (g *Generator) UseArena(sa *SharedArena, maxBytes int) {
+	if sa == nil {
+		g.arena.bindExtent(nil)
+		return
+	}
+	g.arena.bindExtent(sa.ReserveBytes(maxBytes))
+}
+
 // NewGenerator validates the spec and returns a generator.
 func NewGenerator(spec GenSpec) (*Generator, error) {
 	if len(spec.Streams) == 0 {

@@ -174,6 +174,7 @@ type stuckFrame struct {
 }
 
 type portState struct {
+	idx        int
 	up         bool
 	bitFlip    *rand.Rand
 	queueStuck bool
@@ -185,9 +186,13 @@ type portState struct {
 	// captures is the legacy copying store (Config.CopyCaptures).
 	captures []CapturedFrame
 	// seg accumulates ring-mode captures; borrowed holds segments drained
-	// by Captures and not yet returned via ReleaseCaptures.
+	// by Captures and not yet returned via ReleaseCaptures; segFree is
+	// the port's own recycle list (bounded — overflow spills to the
+	// device-level spillway), which keeps a port's capture slabs cycling
+	// through that port so their grown capacity matches its traffic.
 	seg      *capSegment
 	borrowed []*capSegment
+	segFree  []*capSegment
 	// Per-port counters, resolved once at boot so the packet path never
 	// formats counter names.
 	cRxFrames, cRxLinkDown, cRxBitFlips   *stats.Counter
@@ -218,10 +223,13 @@ type Device struct {
 	// captureOn gates frame retention on the TX path; see
 	// Config.DisableCapture.
 	captureOn bool
-	// segFree recycles capture segments released by ReleaseCaptures.
-	segFree []*capSegment
+	// segSpill is the device-level overflow spillway for capture
+	// segments: ports recycle into their own bounded free lists first
+	// (portState.segFree) and spill the excess here, where any port may
+	// grab it.
+	segSpill []*capSegment
 
-	cDropped, cInjected, cFaults, cBadPort *stats.Counter
+	cDropped, cInjected, cFaults, cBadPort, cSegHomeMismatch *stats.Counter
 }
 
 // New boots a device around the given (already loaded) target.
@@ -243,8 +251,9 @@ func New(cfg Config) (*Device, error) {
 	d.cInjected = d.Counters.Counter("netdebug.injected")
 	d.cFaults = d.Counters.Counter("faults.injected")
 	d.cBadPort = d.Counters.Counter("tx.bad_port")
+	d.cSegHomeMismatch = d.Counters.Counter("capture.segment_home_mismatch")
 	for i := 0; i < cfg.NumPorts; i++ {
-		p := &portState{up: true}
+		p := &portState{idx: i, up: true}
 		p.cRxFrames = d.Counters.Counter(fmt.Sprintf("port%d.rx.frames", i))
 		p.cRxLinkDown = d.Counters.Counter(fmt.Sprintf("port%d.rx.link_down", i))
 		p.cRxBitFlips = d.Counters.Counter(fmt.Sprintf("port%d.rx.bit_flips", i))

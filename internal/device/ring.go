@@ -11,8 +11,12 @@ import "time"
 // segment stops accumulating) and handing the segment to the port's
 // borrowed list; the caller reads the frames in place and returns them
 // with ReleaseCaptures, which recycles the segment — slab, metadata and
-// frame headers — into a device-level free pool. In steady state the burst
-// path therefore runs at zero allocations per frame with capture retained.
+// frame headers — into the port's own bounded free list, overflowing into
+// a device-level spillway. Per-port recycling keeps a busy port's grown
+// slabs cycling back to that port (a segment sized by an 8K-frame drain is
+// not handed to a port capturing single frames), while the spillway lets
+// idle ports' segments serve busy ones. In steady state the burst path
+// therefore runs at zero allocations per frame with capture retained.
 //
 // The legacy copying store (Config.CopyCaptures) owns every frame outright
 // and needs no release; it is kept as the differential oracle for the ring.
@@ -25,26 +29,38 @@ type capMeta struct {
 
 // capSegment is one reusable capture buffer: frames accumulate into slab
 // while the segment is attached to a port, and frames[] is materialized
-// once at drain time, when the slab is final.
+// once at drain time, when the slab is final. home is the port the
+// segment was last attached to — the only port whose ReleaseCaptures may
+// recycle it.
 type capSegment struct {
 	slab   []byte
 	meta   []capMeta
 	frames []CapturedFrame
+	home   int
 }
 
+// portSegFreeCap bounds a port's own free list; releases beyond it spill
+// to the device-level spillway.
+const portSegFreeCap = 8
+
 // grabSegment returns the port's accumulating segment, attaching one from
-// the free pool (or a fresh one) if needed.
+// the port's free list, then the device spillway, then a fresh one.
 func (d *Device) grabSegment(p *portState) *capSegment {
 	if p.seg != nil {
 		return p.seg
 	}
-	if n := len(d.segFree); n > 0 {
-		p.seg = d.segFree[n-1]
-		d.segFree[n-1] = nil
-		d.segFree = d.segFree[:n-1]
+	if n := len(p.segFree); n > 0 {
+		p.seg = p.segFree[n-1]
+		p.segFree[n-1] = nil
+		p.segFree = p.segFree[:n-1]
+	} else if n := len(d.segSpill); n > 0 {
+		p.seg = d.segSpill[n-1]
+		d.segSpill[n-1] = nil
+		d.segSpill = d.segSpill[:n-1]
 	} else {
 		p.seg = &capSegment{}
 	}
+	p.seg.home = p.idx
 	return p.seg
 }
 
@@ -112,11 +128,23 @@ func (d *Device) ReleaseCaptures(port int) {
 	}
 	p := d.ports[port]
 	for i, seg := range p.borrowed {
+		p.borrowed[i] = nil
+		if seg.home != p.idx {
+			// A segment can only come home to the port that grabbed it;
+			// anything else indicates corrupted borrow bookkeeping, so
+			// drop the segment rather than recycle a buffer another port
+			// may still be reading through.
+			d.cSegHomeMismatch.Inc()
+			continue
+		}
 		seg.slab = seg.slab[:0]
 		seg.meta = seg.meta[:0]
 		seg.frames = seg.frames[:0]
-		d.segFree = append(d.segFree, seg)
-		p.borrowed[i] = nil
+		if len(p.segFree) < portSegFreeCap {
+			p.segFree = append(p.segFree, seg)
+		} else {
+			d.segSpill = append(d.segSpill, seg)
+		}
 	}
 	p.borrowed = p.borrowed[:0]
 }

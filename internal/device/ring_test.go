@@ -219,8 +219,11 @@ func TestCaptureRingRecyclesSegments(t *testing.T) {
 		}
 		d.ReleaseCaptures(1)
 	}
-	if got := len(d.segFree); got != 1 {
-		t.Fatalf("free pool holds %d segments after 5 cycles, want 1 (recycled)", got)
+	if got := len(d.ports[1].segFree); got != 1 {
+		t.Fatalf("port 1 free list holds %d segments after 5 cycles, want 1 (recycled)", got)
+	}
+	if got := len(d.segSpill); got != 0 {
+		t.Fatalf("spillway holds %d segments, want 0 (port list has room)", got)
 	}
 	// Double release and release of never-drained ports are safe no-ops.
 	d.ReleaseCaptures(1)

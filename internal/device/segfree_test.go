@@ -1,0 +1,125 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"netdebug/internal/target"
+)
+
+// drainOnce sends a burst and drains port 1 without releasing, leaving
+// one more borrowed segment on the port.
+func drainOnce(t *testing.T, d *Device, frames [][]byte) {
+	t.Helper()
+	if err := d.SendExternalBurst(0, frames, d.Now(), time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if caps := d.Captures(1); len(caps) != len(frames) {
+		t.Fatalf("%d captures, want %d", len(caps), len(frames))
+	}
+}
+
+// TestSegmentReleaseToWrongPortRejected: a segment whose home port does
+// not match the releasing port is dropped (and counted) instead of
+// recycled — the guard against corrupted borrow bookkeeping handing one
+// port's buffer to another mid-read.
+func TestSegmentReleaseToWrongPortRejected(t *testing.T) {
+	d := newRouterDevice(t, target.NewReference())
+	frames := [][]byte{testFrame(64), testFrame(64)}
+	drainOnce(t, d, frames)
+
+	// Corrupt the borrow bookkeeping: the segment claims another home.
+	if len(d.ports[1].borrowed) != 1 {
+		t.Fatalf("borrowed = %d, want 1", len(d.ports[1].borrowed))
+	}
+	d.ports[1].borrowed[0].home = 3
+	d.ReleaseCaptures(1)
+
+	if got := d.Counters.Counter("capture.segment_home_mismatch").Value(); got != 1 {
+		t.Fatalf("mismatch counter = %d, want 1", got)
+	}
+	if len(d.ports[1].segFree) != 0 || len(d.segSpill) != 0 {
+		t.Fatalf("rejected segment was recycled: port free %d, spill %d",
+			len(d.ports[1].segFree), len(d.segSpill))
+	}
+	if len(d.ports[1].borrowed) != 0 {
+		t.Fatalf("borrow list not cleared: %d", len(d.ports[1].borrowed))
+	}
+
+	// The port keeps working: a fresh cycle recycles normally.
+	drainOnce(t, d, frames)
+	d.ReleaseCaptures(1)
+	if len(d.ports[1].segFree) != 1 {
+		t.Fatalf("port free list = %d after clean cycle, want 1", len(d.ports[1].segFree))
+	}
+}
+
+// TestSegmentOverflowSpillsToDevice: releasing more segments than the
+// per-port free list holds spills the excess to the device-level
+// spillway, and later grabs drain the port list first, then the
+// spillway, before allocating.
+func TestSegmentOverflowSpillsToDevice(t *testing.T) {
+	d := newRouterDevice(t, target.NewReference())
+	frames := [][]byte{testFrame(64)}
+	const cycles = portSegFreeCap + 2
+
+	// Accumulate cycles borrowed segments, then release them in one call.
+	for i := 0; i < cycles; i++ {
+		drainOnce(t, d, frames)
+	}
+	if len(d.ports[1].borrowed) != cycles {
+		t.Fatalf("borrowed = %d, want %d", len(d.ports[1].borrowed), cycles)
+	}
+	d.ReleaseCaptures(1)
+	if got := len(d.ports[1].segFree); got != portSegFreeCap {
+		t.Fatalf("port free list = %d, want the %d cap", got, portSegFreeCap)
+	}
+	if got := len(d.segSpill); got != 2 {
+		t.Fatalf("spillway = %d, want the 2 overflow segments", got)
+	}
+
+	// Re-borrowing drains the port list and then the spillway dry before
+	// any segment is newly allocated.
+	for i := 0; i < cycles; i++ {
+		drainOnce(t, d, frames)
+	}
+	if len(d.ports[1].segFree) != 0 || len(d.segSpill) != 0 {
+		t.Fatalf("grabs left recycled segments idle: port free %d, spill %d",
+			len(d.ports[1].segFree), len(d.segSpill))
+	}
+	d.ReleaseCaptures(1)
+}
+
+// TestSegmentReleaseAcrossPortDown: captures borrowed before a port-down
+// fault still release cleanly while the port is down, and the recycled
+// segments serve the port after the fault clears.
+func TestSegmentReleaseAcrossPortDown(t *testing.T) {
+	d := newRouterDevice(t, target.NewReference())
+	frames := [][]byte{testFrame(64), testFrame(64), testFrame(64)}
+	drainOnce(t, d, frames)
+
+	if err := d.InjectFault(Fault{Kind: FaultPortDown, Port: 1}); err != nil {
+		t.Fatal(err)
+	}
+	d.ReleaseCaptures(1)
+	if len(d.ports[1].borrowed) != 0 || len(d.ports[1].segFree) != 1 {
+		t.Fatalf("release across port-down: borrowed %d, free %d",
+			len(d.ports[1].borrowed), len(d.ports[1].segFree))
+	}
+
+	// While the link is down nothing egresses, so nothing accumulates.
+	if err := d.SendExternalBurst(0, frames, d.Now(), time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if caps := d.Captures(1); caps != nil {
+		t.Fatalf("captures on a downed port: %d", len(caps))
+	}
+
+	d.ClearFaults()
+	drainOnce(t, d, frames)
+	d.ReleaseCaptures(1)
+	if len(d.ports[1].segFree) != 1 {
+		t.Fatalf("post-fault cycle did not reuse the recycled segment: free %d",
+			len(d.ports[1].segFree))
+	}
+}

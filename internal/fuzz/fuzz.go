@@ -46,6 +46,7 @@ import (
 	"sync"
 	"time"
 
+	"netdebug/internal/bitfield"
 	"netdebug/internal/core"
 	"netdebug/internal/dataplane"
 	"netdebug/internal/device"
@@ -100,6 +101,15 @@ type Options struct {
 	// MaxExamples caps the retained divergence examples per backend;
 	// counts are always complete (default 32).
 	MaxExamples int
+	// Occupancy preloads every table of every backend with up to this
+	// many synthetic entries before fuzzing starts (after Baseline),
+	// approximating production table state — ask for a million and each
+	// table fills to its capacity. Synthetic keys carry the top bit of
+	// every key field so they stay clear of typical baseline entries and
+	// probe traffic; the fill stops per table at the first rejected
+	// entry (capacity, duplicate key), so it is deterministic and
+	// identical on every shard. 0 fuzzes against the bare baseline.
+	Occupancy int
 }
 
 func (o *Options) fill() {
@@ -239,9 +249,11 @@ const maxProbeBatch = 512
 // shard is one lockstep device set: the same program on every backend.
 type shard struct {
 	devs []*device.Device
-	// scratch reused across probe batches: the frames and timestamps of
-	// the chunk in flight, and one signature builder per chunk slot.
+	// scratch reused across probe batches: the frames, global indices,
+	// and timestamps of the chunk in flight, and one signature builder
+	// per chunk slot.
 	batch [][]byte
+	idx   []int
 	ats   []time.Duration
 	sigs  []strings.Builder
 }
@@ -256,6 +268,12 @@ type Fleet struct {
 	refIdx int  // index of the reference backend in opts.Targets
 	hasRef bool // whether opts.Targets includes a reference-class backend
 	shards []*shard
+	// arena backs every mutation round's generated probe frames: each
+	// round's fresh generator binds an extent off it instead of growing
+	// a private slab, so the slab is allocated once for the whole run.
+	// Safe because a round's frames are dead (coverage-novel ones
+	// copied) before the next round's generator resets the arena.
+	arena core.SharedArena
 
 	// run state, mutated only by the sequential merge
 	corpus     [][]byte
@@ -364,6 +382,9 @@ func newShard(p4src string, opts Options) (*shard, error) {
 				return nil, fmt.Errorf("fuzz: install into %s: %w", kind, err)
 			}
 		}
+		if opts.Occupancy > 0 {
+			installOccupancy(tg, prog, opts.Occupancy)
+		}
 		dev, err := device.New(device.Config{Target: tg, DisableCapture: true})
 		if err != nil {
 			return nil, err
@@ -371,6 +392,57 @@ func newShard(p4src string, opts Options) (*shard, error) {
 		sh.devs = append(sh.devs, dev)
 	}
 	return sh, nil
+}
+
+// occupancyKey builds the i-th synthetic key value for a w-bit key
+// field: the top bit set (clear of typical baseline entries and probe
+// traffic) plus a running index for distinctness.
+func occupancyKey(i, w int) bitfield.Value {
+	if w <= 0 {
+		return bitfield.New(0, 0)
+	}
+	if w <= 64 {
+		return bitfield.New(uint64(1)<<uint(w-1)|uint64(i), w)
+	}
+	return bitfield.New128(uint64(1)<<uint(w-65), uint64(i), w)
+}
+
+// installOccupancy fills every table of the loaded program with up to n
+// synthetic entries: full-length prefixes for LPM keys, all-ones masks
+// for ternary keys, the table's first action with zero-valued
+// arguments. Each table's fill stops at its first rejected entry —
+// capacity or a key-space collision — which makes a huge n mean "fill
+// to capacity" rather than an error.
+func installOccupancy(tg target.Target, prog *ir.Program, n int) {
+	for _, ctl := range prog.Controls {
+		for _, tbl := range ctl.Tables {
+			if len(tbl.Keys) == 0 || len(tbl.Actions) == 0 {
+				continue
+			}
+			act := tbl.Actions[0]
+			for i := 0; i < n; i++ {
+				e := dataplane.Entry{Table: tbl.Name, Action: act.Name}
+				for _, tk := range tbl.Keys {
+					w := tk.Expr.Width()
+					kv := dataplane.KeyValue{Value: occupancyKey(i, w)}
+					switch tk.Kind {
+					case ir.MatchLPM:
+						kv.PrefixLen = w
+					case ir.MatchTernary:
+						kv.Mask = bitfield.New128(^uint64(0), ^uint64(0), w)
+						e.Priority = i + 1
+					}
+					e.Keys = append(e.Keys, kv)
+				}
+				for _, p := range act.Params {
+					e.Args = append(e.Args, bitfield.New(0, p.Width))
+				}
+				if err := tg.InstallEntry(e); err != nil {
+					break
+				}
+			}
+		}
+	}
 }
 
 // defaultSeeds derives the two-frame default corpus from the program's
@@ -526,9 +598,15 @@ func (f *Fleet) mutationBatch(r, count int) ([][]byte, func(int) []int, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	// The generator arena owns the frames; they stay valid for this
-	// round because the next Packets call happens on the next round's
-	// fresh generator. Coverage-novel frames are copied on retention.
+	// The arena owns the frames; they stay valid for this round because
+	// the next round's generator rebinds the slab only after this
+	// round's merge. Coverage-novel frames are copied on retention.
+	totalBytes := 0
+	for _, s := range streams {
+		totalBytes += s.Count * len(s.Template)
+	}
+	f.arena.Reset(totalBytes)
+	gen.UseArena(&f.arena, totalBytes)
 	pkts := gen.Packets(0)
 	frames := make([][]byte, len(pkts))
 	streamsOf := make([]string, len(pkts))
@@ -597,19 +675,25 @@ func (f *Fleet) runBatch(frames [][]byte) []probeResult {
 func (sh *shard) probeStride(f *Fleet, frames [][]byte, first, stride int, results []probeResult) {
 	for start := first; start < len(frames); start += stride * maxProbeBatch {
 		sh.batch = sh.batch[:0]
-		idx := make([]int, 0, maxProbeBatch)
+		idx := sh.idx[:0]
 		for i := start; i < len(frames) && len(idx) < maxProbeBatch; i += stride {
 			sh.batch = append(sh.batch, frames[i])
 			idx = append(idx, i)
 		}
+		sh.idx = idx
 		for len(sh.ats) < len(idx) {
 			sh.ats = append(sh.ats, 0)
 		}
 		for len(sh.sigs) < len(idx) {
 			sh.sigs = append(sh.sigs, strings.Builder{})
 		}
+		// One outcome buffer for the whole chunk, subsliced per probe:
+		// the buffer is retained by the results (the vote reads it after
+		// the merge), so it is fresh per chunk, but it is one allocation
+		// instead of one per probe.
+		outsBuf := make([]outcome, len(idx)*len(sh.devs))
 		for j, i := range idx {
-			results[i].outs = make([]outcome, len(sh.devs))
+			results[i].outs = outsBuf[j*len(sh.devs) : (j+1)*len(sh.devs) : (j+1)*len(sh.devs)]
 			sh.sigs[j].Reset()
 		}
 		for b, dev := range sh.devs {
@@ -737,22 +821,72 @@ func (f *Fleet) mergeBatch(frames [][]byte, origin string, fieldsOf func(int) []
 	}
 }
 
-// vote tallies one probe's outcomes and records dissent. A strict
-// majority names every backend outside it; a tie (no strict majority)
-// is re-scored against the reference anchor when one is present and
-// corroborated by at least one other backend.
-func (f *Fleet) vote(probeIdx int, origin string, frame []byte, outs []outcome) {
+// tallyScan returns the plurality outcome of a probe and how many
+// backends share it, by pairwise scan: outcome is comparable and the
+// matrix is a handful of backends, so the scan beats building a map per
+// probe (tallyMap, the retired form, is kept as the equality oracle).
+// Among equally common outcomes the winner is the first in backend
+// order; callers only rely on best when its count is a strict majority,
+// which is unique.
+func tallyScan(outs []outcome) (best outcome, bestN int) {
+	for i, o := range outs {
+		dup := false
+		for j := 0; j < i; j++ {
+			if outs[j] == o {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		n := 1
+		for j := i + 1; j < len(outs); j++ {
+			if outs[j] == o {
+				n++
+			}
+		}
+		if n > bestN {
+			best, bestN = o, n
+		}
+	}
+	return best, bestN
+}
+
+// tallyMap is the retired map-based tally — tallyScan's equality
+// oracle. Among equally common outcomes its winner follows map
+// iteration order, so only bestN (and best under a strict majority) is
+// part of the contract.
+func tallyMap(outs []outcome) (best outcome, bestN int) {
 	counts := make(map[outcome]int, 2)
 	for _, o := range outs {
 		counts[o]++
 	}
-	var best outcome
-	bestN := 0
 	for o, n := range counts {
 		if n > bestN {
 			best, bestN = o, n
 		}
 	}
+	return best, bestN
+}
+
+// countOf returns how many backends produced exactly the outcome o.
+func countOf(outs []outcome, o outcome) int {
+	n := 0
+	for _, x := range outs {
+		if x == o {
+			n++
+		}
+	}
+	return n
+}
+
+// vote tallies one probe's outcomes and records dissent. A strict
+// majority names every backend outside it; a tie (no strict majority)
+// is re-scored against the reference anchor when one is present and
+// corroborated by at least one other backend.
+func (f *Fleet) vote(probeIdx int, origin string, frame []byte, outs []outcome) {
+	best, bestN := tallyScan(outs)
 	anchored := false
 	if bestN*2 <= len(outs) {
 		// No strict majority (e.g. a 2–2 split). Re-score against the
@@ -760,7 +894,7 @@ func (f *Fleet) vote(probeIdx int, origin string, frame []byte, outs []outcome) 
 		// breaks the tie; an uncorroborated one (the reference itself
 		// divergent in the tie) or a fleet without a reference leaves
 		// the probe unresolved.
-		if !f.hasRef || counts[outs[f.refIdx]] < 2 {
+		if !f.hasRef || countOf(outs, outs[f.refIdx]) < 2 {
 			f.ties++
 			return
 		}

@@ -1,0 +1,139 @@
+package fuzz
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"netdebug/internal/dataplane"
+	"netdebug/internal/p4/compile"
+	"netdebug/internal/p4/p4test"
+	"netdebug/internal/target"
+)
+
+// TestTallyScanMatchesMapOracle fuzzes the scan-based vote tally against
+// the retired map-based form: the plurality count always agrees, the
+// winning outcome agrees whenever it is a strict majority (the only case
+// vote relies on), and countOf agrees with the map's count for every
+// element.
+func TestTallyScanMatchesMapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 2000; trial++ {
+		n := 3 + rng.Intn(6)
+		outs := make([]outcome, n)
+		for i := range outs {
+			outs[i] = outcome{
+				dropped: rng.Intn(2) == 0,
+				port:    uint64(rng.Intn(3)),
+				data:    string(rune('a' + rng.Intn(2))),
+			}
+		}
+		best, bestN := tallyScan(outs)
+		mBest, mBestN := tallyMap(outs)
+		if bestN != mBestN {
+			t.Fatalf("trial %d: scan count %d, map count %d for %+v", trial, bestN, mBestN, outs)
+		}
+		if bestN*2 > n && best != mBest {
+			t.Fatalf("trial %d: strict-majority winner diverges: scan %+v, map %+v", trial, best, mBest)
+		}
+		if got, want := countOf(outs, outs[0]), func() int {
+			n := 0
+			for _, o := range outs {
+				if o == outs[0] {
+					n++
+				}
+			}
+			return n
+		}(); got != want {
+			t.Fatalf("trial %d: countOf %d, want %d", trial, got, want)
+		}
+	}
+}
+
+// TestOccupancyFillsToCapacity: asking for a million flows fills each
+// table to its capacity (the fill clips, it does not error), leaving no
+// room for further entries.
+func TestOccupancyFillsToCapacity(t *testing.T) {
+	prog, err := compile.Compile(p4test.Router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := target.NewReference()
+	if err := tg.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range routerBaseline() {
+		if err := tg.InstallEntry(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	installOccupancy(tg, prog, 1_000_000)
+
+	// One more distinct entry must bounce off the full table.
+	err = tg.InstallEntry(dataplane.Entry{
+		Table:  "ipv4_lpm",
+		Keys:   []dataplane.KeyValue{{Value: occupancyKey(1<<21, 32), PrefixLen: 32}},
+		Action: "ipv4_forward",
+		Args:   routerBaseline()[0].Args,
+	})
+	var capErr *dataplane.CapacityError
+	if !errors.As(err, &capErr) {
+		t.Fatalf("table not filled to capacity: install after fill returned %v", err)
+	}
+}
+
+// TestFleetDeterministicAtMillionFlowOccupancy: the determinism contract
+// holds with every backend's tables filled to capacity — the report is
+// byte-identical at any shard count, and occupancy does not starve the
+// probe surface.
+func TestFleetDeterministicAtMillionFlowOccupancy(t *testing.T) {
+	opts := Options{
+		Baseline:  routerBaseline(),
+		Budget:    256,
+		RoundSize: 128,
+		Seed:      42,
+		Occupancy: 1_000_000,
+	}
+	var reports []*Report
+	for _, shards := range []int{1, 2} {
+		o := opts
+		o.Shards = shards
+		reports = append(reports, stripTiming(mustRun(t, p4test.Router, o)))
+	}
+	if !reflect.DeepEqual(reports[0], reports[1]) {
+		t.Fatalf("occupied report differs between 1 and 2 shards:\n1: %+v\n2: %+v",
+			reports[0], reports[1])
+	}
+	if reports[0].Probes == 0 || reports[0].Coverage == 0 {
+		t.Fatalf("degenerate occupied run: %+v", reports[0])
+	}
+}
+
+// BenchmarkFuzzFleetThroughputMillionFlow is BenchmarkFuzzFleetThroughput
+// against backends preloaded at million-flow occupancy (each table at
+// capacity): the probes/s figure under production-sized table state.
+func BenchmarkFuzzFleetThroughputMillionFlow(b *testing.B) {
+	f, err := New(p4test.Router, Options{
+		Baseline:  routerBaseline(),
+		Seed:      7,
+		Occupancy: 1_000_000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := f.defaultSeeds()
+	f.mergeBatch(seeds, OriginSeed, nil, f.runBatch(seeds))
+	frames, _, err := f.mutationBatch(0, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stable := make([][]byte, len(frames))
+	for i, fr := range frames {
+		stable[i] = append([]byte(nil), fr...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.runBatch(stable)
+	}
+}

@@ -10,6 +10,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
@@ -74,6 +75,28 @@ func (m *Meter) Record(ts time.Duration, n int) {
 	}
 	m.events++
 	m.bytes += uint64(n)
+}
+
+// RecordBlock folds a whole block of events into the meter under one
+// lock acquisition: first is the timestamp of the block's first event in
+// record order, last its latest timestamp, events/bytes the block
+// totals. Equivalent to calling Record per event in the same order —
+// the batched checker's amortization of the per-frame meter lock.
+func (m *Meter) RecordBlock(first, last time.Duration, events, bytes uint64) {
+	if events == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.started {
+		m.firstNanos = first.Nanoseconds()
+		m.started = true
+	}
+	if nanos := last.Nanoseconds(); nanos > m.lastNanos {
+		m.lastNanos = nanos
+	}
+	m.events += events
+	m.bytes += bytes
 }
 
 // Snapshot summarizes the meter.
@@ -145,24 +168,13 @@ func bucketIndex(v int64) int {
 		return int(v)
 	}
 	// magnitude = position of the highest set bit above log2(subBuckets)
-	mag := 63 - leadingZeros64(uint64(v)) - 5 // log2(histSubBuckets)==5
-	sub := v >> uint(mag)                     // in [histSubBuckets, 2*histSubBuckets)
+	mag := 63 - bits.LeadingZeros64(uint64(v)) - 5 // log2(histSubBuckets)==5
+	sub := v >> uint(mag)                          // in [histSubBuckets, 2*histSubBuckets)
 	idx := (mag+1)*histSubBuckets + int(sub) - histSubBuckets
 	if idx >= histMagnitudes*histSubBuckets {
 		idx = histMagnitudes*histSubBuckets - 1
 	}
 	return idx
-}
-
-func leadingZeros64(v uint64) int {
-	n := 0
-	for i := 63; i >= 0; i-- {
-		if v&(1<<uint(i)) != 0 {
-			break
-		}
-		n++
-	}
-	return n
 }
 
 // bucketLow returns the smallest value mapping to bucket idx.
@@ -193,6 +205,46 @@ func (h *Histogram) Observe(d time.Duration) {
 	for {
 		cur := h.min.Load()
 		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveBatch records a block of durations with one atomic update each
+// of the aggregate total, sum, max and min instead of five read-modify-
+// writes per value; per-bucket counts stay exact. Equivalent to calling
+// Observe per value.
+func (h *Histogram) ObserveBatch(ds []time.Duration) {
+	if len(ds) == 0 {
+		return
+	}
+	var sum uint64
+	maxV, minV := int64(-1), int64(math.MaxInt64)
+	for _, d := range ds {
+		v := d.Nanoseconds()
+		if v < 0 {
+			v = 0
+		}
+		h.counts[bucketIndex(v)].Add(1)
+		sum += uint64(v)
+		if v > maxV {
+			maxV = v
+		}
+		if v < minV {
+			minV = v
+		}
+	}
+	h.total.Add(uint64(len(ds)))
+	h.sum.Add(sum)
+	for {
+		cur := h.max.Load()
+		if maxV <= cur || h.max.CompareAndSwap(cur, maxV) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if minV >= cur || h.min.CompareAndSwap(cur, minV) {
 			break
 		}
 	}

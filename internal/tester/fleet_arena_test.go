@@ -1,0 +1,212 @@
+package tester
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"netdebug/internal/bitfield"
+	"netdebug/internal/dataplane"
+	"netdebug/internal/device"
+	"netdebug/internal/packet"
+)
+
+// newFleetDevice is newDevice plus a second route, so the differential
+// workload's untagged stream egresses on its own port: streams sharing
+// one egress line are serialized burst-after-burst in virtual time, and
+// a later burst starting at the shared start time would tail-drop
+// against the queue model instead of scoring as unexpected captures.
+func newFleetDevice(t testing.TB) *device.Device {
+	dev := newDevice(t)
+	if err := dev.Target().InstallEntry(dataplane.Entry{
+		Table:  "ipv4_lpm",
+		Keys:   []dataplane.KeyValue{{Value: bitfield.New(0x0a000200, 32), PrefixLen: 24}},
+		Action: "ipv4_forward",
+		Args:   []bitfield.Value{bitfield.FromBytes(gw[:]), bitfield.New(2, 9)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+// mixedStreams is the differential workload: a tagged stream that must
+// come back, a parser-rejected stream (expected loss), and an untagged
+// stream whose captures score as unexpected — together they exercise the
+// received, lost, and unexpected paths of both scorers.
+func mixedStreams(count int) []Stream {
+	bad := frame(16)
+	bad[14] = 0x65 // not IPv4: the parser rejects it, so it never egresses
+	toPort2 := packet.BuildUDPv4(macA, macB, ipA, packet.IPv4Addr{10, 0, 2, 9},
+		40000, 53, make([]byte, 16))
+	return []Stream{
+		{Name: "fwd", Frame: frame(16), Count: count,
+			TxPort: 0, RxPort: 1, RatePPS: 1e6, SeqLoc: seqLoc()},
+		{Name: "rejected", Frame: bad, Count: count / 4,
+			TxPort: 0, RxPort: 1, RatePPS: 1e6, SeqLoc: seqLoc(), ExpectLoss: true},
+		{Name: "untagged", Frame: toPort2, Count: count / 8,
+			TxPort: 3, RxPort: 2, RatePPS: 1e6},
+	}
+}
+
+// TestTesterBatchedScoringMatchesPerFrame: the block scorer (dense
+// sent-frame table, batched histogram/meter updates) produces a report
+// byte-identical to the retired frame-at-a-time scorer on the same
+// workload — counters, per-stream tallies, RTT percentiles, and rates.
+func TestTesterBatchedScoringMatchesPerFrame(t *testing.T) {
+	streams := mixedStreams(600) // > one 512-frame scoring block
+
+	oracle := New(newFleetDevice(t))
+	oracle.perFrameScoring = true
+	want, err := oracle.Run(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batched := New(newFleetDevice(t))
+	got, err := batched.Run(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("batched scorer diverges from per-frame oracle:\n got %+v\nwant %+v", got, want)
+	}
+	if want.Received == 0 || want.Lost == 0 || want.Unexpected == 0 {
+		t.Fatalf("workload did not exercise all scoring paths: %+v", want)
+	}
+}
+
+// TestFleetSharedArenaMatchesPrivate is the shared-arena differential:
+// a fleet whose shards carve extents off one shared slab reports
+// byte-identically to a fleet where every shard keeps a private arena,
+// at 1, 2, and 8 shards (run under -race this also exercises the
+// concurrent extent reservations).
+func TestFleetSharedArenaMatchesPrivate(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		streams := mixedStreams(240)
+
+		private := &Fleet{
+			New:           func() (*device.Device, error) { return newFleetDevice(t), nil },
+			Workers:       shards,
+			PrivateArenas: true,
+		}
+		want, err := private.Run(streams)
+		if err != nil {
+			t.Fatalf("%d shards (private): %v", shards, err)
+		}
+
+		shared := &Fleet{
+			New:     func() (*device.Device, error) { return newFleetDevice(t), nil },
+			Workers: shards,
+		}
+		got, err := shared.Run(streams)
+		if err != nil {
+			t.Fatalf("%d shards (shared): %v", shards, err)
+		}
+
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%d shards: shared-arena report diverges from private-arena oracle:\n got %+v\nwant %+v",
+				shards, got, want)
+		}
+		if shared.arena.Used() == 0 {
+			t.Fatalf("%d shards: shared arena unused — shards fell back to private slabs", shards)
+		}
+		if want.Received == 0 || want.Lost == 0 {
+			t.Fatalf("%d shards: workload did not exercise loss: %+v", shards, want)
+		}
+	}
+}
+
+// TestFleetWarmRunBookkeepingAllocs: a warm Fleet.Run reuses its shard
+// plan, testers, scoring scratch, and the shared slab, so per-run
+// bookkeeping allocations must not scale with the frame count (frame
+// data itself lives in the warm slab).
+func TestFleetWarmRunBookkeepingAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation floor not meaningful under the race detector")
+	}
+	const workers = 2
+	devs := make([]*device.Device, workers)
+	for i := range devs {
+		devs[i] = newDevice(t)
+	}
+	var next atomic.Int64
+	fleet := &Fleet{
+		New: func() (*device.Device, error) {
+			return devs[next.Add(1)%workers], nil
+		},
+		Workers: workers,
+	}
+	run := func(count int) {
+		if _, err := fleet.Run([]Stream{{
+			Name: "s", Frame: frame(16), Count: count,
+			TxPort: 0, RxPort: 1, RatePPS: 1e6, SeqLoc: seqLoc(),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(1024) // warm the slab, sent table, and capture rings at max size
+	small := testing.AllocsPerRun(10, func() { run(128) })
+	big := testing.AllocsPerRun(10, func() { run(1024) })
+	// Constant per-run cost (report, merge histogram, goroutines) is
+	// fine; anything per-frame would add ~896 allocs between the sizes.
+	if big-small > 64 {
+		t.Fatalf("warm Fleet.Run bookkeeping scales with frames: %.1f allocs at 128, %.1f at 1024",
+			small, big)
+	}
+	if big > 256 {
+		t.Fatalf("warm Fleet.Run allocates %.1f per run, want small constant bookkeeping", big)
+	}
+}
+
+// BenchmarkFleetAggregateMpps drives N simulated devices from one
+// generator slab and reports the fleet's aggregate packet rate: 8192
+// frames per run, split across the shards. benchgate pins the
+// single-device case and, on runners with >= 8 procs, enforces the
+// 1-shard : 8-shard aggregate scaling ratio.
+func BenchmarkFleetAggregateMpps(b *testing.B) {
+	for _, nDev := range []int{1, 2, 4, 8} {
+		b.Run(deviceLabel(nDev), func(b *testing.B) {
+			devs := make([]*device.Device, nDev)
+			for i := range devs {
+				devs[i] = newDevice(b)
+			}
+			var next atomic.Int64
+			fleet := &Fleet{
+				New: func() (*device.Device, error) {
+					return devs[next.Add(1)%int64(nDev)], nil
+				},
+				Workers: nDev,
+			}
+			const frames = 8192
+			streams := []Stream{{
+				Name: "s", Frame: frame(16), Count: frames,
+				TxPort: 0, RxPort: 1, RatePPS: 1e6, SeqLoc: seqLoc(),
+			}}
+			// One warm run so the steady state is measured: slab, shard
+			// plan, capture rings, and scoring scratch all at full size.
+			if _, err := fleet.Run(streams); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := fleet.Run(streams)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Received != frames {
+					b.Fatalf("received %d of %d", rep.Received, frames)
+				}
+			}
+			secs := b.Elapsed().Seconds()
+			if secs > 0 {
+				b.ReportMetric(float64(b.N)*frames/secs/1e6, "Mpps")
+			}
+		})
+	}
+}
+
+func deviceLabel(n int) string {
+	return "devices" + string(rune('0'+n))
+}

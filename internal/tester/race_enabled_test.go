@@ -1,0 +1,7 @@
+//go:build race
+
+package tester
+
+// raceEnabled reports whether the race detector is active: allocation-
+// count assertions are skipped under race instrumentation.
+const raceEnabled = true

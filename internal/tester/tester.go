@@ -82,34 +82,63 @@ type Tester struct {
 	dev *device.Device
 	// arena stamps stream frames without a per-frame allocation; the
 	// frames of a run are valid until the next Run on this tester.
-	arena core.FrameArena
+	// UseArena rebinds it to extents of a fleet-shared slab.
+	arena  core.FrameArena
+	shared *core.SharedArena
+
+	// perFrameScoring selects the retired frame-at-a-time capture
+	// scorer (map-keyed outstanding set, per-frame histogram and meter
+	// updates) — the equality oracle for the batched block scorer.
+	perFrameScoring bool
+
+	// Batched-scoring scratch reused across runs, so warm runs add no
+	// per-frame bookkeeping allocations: the dense sent-frame table
+	// (indexed by sequence tag), the per-block RTT staging, per-stream
+	// tallies, and the deduped RX port list.
+	sent    []sentFrame
+	rtts    []time.Duration
+	recv    []uint64
+	lostCnt []uint64
+	rxPorts []int
 }
 
 // New attaches a tester to the device's external ports.
 func New(dev *device.Device) *Tester { return &Tester{dev: dev} }
 
+// UseArena makes the tester reserve each run's frame storage as one
+// contiguous extent off the fleet-shared arena instead of its private
+// slab (nil returns it to private mode). Fleet.Run wires this for every
+// shard so the whole fleet stamps frames into one memory region.
+func (t *Tester) UseArena(sa *core.SharedArena) { t.shared = sa }
+
 type sentFrame struct {
-	stream string
-	at     time.Duration
+	stream  int32 // index into the run's streams; -1 = untagged slot
+	matched bool
+	at      time.Duration
 }
 
+// scoreBlock is the capture-scoring block size, mirroring the injection
+// side's batching (device burst path, core's maxInjectBatch): captures
+// are matched and their RTTs staged per block, then folded into the
+// histogram and rate meter with one batched update each.
+const scoreBlock = 512
+
 // Run transmits every stream and scores the captures. Frames are sent in
-// virtual time; captures are drained from each stream's RxPort afterwards.
+// virtual time; captures are drained from each stream's RxPort afterwards
+// (ports in first-declared order) and scored in 512-frame blocks.
 func (t *Tester) Run(streams []Stream) (*Report, error) {
+	if t.perFrameScoring {
+		return t.runPerFrame(streams)
+	}
 	// The tester matches RX frames exclusively through the device's
 	// capture ports; with capture disabled every stream would score as
 	// total loss, so fail loudly instead.
 	if !t.dev.CaptureEnabled() {
 		return nil, fmt.Errorf("tester: device has frame capture disabled; the external tester needs capture ports")
 	}
-	rep := &Report{PerStream: make(map[string]StreamResult)}
+	rep := &Report{PerStream: make(map[string]StreamResult, len(streams))}
 	lat := stats.NewHistogram()
 	var meter stats.Meter
-
-	outstanding := map[uint64]sentFrame{}
-	gid := uint64(0)
-	start := t.dev.Now()
-	rxPorts := map[int]bool{}
 
 	totalBytes, totalFrames := 0, 0
 	for _, s := range streams {
@@ -119,15 +148,49 @@ func (t *Tester) Run(streams []Stream) (*Report, error) {
 		totalBytes += s.Count * len(s.Frame)
 		totalFrames += s.Count
 	}
-	t.arena.Reset(totalBytes, totalFrames)
+	t.shared.Reserve(&t.arena, totalBytes, totalFrames)
 
-	for _, s := range streams {
+	// The dense sent-frame table replaces the per-frame map the retired
+	// scorer keeps: sequence tags are 0..totalFrames-1 by construction,
+	// so registration and lookup are a bounds-checked index, and the
+	// table is scratch reused across runs.
+	if cap(t.sent) < totalFrames {
+		t.sent = make([]sentFrame, totalFrames)
+	}
+	sent := t.sent[:totalFrames]
+	for i := range sent {
+		sent[i] = sentFrame{stream: -1}
+	}
+	if cap(t.recv) < len(streams) {
+		t.recv = make([]uint64, len(streams))
+		t.lostCnt = make([]uint64, len(streams))
+	}
+	recv := t.recv[:len(streams)]
+	lostCnt := t.lostCnt[:len(streams)]
+	for i := range recv {
+		recv[i], lostCnt[i] = 0, 0
+	}
+
+	rxPorts := t.rxPorts[:0]
+	start := t.dev.Now()
+	gid := uint64(0)
+	for si := range streams {
+		s := &streams[si]
 		rate := s.RatePPS
 		if rate <= 0 {
 			rate = 10e9 / (float64(len(s.Frame)+20) * 8)
 		}
 		interval := time.Duration(1e9 / rate)
-		rxPorts[s.RxPort] = true
+		seenPort := false
+		for _, p := range rxPorts {
+			if p == s.RxPort {
+				seenPort = true
+				break
+			}
+		}
+		if !seenPort {
+			rxPorts = append(rxPorts, s.RxPort)
+		}
 		// Stamp the whole stream up front in the arena, then hand it to
 		// the device as one burst: the batched data-plane path amortizes
 		// per-packet overhead while producing the same virtual-time
@@ -143,7 +206,165 @@ func (t *Tester) Run(streams []Stream) (*Report, error) {
 					bitfield.New(gid, s.SeqLoc.Bits)); err != nil {
 					return nil, fmt.Errorf("tester: stream %q seq tag: %w", s.Name, err)
 				}
-				outstanding[gid] = sentFrame{stream: s.Name, at: start + time.Duration(i)*interval}
+				sent[gid] = sentFrame{stream: int32(si), at: start + time.Duration(i)*interval}
+			}
+			gid++
+		}
+		if err := t.dev.SendExternalBurst(s.TxPort, t.arena.Since(streamStart), start, interval); err != nil {
+			return nil, err
+		}
+		rep.Sent += uint64(s.Count)
+		sr := rep.PerStream[s.Name]
+		sr.Sent += uint64(s.Count)
+		rep.PerStream[s.Name] = sr
+	}
+	t.rxPorts = rxPorts
+
+	// Drain captures on every RX port and match sequence tags, scoring
+	// in blocks: RTTs are staged per block and batch-observed, stream
+	// tallies accumulate in dense scratch (folded into the report map
+	// once, after the drain), and the rate meter is updated once per
+	// block. Captured frames are borrowed from the device's capture
+	// ring, so each port's segments go back via ReleaseCaptures as soon
+	// as its drain completes.
+	rtts := t.rtts[:0]
+	for _, port := range rxPorts {
+		caps := t.dev.Captures(port)
+		for blockStart := 0; blockStart < len(caps); blockStart += scoreBlock {
+			block := caps[blockStart:]
+			if len(block) > scoreBlock {
+				block = block[:scoreBlock]
+			}
+			rtts = rtts[:0]
+			var events, bytes uint64
+			var first, last time.Duration
+			for ci := range block {
+				cf := &block[ci]
+				rep.Received++
+				if events == 0 {
+					first = cf.At
+				}
+				if cf.At > last {
+					last = cf.At
+				}
+				events++
+				bytes += uint64(len(cf.Data))
+				matched := false
+				for si := range streams {
+					s := &streams[si]
+					if s.RxPort != port || !s.SeqLoc.Valid() {
+						continue
+					}
+					v, err := bitfield.Extract(cf.Data, s.SeqLoc.BitOff, s.SeqLoc.Bits)
+					if err != nil {
+						continue
+					}
+					seq := v.Uint64()
+					if seq >= uint64(len(sent)) {
+						continue
+					}
+					sf := &sent[seq]
+					if sf.stream < 0 || sf.matched || streams[sf.stream].Name != s.Name {
+						continue
+					}
+					sf.matched = true
+					rtts = append(rtts, cf.At-sf.at)
+					recv[si]++
+					matched = true
+					break
+				}
+				if !matched {
+					rep.Unexpected++
+				}
+			}
+			lat.ObserveBatch(rtts)
+			meter.RecordBlock(first, last, events, bytes)
+		}
+		t.dev.ReleaseCaptures(port)
+	}
+	t.rtts = rtts[:0]
+
+	for i := range sent {
+		sf := &sent[i]
+		if sf.stream < 0 || sf.matched {
+			continue
+		}
+		rep.Lost++
+		lostCnt[sf.stream]++
+	}
+	for si := range streams {
+		if recv[si] == 0 && lostCnt[si] == 0 {
+			continue
+		}
+		sr := rep.PerStream[streams[si].Name]
+		sr.Received += recv[si]
+		sr.Lost += lostCnt[si]
+		rep.PerStream[streams[si].Name] = sr
+	}
+
+	t.finishReport(rep, streams, lat, &meter)
+	return rep, nil
+}
+
+// runPerFrame is the retired frame-at-a-time scorer, kept verbatim (map
+// outstanding set, per-capture histogram/meter updates) as the equality
+// oracle for Run's batched block scorer: the differential tests assert
+// byte-identical reports from both paths.
+func (t *Tester) runPerFrame(streams []Stream) (*Report, error) {
+	if !t.dev.CaptureEnabled() {
+		return nil, fmt.Errorf("tester: device has frame capture disabled; the external tester needs capture ports")
+	}
+	rep := &Report{PerStream: make(map[string]StreamResult)}
+	lat := stats.NewHistogram()
+	var meter stats.Meter
+
+	outstanding := map[uint64]struct {
+		stream string
+		at     time.Duration
+	}{}
+	gid := uint64(0)
+	start := t.dev.Now()
+	var rxPorts []int
+
+	totalBytes, totalFrames := 0, 0
+	for _, s := range streams {
+		if len(s.Frame) == 0 || s.Count <= 0 {
+			return nil, fmt.Errorf("tester: stream %q is empty", s.Name)
+		}
+		totalBytes += s.Count * len(s.Frame)
+		totalFrames += s.Count
+	}
+	t.shared.Reserve(&t.arena, totalBytes, totalFrames)
+
+	for _, s := range streams {
+		rate := s.RatePPS
+		if rate <= 0 {
+			rate = 10e9 / (float64(len(s.Frame)+20) * 8)
+		}
+		interval := time.Duration(1e9 / rate)
+		seenPort := false
+		for _, p := range rxPorts {
+			if p == s.RxPort {
+				seenPort = true
+				break
+			}
+		}
+		if !seenPort {
+			rxPorts = append(rxPorts, s.RxPort)
+		}
+		streamStart := t.arena.Mark()
+		for i := 0; i < s.Count; i++ {
+			frame := t.arena.Frame(len(s.Frame))
+			copy(frame, s.Frame)
+			if s.SeqLoc.Valid() {
+				if err := bitfield.Inject(frame, s.SeqLoc.BitOff, s.SeqLoc.Bits,
+					bitfield.New(gid, s.SeqLoc.Bits)); err != nil {
+					return nil, fmt.Errorf("tester: stream %q seq tag: %w", s.Name, err)
+				}
+				outstanding[gid] = struct {
+					stream string
+					at     time.Duration
+				}{stream: s.Name, at: start + time.Duration(i)*interval}
 			}
 			gid++
 		}
@@ -156,21 +377,16 @@ func (t *Tester) Run(streams []Stream) (*Report, error) {
 		rep.PerStream[s.Name] = sr
 	}
 
-	// Drain captures on every RX port and match sequence tags. Captured
-	// frames are borrowed from the device's capture ring: everything the
-	// tester needs (sequence tag, length, timestamp) is extracted in this
-	// loop, so each port's segments go back via ReleaseCaptures as soon
-	// as its drain completes.
-	for port := range rxPorts {
-		for _, cap := range t.dev.Captures(port) {
+	for _, port := range rxPorts {
+		for _, cf := range t.dev.Captures(port) {
 			rep.Received++
-			meter.Record(cap.At, len(cap.Data))
+			meter.Record(cf.At, len(cf.Data))
 			matched := false
 			for _, s := range streams {
 				if s.RxPort != port || !s.SeqLoc.Valid() {
 					continue
 				}
-				v, err := bitfield.Extract(cap.Data, s.SeqLoc.BitOff, s.SeqLoc.Bits)
+				v, err := bitfield.Extract(cf.Data, s.SeqLoc.BitOff, s.SeqLoc.Bits)
 				if err != nil {
 					continue
 				}
@@ -179,7 +395,7 @@ func (t *Tester) Run(streams []Stream) (*Report, error) {
 					continue
 				}
 				delete(outstanding, v.Uint64())
-				lat.Observe(cap.At - sf.at)
+				lat.Observe(cf.At - sf.at)
 				sr := rep.PerStream[s.Name]
 				sr.Received++
 				rep.PerStream[s.Name] = sr
@@ -200,6 +416,13 @@ func (t *Tester) Run(streams []Stream) (*Report, error) {
 		rep.PerStream[sf.stream] = sr
 	}
 
+	t.finishReport(rep, streams, lat, &meter)
+	return rep, nil
+}
+
+// finishReport computes per-stream verdicts and the RTT/rate summary —
+// shared by the batched scorer and the per-frame oracle.
+func (t *Tester) finishReport(rep *Report, streams []Stream, lat *stats.Histogram, meter *stats.Meter) {
 	rep.Pass = true
 	for _, s := range streams {
 		sr := rep.PerStream[s.Name]
@@ -222,7 +445,6 @@ func (t *Tester) Run(streams []Stream) (*Report, error) {
 	snap := meter.Snapshot()
 	rep.RxPPS = snap.PPS
 	rep.RxBPS = snap.BPS
-	return rep, nil
 }
 
 // MeasureThroughput floods the device at line rate from txPort and

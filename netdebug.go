@@ -611,6 +611,15 @@ func WithoutSolverProbes() FuzzOption {
 	return func(o *fuzz.Options) { o.DisableSolver = true }
 }
 
+// WithFuzzOccupancy preloads every table of every backend with up to n
+// synthetic entries before fuzzing, approximating production table
+// state — ask for a million flows and each table fills to capacity.
+// The fill is deterministic, so the report stays shard-count
+// independent.
+func WithFuzzOccupancy(n int) FuzzOption {
+	return func(o *fuzz.Options) { o.Occupancy = n }
+}
+
 // FuzzFleet runs the coverage-guided differential fuzzing fleet over
 // p4src: every generated frame is injected through all selected
 // backends in lockstep, behaviour signatures (taps, table hits,
